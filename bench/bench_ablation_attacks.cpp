@@ -1,0 +1,84 @@
+// Ablation: which membership-attack statistic should the assessment use?
+//
+// Reproduces the result the paper's §3.2.3 cites from SecureGenome: the
+// likelihood-ratio test is at least as powerful as Homer et al.'s distance
+// statistic, which is why GenDPR bounds the LR-test's power rather than
+// Homer's. Reports detection power (at 10% FPR) of both attacks against the
+// same unprotected release, plus their score-computation cost.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "stats/attacks.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+struct ReleaseView {
+  const genome::Cohort* cohort;
+  std::vector<std::uint32_t> released;
+  std::vector<double> case_freq;
+  std::vector<double> ref_freq;
+};
+
+ReleaseView make_release(std::size_t num_snps) {
+  const genome::Cohort& cohort = cohort_for(kPaperCasesHalf, 1000);
+  ReleaseView view;
+  view.cohort = &cohort;
+  view.released.resize(num_snps);
+  std::iota(view.released.begin(), view.released.end(), 0u);
+  const auto case_counts = cohort.cases.allele_counts(view.released);
+  const auto ref_counts = cohort.controls.allele_counts(view.released);
+  for (std::size_t i = 0; i < num_snps; ++i) {
+    view.case_freq.push_back(
+        static_cast<double>(case_counts[i]) /
+        static_cast<double>(cohort.cases.num_individuals()));
+    view.ref_freq.push_back(
+        static_cast<double>(ref_counts[i]) /
+        static_cast<double>(cohort.controls.num_individuals()));
+  }
+  return view;
+}
+
+void BM_Attack_LrTest(benchmark::State& state) {
+  const ReleaseView view = make_release(state.range(0));
+  stats::AttackPower power;
+  for (auto _ : state) {
+    const auto member = stats::lr_scores(view.cohort->cases, view.released,
+                                         view.case_freq, view.ref_freq);
+    const auto nonmember = stats::lr_scores(
+        view.cohort->controls, view.released, view.case_freq, view.ref_freq);
+    power = stats::evaluate_attack(member, nonmember, 0.1);
+    benchmark::DoNotOptimize(power);
+  }
+  state.counters["power"] = power.power;
+}
+BENCHMARK(BM_Attack_LrTest)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Attack_Homer(benchmark::State& state) {
+  const ReleaseView view = make_release(state.range(0));
+  stats::AttackPower power;
+  for (auto _ : state) {
+    const auto member = stats::homer_scores(
+        view.cohort->cases, view.released, view.case_freq, view.ref_freq);
+    const auto nonmember = stats::homer_scores(
+        view.cohort->controls, view.released, view.case_freq, view.ref_freq);
+    power = stats::evaluate_attack(member, nonmember, 0.1);
+    benchmark::DoNotOptimize(power);
+  }
+  state.counters["power"] = power.power;
+}
+BENCHMARK(BM_Attack_Homer)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation: what share of GenDPR's end-to-end time is cryptography?
+// (DESIGN.md §4). Measures the AEAD record path at the three message sizes
+// the protocol actually ships - allele-count vectors (4*L bytes), moment
+// responses (~56 bytes), and LR matrix payloads (MBs) - plus the attested
+// handshake, and contrasts a full federated run against the same pipeline
+// with no network/crypto (the centralized baseline).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "crypto/gcm.hpp"
+#include "gendpr/baselines.hpp"
+#include "tee/secure_channel.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+void BM_Crypto_GcmSeal(benchmark::State& state) {
+  const common::Bytes key(32, 0x42);
+  const crypto::GcmNonce nonce{};
+  const common::Bytes payload(state.range(0), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::gcm_seal(key, nonce, {}, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crypto_GcmSeal)
+    ->Arg(56)        // one moments response
+    ->Arg(4000)      // count vector, 1,000 SNPs
+    ->Arg(40000)     // count vector, 10,000 SNPs
+    ->Arg(1 << 22);  // LR matrix scale
+
+void BM_Crypto_GcmOpen(benchmark::State& state) {
+  const common::Bytes key(32, 0x42);
+  const crypto::GcmNonce nonce{};
+  const common::Bytes payload(state.range(0), 0xab);
+  const common::Bytes sealed = crypto::gcm_seal(key, nonce, {}, payload);
+  for (auto _ : state) {
+    auto opened = crypto::gcm_open(key, nonce, {}, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crypto_GcmOpen)->Arg(4000)->Arg(1 << 22);
+
+void BM_Crypto_AttestedHandshake(benchmark::State& state) {
+  tee::QuotingAuthority authority(std::array<std::uint8_t, 32>{1});
+  const tee::Measurement module = tee::measure("gendpr.trusted", "1.0.0");
+  crypto::Csprng rng(std::array<std::uint8_t, 32>{2});
+  for (auto _ : state) {
+    tee::SecureChannel a(authority, {1, module}, module, true, rng);
+    tee::SecureChannel b(authority, {2, module}, module, false, rng);
+    benchmark::DoNotOptimize(a.complete(b.handshake_message()));
+    benchmark::DoNotOptimize(b.complete(a.handshake_message()));
+  }
+}
+BENCHMARK(BM_Crypto_AttestedHandshake)->Unit(benchmark::kMicrosecond);
+
+/// End-to-end contrast: federated (attestation + AEAD on every exchange)
+/// vs the same statistics with no crypto at all. The delta bounds the total
+/// crypto + transport share.
+void BM_Crypto_FederatedVsPlain(benchmark::State& state) {
+  const genome::Cohort& cohort = cohort_for(kPaperCasesHalf, 1000);
+  double federated_ms = 0;
+  double plain_ms = 0;
+  for (auto _ : state) {
+    core::FederationSpec spec;
+    spec.num_gdos = 3;
+    auto run = core::run_federated_study(cohort, spec);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().to_string().c_str());
+      return;
+    }
+    federated_ms = run.value().timings.total_ms;
+    const auto central = core::run_centralized(cohort, core::StudyConfig{});
+    plain_ms = central.timings.total_ms;
+  }
+  state.counters["Federated_ms"] = federated_ms;
+  state.counters["PlainCentral_ms"] = plain_ms;
+  state.counters["OverheadPct"] =
+      plain_ms > 0 ? 100.0 * (federated_ms - plain_ms) / plain_ms : 0.0;
+}
+BENCHMARK(BM_Crypto_FederatedVsPlain)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

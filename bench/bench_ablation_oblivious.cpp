@@ -1,0 +1,110 @@
+// Ablation: cost of the data-oblivious kernels (the paper's §8 future work,
+// prototyped in stats/oblivious.hpp). The literature the paper cites reports
+// "significant performance overhead" for data-oblivious genomic processing;
+// this bench quantifies it for our two hottest kernels.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "stats/oblivious.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+struct Inputs {
+  genome::GenotypeMatrix genotypes;
+  std::vector<std::uint32_t> snps;
+  stats::LrWeights weights;
+  std::vector<double> case_scores;
+  std::vector<double> ref_scores;
+};
+
+Inputs make_inputs(std::size_t n, std::size_t cols) {
+  common::Rng rng(5);
+  Inputs in{genome::GenotypeMatrix(n, cols), {}, {}, {}, {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < cols; ++l) {
+      if (rng.bernoulli(0.3)) in.genotypes.set(i, l, true);
+    }
+  }
+  in.snps.resize(cols);
+  std::iota(in.snps.begin(), in.snps.end(), 0u);
+  std::vector<double> case_freq(cols), ref_freq(cols);
+  for (auto& f : case_freq) f = 0.2 + 0.3 * rng.uniform();
+  for (auto& f : ref_freq) f = 0.2 + 0.3 * rng.uniform();
+  in.weights = stats::lr_weights(case_freq, ref_freq);
+  in.case_scores.resize(n);
+  in.ref_scores.resize(n);
+  for (auto& s : in.case_scores) s = rng.normal() + 0.3;
+  for (auto& s : in.ref_scores) s = rng.normal();
+  return in;
+}
+
+void BM_Oblivious_LrBuild_Regular(benchmark::State& state) {
+  const Inputs in = make_inputs(scaled(14860), 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::build_lr_matrix(in.genotypes, in.snps, in.weights));
+  }
+}
+BENCHMARK(BM_Oblivious_LrBuild_Regular)->Unit(benchmark::kMillisecond);
+
+void BM_Oblivious_LrBuild_Oblivious(benchmark::State& state) {
+  const Inputs in = make_inputs(scaled(14860), 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::oblivious_build_lr_matrix(in.genotypes, in.snps, in.weights));
+  }
+}
+BENCHMARK(BM_Oblivious_LrBuild_Oblivious)->Unit(benchmark::kMillisecond);
+
+void BM_Oblivious_Power_Regular(benchmark::State& state) {
+  const Inputs in = make_inputs(scaled(13035), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::detection_power(in.case_scores, in.ref_scores, 0.1, nullptr));
+  }
+}
+BENCHMARK(BM_Oblivious_Power_Regular)->Unit(benchmark::kMillisecond);
+
+void BM_Oblivious_Power_Oblivious(benchmark::State& state) {
+  const Inputs in = make_inputs(scaled(13035), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::oblivious_detection_power(
+        in.case_scores, in.ref_scores, 0.1, nullptr));
+  }
+}
+BENCHMARK(BM_Oblivious_Power_Oblivious)->Unit(benchmark::kMillisecond);
+
+void BM_Oblivious_Sort(benchmark::State& state) {
+  common::Rng rng(3);
+  std::vector<double> base(state.range(0));
+  for (auto& v : base) v = rng.normal();
+  for (auto _ : state) {
+    std::vector<double> data = base;
+    stats::oblivious_sort(data);
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_Oblivious_Sort)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Oblivious_StdSort(benchmark::State& state) {
+  common::Rng rng(3);
+  std::vector<double> base(state.range(0));
+  for (auto& v : base) v = rng.normal();
+  for (auto _ : state) {
+    std::vector<double> data = base;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_Oblivious_StdSort)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Ablation: bit-packed vs byte-per-genotype storage (DESIGN.md §4).
+//
+// The enclave working set is the scarce resource under SGX1's ~128 MB EPC;
+// bit-packing is what keeps a GDO's slice of 14,860 x 10,000 genotypes at
+// ~2 MB (Table 3 scale). This bench quantifies the memory factor and the
+// compute cost/benefit on the two hot access patterns: per-SNP allele
+// counting (phase 1) and random get() (LD moments).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "genome/genotype.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+genome::GenotypeMatrix make_packed(std::size_t n, std::size_t l) {
+  common::Rng rng(3);
+  genome::GenotypeMatrix m(n, l);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      if (rng.bernoulli(0.3)) m.set(i, j, true);
+    }
+  }
+  return m;
+}
+
+genome::UnpackedGenotypeMatrix make_unpacked(std::size_t n, std::size_t l) {
+  common::Rng rng(3);
+  genome::UnpackedGenotypeMatrix m(n, l);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      if (rng.bernoulli(0.3)) m.set(i, j, true);
+    }
+  }
+  return m;
+}
+
+void BM_Packing_PackedAlleleCounts(benchmark::State& state) {
+  const auto m = make_packed(scaled(14860), state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.allele_counts());
+  }
+  state.counters["storage_KB"] =
+      static_cast<double>(m.storage_bytes()) / 1024.0;
+}
+BENCHMARK(BM_Packing_PackedAlleleCounts)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Packing_UnpackedAlleleCounts(benchmark::State& state) {
+  const auto m = make_unpacked(scaled(14860), state.range(0));
+  for (auto _ : state) {
+    std::vector<std::uint32_t> counts(state.range(0));
+    for (std::size_t l = 0; l < counts.size(); ++l) {
+      counts[l] = m.allele_count(l);
+    }
+    benchmark::DoNotOptimize(counts);
+  }
+  state.counters["storage_KB"] =
+      static_cast<double>(m.storage_bytes()) / 1024.0;
+}
+BENCHMARK(BM_Packing_UnpackedAlleleCounts)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Packing_PackedRandomGet(benchmark::State& state) {
+  const auto m = make_packed(scaled(14860), 1000);
+  common::Rng rng(7);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    const std::size_t i = rng.uniform_int(m.num_individuals());
+    const std::size_t j = rng.uniform_int(m.num_snps());
+    sum += m.get(i, j) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_Packing_PackedRandomGet);
+
+void BM_Packing_UnpackedRandomGet(benchmark::State& state) {
+  const auto m = make_unpacked(scaled(14860), 1000);
+  common::Rng rng(7);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    const std::size_t i = rng.uniform_int(scaled(14860));
+    const std::size_t j = rng.uniform_int(1000);
+    sum += m.get(i, j) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_Packing_UnpackedRandomGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared workload setup for the reproduction benches.
+//
+// The paper evaluates on the dbGaP AMD cohort: 14,860 case genomes and
+// 13,035 controls (the controls double as the LR-test reference), varying
+// the case count between 7,430 and 14,860 and the SNP count between 1,000
+// and 10,000. The synthetic generator mirrors those dimensions; see
+// DESIGN.md §1 for the substitution rationale.
+//
+// Set GENDPR_BENCH_SCALE=<float> (e.g. 0.1) to shrink every population for
+// quick smoke runs; results keep their shape but not their magnitudes.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "gendpr/federation.hpp"
+#include "genome/cohort.hpp"
+
+namespace gendpr::bench {
+
+inline double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("GENDPR_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double parsed = std::atof(env);
+    return parsed > 0.0 ? parsed : 1.0;
+  }();
+  return scale;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) *
+                                          bench_scale());
+  return s < 8 ? 8 : s;
+}
+
+/// Paper cohort dimensions.
+inline constexpr std::size_t kPaperControls = 13035;
+inline constexpr std::size_t kPaperCasesFull = 14860;
+inline constexpr std::size_t kPaperCasesHalf = 7430;
+
+/// Cached cohort generation: benches sweep G over the same cohort, exactly
+/// like the paper reuses one dataset across federation sizes.
+inline const genome::Cohort& cohort_for(std::size_t num_case,
+                                        std::size_t num_snps) {
+  static std::map<std::pair<std::size_t, std::size_t>, genome::Cohort> cache;
+  const auto key = std::make_pair(num_case, num_snps);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    genome::CohortSpec spec;
+    spec.num_case = scaled(num_case);
+    spec.num_control = scaled(kPaperControls);
+    spec.num_snps = num_snps;  // SNP counts stay at paper scale
+    spec.seed = 1039;          // nod to phs001039
+    it = cache.emplace(key, genome::generate_cohort(spec)).first;
+  }
+  return it->second;
+}
+
+}  // namespace gendpr::bench

@@ -1,0 +1,69 @@
+// Reproduces Figures 5a/5b: per-phase running time of GenDPR vs the
+// centralized SecureGenome baseline at 1,000 SNPs, for 7,430 (5a) and
+// 14,860 (5b) case genomes, with 2/3/5/7 GDOs.
+//
+// Each benchmark reports the paper's stacked categories as counters:
+// DataAggregation_ms, Indexing_ms, LD_ms, LRtest_ms, Total_ms.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "gendpr/baselines.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+void report(benchmark::State& state, const core::PhaseTimings& t,
+            std::size_t safe_count) {
+  state.counters["DataAggregation_ms"] = t.aggregation_ms;
+  state.counters["Indexing_ms"] = t.indexing_ms;
+  state.counters["LD_ms"] = t.ld_ms;
+  state.counters["LRtest_ms"] = t.lr_ms;
+  state.counters["Total_ms"] = t.total_ms;
+  state.counters["safe_snps"] = static_cast<double>(safe_count);
+}
+
+void BM_Fig5_Centralized(benchmark::State& state) {
+  const std::size_t num_case = state.range(0);
+  const genome::Cohort& cohort = cohort_for(num_case, 1000);
+  core::BaselineResult result;
+  for (auto _ : state) {
+    result = core::run_centralized(cohort, core::StudyConfig{});
+    benchmark::DoNotOptimize(result.outcome.l_safe);
+  }
+  report(state, result.timings, result.outcome.l_safe.size());
+}
+BENCHMARK(BM_Fig5_Centralized)
+    ->Arg(kPaperCasesHalf)
+    ->Arg(kPaperCasesFull)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Fig5_GenDPR(benchmark::State& state) {
+  const std::size_t num_case = state.range(0);
+  const std::uint32_t num_gdos = static_cast<std::uint32_t>(state.range(1));
+  const genome::Cohort& cohort = cohort_for(num_case, 1000);
+  core::FederationSpec spec;
+  spec.num_gdos = num_gdos;
+  core::StudyResult result;
+  for (auto _ : state) {
+    auto run = core::run_federated_study(cohort, spec);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().to_string().c_str());
+      return;
+    }
+    result = std::move(run).take();
+    benchmark::DoNotOptimize(result.outcome.l_safe);
+  }
+  report(state, result.timings, result.outcome.l_safe.size());
+  state.counters["ModelledDistributed_ms"] = result.modelled_distributed_ms;
+}
+BENCHMARK(BM_Fig5_GenDPR)
+    ->ArgsProduct({{kPaperCasesHalf, kPaperCasesFull}, {2, 3, 5, 7}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table 3: GenDPR's average resource utilization across
+// federation sizes (2/3/5/7 GDOs) and SNP counts (1,000 / 10,000), plus the
+// §7.1 bandwidth accounting:
+//   * enclave memory (EPC peak, leader and members) - the paper reports
+//     ~2 MB per enclave;
+//   * bytes exchanged per count vector: 4 * L_des plus AEAD overhead;
+//   * genome outsourcing avoided: 2 * L_des * N_T bits never leave GDOs.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "tee/secure_channel.hpp"
+
+namespace {
+
+using namespace gendpr;
+using namespace gendpr::bench;
+
+void BM_Table3_Resources(benchmark::State& state) {
+  const std::uint32_t num_gdos = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t num_snps = state.range(1);
+  const genome::Cohort& cohort = cohort_for(kPaperCasesFull, num_snps);
+  core::FederationSpec spec;
+  spec.num_gdos = num_gdos;
+  core::StudyResult result;
+  for (auto _ : state) {
+    auto run = core::run_federated_study(cohort, spec);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().to_string().c_str());
+      return;
+    }
+    result = std::move(run).take();
+  }
+
+  const double n_total = static_cast<double>(
+      cohort.cases.num_individuals() + cohort.controls.num_individuals());
+  state.counters["LeaderEPC_KB"] =
+      static_cast<double>(result.epc_peak_leader) / 1024.0;
+  state.counters["MemberEPC_KB"] =
+      static_cast<double>(result.epc_peak_members_max) / 1024.0;
+  state.counters["NetTotal_KB"] =
+      static_cast<double>(result.network_bytes_total) / 1024.0;
+  state.counters["LeaderRecv_KB"] =
+      static_cast<double>(result.leader_bytes_received) / 1024.0;
+  // Plaintext size of one allele-count vector (4 bytes/SNP, §7.1) and the
+  // encrypted-record size actually sent.
+  state.counters["CountVector_B"] = 4.0 * static_cast<double>(num_snps);
+  state.counters["CountVectorEnc_B"] =
+      4.0 * static_cast<double>(num_snps) +
+      static_cast<double>(tee::SecureChannel::record_overhead());
+  // What a genome-pooling design would have shipped: 2 bits per SNP per
+  // genome (§7.1), in KB.
+  state.counters["GenomeShipAvoided_KB"] =
+      2.0 * static_cast<double>(num_snps) * n_total / 8.0 / 1024.0;
+  state.counters["Total_ms"] = result.timings.total_ms;
+}
+BENCHMARK(BM_Table3_Resources)
+    ->ArgsProduct({{2, 3, 5, 7}, {1000, 10000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

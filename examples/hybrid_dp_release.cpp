@@ -1,0 +1,92 @@
+// Hybrid noise-free + differentially-private release (§5.5).
+//
+//   $ ./examples/hybrid_dp_release [epsilon]
+//
+// The paper sketches an extension: SNPs in L_safe are released exactly,
+// while statistics over the withheld complement L_des \ L_safe can still be
+// published with DP perturbation, so the release covers every SNP of
+// interest. This example runs GenDPR, builds the hybrid release, and
+// quantifies the utility split (exact vs noisy counts).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "gendpr/federation.hpp"
+#include "stats/dp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gendpr;
+
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  genome::CohortSpec cohort_spec;
+  cohort_spec.num_case = 2500;
+  cohort_spec.num_control = 2500;
+  cohort_spec.num_snps = 600;
+  cohort_spec.seed = 13;
+  const genome::Cohort cohort = genome::generate_cohort(cohort_spec);
+
+  core::FederationSpec spec;
+  spec.num_gdos = 3;
+  const auto result = core::run_federated_study(cohort, spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  const auto& outcome = result.value().outcome;
+
+  // Partition L_des into the noise-free and DP-perturbed parts.
+  std::set<std::uint32_t> safe(outcome.l_safe.begin(), outcome.l_safe.end());
+  std::vector<std::uint32_t> noisy_part;
+  for (std::uint32_t l = 0; l < cohort.cases.num_snps(); ++l) {
+    if (safe.count(l) == 0) noisy_part.push_back(l);
+  }
+  std::printf("L_des = %zu SNPs -> %zu released exactly, %zu released with "
+              "Laplace(%g) noise\n",
+              cohort.cases.num_snps(), safe.size(), noisy_part.size(),
+              1.0 / epsilon);
+
+  // Exact counts over L_safe; DP counts over the complement. Sensitivity 1:
+  // one individual changes each count by at most 1 in the binary encoding.
+  common::Rng dp_rng(99);
+  const auto exact_counts = cohort.cases.allele_counts(outcome.l_safe);
+  const auto raw_noisy_counts = cohort.cases.allele_counts(noisy_part);
+  const auto dp_counts =
+      stats::dp_perturb_counts(raw_noisy_counts, epsilon, 1.0, dp_rng);
+
+  double mean_abs_error = 0.0;
+  for (std::size_t i = 0; i < noisy_part.size(); ++i) {
+    mean_abs_error +=
+        std::abs(dp_counts[i] - static_cast<double>(raw_noisy_counts[i]));
+  }
+  if (!noisy_part.empty()) {
+    mean_abs_error /= static_cast<double>(noisy_part.size());
+  }
+
+  std::printf("\nutility report:\n");
+  std::printf("  exact part:  %zu counts, error 0 by construction\n",
+              exact_counts.size());
+  std::printf("  noisy part:  %zu counts, mean |error| %.2f "
+              "(theory: %.2f at eps=%g)\n",
+              dp_counts.size(), mean_abs_error,
+              stats::expected_absolute_error(epsilon, 1.0), epsilon);
+  std::printf("  full-coverage release: every one of the %zu desired SNPs "
+              "gets a published statistic.\n",
+              cohort.cases.num_snps());
+
+  std::printf("\nfirst 5 hybrid release rows:\n");
+  std::printf("  %-8s %-10s %-12s\n", "SNP", "mode", "case count");
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, outcome.l_safe.size());
+       ++i) {
+    std::printf("  %-8u %-10s %-12u\n", outcome.l_safe[i], "exact",
+                exact_counts[i]);
+  }
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, noisy_part.size());
+       ++i) {
+    std::printf("  %-8u %-10s %-12.1f\n", noisy_part[i], "dp-noisy",
+                dp_counts[i]);
+  }
+  return 0;
+}

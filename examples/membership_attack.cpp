@@ -1,0 +1,110 @@
+// Membership-inference attack demo: why releases must be assessed at all.
+//
+//   $ ./examples/membership_attack
+//
+// Plays the adversary of §4: armed with a victim's genotype and a reference
+// panel with a similar allele distribution, it computes the likelihood-ratio
+// statistic (Eq. 1) against published case allele frequencies and flags
+// membership when the LR exceeds the (1-FPR) reference quantile. We mount
+// the attack twice - against an unprotected full release over L_des, and
+// against the GenDPR-assessed release over L_safe - and report detection
+// power (true positive rate at 10% false positives) for both.
+#include <cstdio>
+#include <numeric>
+
+#include "gendpr/federation.hpp"
+#include "stats/lr_test.hpp"
+
+namespace {
+
+using namespace gendpr;
+
+/// Adversary: scores every individual of `population` against the published
+/// frequencies over `released` SNPs and measures detection power.
+double attack_power(const genome::GenotypeMatrix& cases,
+                    const genome::GenotypeMatrix& reference,
+                    const std::vector<std::uint32_t>& released) {
+  if (released.empty()) return 0.0;
+  const std::uint64_t n_case = cases.num_individuals();
+  const std::uint64_t n_ref = reference.num_individuals();
+  const auto case_counts = cases.allele_counts(released);
+  const auto ref_counts = reference.allele_counts(released);
+  std::vector<double> case_freq(released.size());
+  std::vector<double> ref_freq(released.size());
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    case_freq[i] = static_cast<double>(case_counts[i]) /
+                   static_cast<double>(n_case);
+    ref_freq[i] = static_cast<double>(ref_counts[i]) /
+                  static_cast<double>(n_ref);
+  }
+  const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
+  const stats::LrMatrix case_lr =
+      stats::build_lr_matrix(cases, released, weights);
+  const stats::LrMatrix ref_lr =
+      stats::build_lr_matrix(reference, released, weights);
+
+  std::vector<double> case_scores(case_lr.rows(), 0.0);
+  std::vector<double> ref_scores(ref_lr.rows(), 0.0);
+  for (std::size_t r = 0; r < case_lr.rows(); ++r) {
+    for (std::size_t c = 0; c < case_lr.cols(); ++c) {
+      case_scores[r] += case_lr.at(r, c);
+    }
+  }
+  for (std::size_t r = 0; r < ref_lr.rows(); ++r) {
+    for (std::size_t c = 0; c < ref_lr.cols(); ++c) {
+      ref_scores[r] += ref_lr.at(r, c);
+    }
+  }
+  return stats::detection_power(case_scores, ref_scores, 0.1, nullptr);
+}
+
+}  // namespace
+
+int main() {
+  // A cohort with strong association signal: the dangerous case.
+  genome::CohortSpec cohort_spec;
+  cohort_spec.num_case = 2000;
+  cohort_spec.num_control = 2000;
+  cohort_spec.num_snps = 600;
+  cohort_spec.associated_fraction = 0.25;
+  cohort_spec.effect_odds = 2.5;
+  cohort_spec.seed = 17;
+  const genome::Cohort cohort = genome::generate_cohort(cohort_spec);
+
+  // Unprotected release: statistics over every desired SNP.
+  std::vector<std::uint32_t> all_snps(cohort.cases.num_snps());
+  std::iota(all_snps.begin(), all_snps.end(), 0u);
+  const double naive_power =
+      attack_power(cohort.cases, cohort.controls, all_snps);
+
+  // GenDPR-protected release. The identification-power bound is the
+  // federation's privacy knob; we tighten it from the paper's default 0.9 to
+  // 0.3 so the protection is visible on this high-signal cohort.
+  core::FederationSpec spec;
+  spec.num_gdos = 3;
+  spec.config.lr_power_threshold = 0.3;
+  const auto result = core::run_federated_study(cohort, spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  const auto& safe = result.value().outcome.l_safe;
+  const double protected_power =
+      attack_power(cohort.cases, cohort.controls, safe);
+
+  std::printf("membership attack at 10%% false-positive budget\n");
+  std::printf("  (power 0.10 = adversary does no better than guessing)\n\n");
+  std::printf("  unprotected release (%4zu SNPs): detection power %.3f\n",
+              all_snps.size(), naive_power);
+  std::printf("  GenDPR release     (%4zu SNPs): detection power %.3f\n",
+              safe.size(), protected_power);
+  std::printf("\nGenDPR keeps the adversary below the configured 0.3 power "
+              "bound: %s\n",
+              protected_power <= 0.3 ? "yes" : "NO - investigate!");
+  if (naive_power > protected_power) {
+    std::printf("the assessed release cut attack power by %.1f%%.\n",
+                100.0 * (naive_power - protected_power) / naive_power);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "common/error.hpp"
+
+namespace gendpr::common {
+
+const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok:
+      return "ok";
+    case Errc::decrypt_failed:
+      return "decrypt_failed";
+    case Errc::attestation_rejected:
+      return "attestation_rejected";
+    case Errc::bad_message:
+      return "bad_message";
+    case Errc::unknown_peer:
+      return "unknown_peer";
+    case Errc::state_violation:
+      return "state_violation";
+    case Errc::capacity_exceeded:
+      return "capacity_exceeded";
+    case Errc::invalid_argument:
+      return "invalid_argument";
+    case Errc::io_error:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+}  // namespace gendpr::common

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// All stochastic components of the library (synthetic cohorts, leader
+// election, workload generators) draw from `Rng`, a SplitMix64-seeded
+// xoshiro256** generator. Determinism given a seed is a hard requirement:
+// the paper's correctness experiment (Table 4) compares three protocol
+// variants over the *same* cohort, and our property tests replay runs.
+//
+// Cryptographic randomness lives in crypto/csprng.hpp, not here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gendpr::common {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+/// Not cryptographically secure; simulation/statistics use only.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang; shape > 0.
+  double gamma(double shape) noexcept;
+
+  /// Beta(a, b) via two gamma draws; a, b > 0.
+  double beta(double a, double b) noexcept;
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Forks an independent stream (splits state via SplitMix on a drawn value).
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace gendpr::common

@@ -1,0 +1,29 @@
+// Monotonic timing helpers for the phase-time accounting in the paper's
+// Figures 5-6 and Table 5.
+#pragma once
+
+#include <chrono>
+
+namespace gendpr::common {
+
+/// Wall-clock stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_seconds() const { return elapsed_ms() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gendpr::common

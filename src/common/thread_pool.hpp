@@ -1,0 +1,62 @@
+// Fixed-size thread pool.
+//
+// Used by the collusion-tolerant coordinator to evaluate the C(G, G-f)
+// combinations in parallel inside the leader enclave (paper §5.6: "can be
+// efficiently conducted in parallel inside the leader enclave"), and by the
+// ablation bench that compares serial vs parallel combination evaluation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gendpr::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using ResultT = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<ResultT()>>(
+        std::forward<Fn>(fn));
+    std::future<ResultT> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs `fn(i)` for i in [0, count) across the pool and blocks until all
+  /// iterations complete. Exceptions from iterations propagate (first one).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace gendpr::common

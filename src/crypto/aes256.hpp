@@ -1,0 +1,43 @@
+// AES-256 block cipher (FIPS 197).
+//
+// Only the raw block transform lives here; authenticated encryption is
+// provided by crypto/gcm.hpp on top. Verified against the FIPS 197 appendix
+// C.3 known-answer vector and NIST CAVP ECB vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+
+inline constexpr std::size_t kAes256KeySize = 32;
+inline constexpr std::size_t kAesBlockSize = 16;
+
+using AesKey = std::array<std::uint8_t, kAes256KeySize>;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// AES-256 with an expanded key schedule held in the object. The schedule is
+/// zeroized on destruction.
+class Aes256 {
+ public:
+  explicit Aes256(common::BytesView key);
+  ~Aes256();
+
+  Aes256(const Aes256&) = delete;
+  Aes256& operator=(const Aes256&) = delete;
+
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const noexcept;
+  void decrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const noexcept;
+
+ private:
+  static constexpr int kRounds = 14;
+  // 15 round keys of 16 bytes each, stored as 60 32-bit words.
+  std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_{};
+  std::array<std::uint32_t, 4 * (kRounds + 1)> dec_round_keys_{};
+};
+
+}  // namespace gendpr::crypto

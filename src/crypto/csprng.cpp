@@ -1,0 +1,125 @@
+#include "crypto/csprng.hpp"
+
+#include <cstring>
+#include <random>
+
+namespace gendpr::crypto {
+
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b;
+  d = rotl32(d ^ a, 16);
+  c += d;
+  b = rotl32(b ^ c, 12);
+  a += b;
+  d = rotl32(d ^ a, 8);
+  c += d;
+  b = rotl32(b ^ c, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::uint8_t out[64]) noexcept {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + 4 * i, working[i] + state[i]);
+  }
+}
+
+Csprng::Csprng(const std::array<std::uint8_t, 32>& seed) noexcept
+    : key_(seed), pool_pos_(pool_.size()) {}
+
+Csprng Csprng::system() {
+  std::random_device rd;
+  std::array<std::uint8_t, 32> seed;
+  for (std::size_t i = 0; i < seed.size(); i += 4) {
+    const std::uint32_t word = rd();
+    store_le32(seed.data() + i, word);
+  }
+  return Csprng(seed);
+}
+
+void Csprng::refill() noexcept {
+  std::array<std::uint8_t, 12> nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+  }
+  ++counter_;
+  for (std::size_t block = 0; block < pool_.size() / 64; ++block) {
+    chacha20_block(key_, static_cast<std::uint32_t>(block), nonce,
+                   pool_.data() + 64 * block);
+  }
+  // Fast key erasure: re-key from the first 32 bytes of the batch and never
+  // hand those bytes out.
+  std::memcpy(key_.data(), pool_.data(), 32);
+  pool_pos_ = 32;
+}
+
+void Csprng::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    if (pool_pos_ == pool_.size()) refill();
+    const std::size_t take =
+        std::min(out.size() - offset, pool_.size() - pool_pos_);
+    std::memcpy(out.data() + offset, pool_.data() + pool_pos_, take);
+    pool_pos_ += take;
+    offset += take;
+  }
+}
+
+common::Bytes Csprng::bytes(std::size_t n) {
+  common::Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Csprng::next_u64() noexcept {
+  std::array<std::uint8_t, 8> buf;
+  fill(buf);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,57 @@
+// ChaCha20-based cryptographically secure pseudo-random generator.
+//
+// Sources: nonces for AEAD records, ephemeral X25519 secrets, simulated CPU
+// root keys. `Csprng::system()` seeds from std::random_device; deterministic
+// construction exists so integration tests can replay handshakes.
+// The ChaCha20 block function is verified against the RFC 8439 §2.3.2 vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+
+/// ChaCha20 keystream generator used in a fast-key-erasure DRBG construction:
+/// each refill produces a block batch, then immediately re-keys from its own
+/// output so earlier states cannot be reconstructed.
+class Csprng {
+ public:
+  /// Deterministic instance (tests / simulation reproducibility).
+  explicit Csprng(const std::array<std::uint8_t, 32>& seed) noexcept;
+
+  /// Instance seeded from the OS entropy source.
+  static Csprng system();
+
+  /// Fills `out` with random bytes.
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+  common::Bytes bytes(std::size_t n);
+
+  std::uint64_t next_u64() noexcept;
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> array() noexcept {
+    std::array<std::uint8_t, N> out;
+    fill(out);
+    return out;
+  }
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint8_t, 32> key_{};
+  std::uint64_t counter_ = 0;
+  std::array<std::uint8_t, 64 * 4> pool_{};
+  std::size_t pool_pos_ = 0;
+};
+
+/// Raw ChaCha20 block function (RFC 8439): 64-byte keystream block for
+/// (key, counter, nonce). Exposed for testing against official vectors.
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::uint8_t out[64]) noexcept;
+
+}  // namespace gendpr::crypto

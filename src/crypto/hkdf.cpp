@@ -1,0 +1,43 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace gendpr::crypto {
+
+common::Bytes hkdf_extract(common::BytesView salt, common::BytesView ikm) {
+  const Sha256Digest prk = HmacSha256::mac(salt, ikm);
+  return common::Bytes(prk.begin(), prk.end());
+}
+
+common::Bytes hkdf_expand(common::BytesView prk, common::BytesView info,
+                          std::size_t length) {
+  if (length == 0 || length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length out of range");
+  }
+  common::Bytes okm;
+  okm.reserve(length);
+  common::Bytes block;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 h(prk);
+    h.update(block);
+    h.update(info);
+    h.update(common::BytesView(&counter, 1));
+    const Sha256Digest t = h.finish();
+    block.assign(t.begin(), t.end());
+    const std::size_t take = std::min(block.size(), length - okm.size());
+    okm.insert(okm.end(), block.begin(), block.begin() + take);
+    ++counter;
+  }
+  return okm;
+}
+
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   common::BytesView info, std::size_t length) {
+  const common::Bytes prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,25 @@
+// HKDF with SHA-256 (RFC 5869).
+//
+// Key-schedule workhorse: the attested handshake (tee/secure_channel) derives
+// per-direction AEAD keys from the X25519 shared secret and the handshake
+// transcript; the sealing service derives per-measurement sealing keys from
+// the simulated CPU root key. Verified against RFC 5869 appendix A vectors.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+common::Bytes hkdf_extract(common::BytesView salt, common::BytesView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255*32).
+/// Throws std::invalid_argument if length is out of range.
+common::Bytes hkdf_expand(common::BytesView prk, common::BytesView info,
+                          std::size_t length);
+
+/// Extract-then-expand convenience.
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   common::BytesView info, std::size_t length);
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,53 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace gendpr::crypto {
+
+HmacSha256::HmacSha256(common::BytesView key) noexcept {
+  std::array<std::uint8_t, kSha256BlockSize> block_key{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest digest = Sha256::hash(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    if (!key.empty()) std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> inner_pad;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    outer_pad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.update(common::BytesView(inner_pad.data(), inner_pad.size()));
+  common::secure_zero(block_key);
+  common::secure_zero(inner_pad);
+}
+
+void HmacSha256::update(common::BytesView data) noexcept {
+  inner_.update(data);
+}
+
+Sha256Digest HmacSha256::finish() noexcept {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(common::BytesView(outer_pad_.data(), outer_pad_.size()));
+  outer.update(common::BytesView(inner_digest.data(), inner_digest.size()));
+  common::secure_zero(outer_pad_);
+  return outer.finish();
+}
+
+Sha256Digest HmacSha256::mac(common::BytesView key,
+                             common::BytesView data) noexcept {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool HmacSha256::verify(common::BytesView key, common::BytesView data,
+                        common::BytesView tag) noexcept {
+  const Sha256Digest expected = mac(key, data);
+  return common::ct_equal(
+      common::BytesView(expected.data(), expected.size()), tag);
+}
+
+}  // namespace gendpr::crypto

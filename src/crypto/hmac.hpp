@@ -1,0 +1,33 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used as the MAC under HKDF and as the signature primitive of the simulated
+// quoting authority (tee/attestation). Verified against RFC 4231 test vectors.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gendpr::crypto {
+
+/// Incremental HMAC-SHA256 keyed at construction.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(common::BytesView key) noexcept;
+
+  void update(common::BytesView data) noexcept;
+  Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha256Digest mac(common::BytesView key,
+                          common::BytesView data) noexcept;
+
+  /// Constant-time verification of a tag against the expected MAC.
+  static bool verify(common::BytesView key, common::BytesView data,
+                     common::BytesView tag) noexcept;
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, kSha256BlockSize> outer_pad_{};
+};
+
+}  // namespace gendpr::crypto

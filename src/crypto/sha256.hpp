@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for enclave measurements, dataset manifests, transcript hashes in the
+// attested handshake, and as the compression function under HMAC/HKDF.
+// Verified against FIPS 180-4 / NIST CAVP known-answer vectors in
+// tests/crypto/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); auto d = h.finish();
+/// `finish()` may be called once; the object is then exhausted.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(common::BytesView data) noexcept;
+  Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha256Digest hash(common::BytesView data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// Digest as an owning byte vector (handy for wire/serialization call sites).
+common::Bytes sha256(common::BytesView data);
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,176 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+namespace gendpr::crypto {
+
+namespace {
+
+// Field element mod 2^255-19, 16 limbs of 16 bits each held in int64
+// (TweetNaCl representation: simple, branch-free, easy to audit).
+using Fe = std::int64_t[16];
+
+void fe_copy(Fe out, const Fe a) noexcept {
+  for (int i = 0; i < 16; ++i) out[i] = a[i];
+}
+
+void fe_zero(Fe out) noexcept {
+  for (int i = 0; i < 16; ++i) out[i] = 0;
+}
+
+void fe_one(Fe out) noexcept {
+  fe_zero(out);
+  out[0] = 1;
+}
+
+void carry(Fe o) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    o[i] += (1LL << 16);
+    const std::int64_t c = o[i] >> 16;
+    o[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o[i] -= c << 16;
+  }
+}
+
+void fe_add(Fe o, const Fe a, const Fe b) noexcept {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+void fe_sub(Fe o, const Fe a, const Fe b) noexcept {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+void fe_mul(Fe o, const Fe a, const Fe b) noexcept {
+  std::int64_t t[31];
+  for (int i = 0; i < 31; ++i) t[i] = 0;
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) t[i + j] += a[i] * b[j];
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o[i] = t[i];
+  carry(o);
+  carry(o);
+}
+
+void fe_square(Fe o, const Fe a) noexcept {
+  fe_mul(o, a, a);
+}
+
+void fe_cswap(Fe p, Fe q, std::int64_t bit) noexcept {
+  const std::int64_t mask = ~(bit - 1);
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t t = mask & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+void fe_invert(Fe o, const Fe a) noexcept {
+  Fe c;
+  fe_copy(c, a);
+  // a^(p-2) via the standard square-and-multiply ladder for 2^255-21.
+  for (int i = 253; i >= 0; --i) {
+    fe_square(c, c);
+    if (i != 2 && i != 4) fe_mul(c, c, a);
+  }
+  fe_copy(o, c);
+}
+
+void fe_pack(std::uint8_t* out, const Fe n) noexcept {
+  Fe m, t;
+  fe_copy(t, n);
+  carry(t);
+  carry(t);
+  carry(t);
+  for (int round = 0; round < 2; ++round) {
+    m[0] = t[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    const std::int64_t borrow = (m[15] >> 16) & 1;
+    m[14] &= 0xffff;
+    fe_cswap(t, m, 1 - borrow);
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(t[i] & 0xff);
+    out[2 * i + 1] = static_cast<std::uint8_t>(t[i] >> 8);
+  }
+}
+
+void fe_unpack(Fe out, const std::uint8_t* in) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    out[i] = in[2 * i] + (static_cast<std::int64_t>(in[2 * i + 1]) << 8);
+  }
+  out[15] &= 0x7fff;
+}
+
+constexpr std::int64_t kA24 = 121665;  // (486662 - 2) / 4
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept {
+  std::uint8_t clamped[32];
+  std::memcpy(clamped, scalar.data(), 32);
+  clamped[0] &= 248;
+  clamped[31] &= 127;
+  clamped[31] |= 64;
+
+  Fe x;
+  fe_unpack(x, point.data());
+
+  Fe a, b, c, d, e, f;
+  fe_one(a);
+  fe_copy(b, x);
+  fe_zero(c);
+  fe_one(d);
+
+  for (int i = 254; i >= 0; --i) {
+    const std::int64_t bit = (clamped[i >> 3] >> (i & 7)) & 1;
+    fe_cswap(a, b, bit);
+    fe_cswap(c, d, bit);
+    fe_add(e, a, c);
+    fe_sub(a, a, c);
+    fe_add(c, b, d);
+    fe_sub(b, b, d);
+    fe_square(d, e);
+    fe_square(f, a);
+    fe_mul(a, c, a);
+    fe_mul(c, b, e);
+    fe_add(e, a, c);
+    fe_sub(a, a, c);
+    fe_square(b, a);
+    fe_sub(c, d, f);
+    Fe a24_term;
+    for (int j = 0; j < 16; ++j) a24_term[j] = 0;
+    a24_term[0] = kA24;
+    fe_mul(a, c, a24_term);
+    fe_add(a, a, d);
+    fe_mul(c, c, a);
+    fe_mul(a, d, f);
+    fe_mul(d, b, x);
+    fe_square(b, e);
+    fe_cswap(a, b, bit);
+    fe_cswap(c, d, bit);
+  }
+
+  Fe inv_c;
+  fe_invert(inv_c, c);
+  fe_mul(a, a, inv_c);
+
+  X25519Key out;
+  fe_pack(out.data(), a);
+  return out;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) noexcept {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair x25519_keypair(const X25519Key& secret) noexcept {
+  return X25519KeyPair{secret, x25519_base(secret)};
+}
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,34 @@
+// X25519 Diffie-Hellman over Curve25519 (RFC 7748).
+//
+// Key agreement for the mutually-attested secure channels between enclaves
+// (tee/secure_channel): each side contributes an ephemeral X25519 key; the
+// shared secret feeds HKDF. Verified against RFC 7748 §5.2 and §6.1 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar * point (general scalar multiplication). The scalar is clamped per
+/// RFC 7748 before use.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept;
+
+/// scalar * base point (public key derivation).
+X25519Key x25519_base(const X25519Key& scalar) noexcept;
+
+struct X25519KeyPair {
+  X25519Key secret;
+  X25519Key public_key;
+};
+
+/// Derives the keypair for a given 32-byte secret.
+X25519KeyPair x25519_keypair(const X25519Key& secret) noexcept;
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,35 @@
+// Study configuration: the privacy-assessment thresholds of §3.2/§7.
+#pragma once
+
+#include <cstdint>
+
+namespace gendpr::core {
+
+/// Thresholds controlling the three verification phases. Defaults are the
+/// SecureGenome settings the paper adopts in §7: 0.05 MAF cut-off, 1e-5 LD
+/// cut-off, 0.1 false-positive rate, 0.9 identification-power threshold.
+struct StudyConfig {
+  double maf_cutoff = 0.05;
+  double ld_cutoff = 1e-5;
+  double lr_false_positive_rate = 0.1;
+  double lr_power_threshold = 0.9;
+
+  bool operator==(const StudyConfig&) const = default;
+};
+
+/// Collusion-tolerance policy (§5.6).
+struct CollusionPolicy {
+  enum class Mode : std::uint8_t {
+    none,       // f = 0: single combination of all G GDOs
+    fixed_f,    // C(G, G-f) combinations for one f
+    all_f,      // conservative: every f in {1, .., G-1}
+  };
+  Mode mode = Mode::none;
+  unsigned f = 0;  // used when mode == fixed_f
+
+  static CollusionPolicy none() { return {Mode::none, 0}; }
+  static CollusionPolicy fixed(unsigned f) { return {Mode::fixed_f, f}; }
+  static CollusionPolicy conservative() { return {Mode::all_f, 0}; }
+};
+
+}  // namespace gendpr::core

@@ -1,0 +1,124 @@
+#include "gendpr/federation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "crypto/csprng.hpp"
+#include "net/network.hpp"
+#include "tee/attestation.hpp"
+
+namespace gendpr::core {
+
+using common::Result;
+
+Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
+                                        const FederationSpec& spec) {
+  if (spec.num_gdos == 0) {
+    return common::make_error(common::Errc::invalid_argument,
+                              "federation needs at least one GDO");
+  }
+  common::Rng sim_rng(spec.seed);
+
+  // Deployment-wide attestation root and per-GDO platforms.
+  std::array<std::uint8_t, 32> authority_seed{};
+  for (auto& b : authority_seed) b = static_cast<std::uint8_t>(sim_rng.next());
+  crypto::Csprng authority_rng(authority_seed);
+  tee::QuotingAuthority authority =
+      tee::QuotingAuthority::with_random_key(authority_rng);
+
+  std::vector<std::unique_ptr<tee::Platform>> platforms;
+  platforms.reserve(spec.num_gdos);
+  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    std::array<std::uint8_t, 32> platform_seed{};
+    for (auto& b : platform_seed) {
+      b = static_cast<std::uint8_t>(sim_rng.next());
+    }
+    platforms.push_back(std::make_unique<tee::Platform>(
+        g + 1, authority, crypto::Csprng(platform_seed), spec.epc_limit));
+  }
+
+  // Random leader election (§5.2 pre-processing step 1).
+  const std::uint32_t leader_gdo =
+      static_cast<std::uint32_t>(sim_rng.uniform_int(spec.num_gdos));
+  common::log_info("federation", "elected leader gdo ", leader_gdo, " of ",
+                   spec.num_gdos);
+
+  // Equal division of case genomes among members (§7).
+  const auto ranges =
+      genome::equal_partition(cohort.cases.num_individuals(), spec.num_gdos);
+
+  StudyAnnounce announce;
+  announce.study_id = spec.seed;
+  announce.num_snps = static_cast<std::uint32_t>(cohort.cases.num_snps());
+  announce.config = spec.config;
+  announce.combinations =
+      Coordinator::build_combinations(spec.num_gdos, spec.policy);
+
+  net::Network network;
+
+  LeaderNode leader(network, *platforms[leader_gdo], leader_gdo,
+                    spec.num_gdos,
+                    cohort.cases.slice_rows(ranges[leader_gdo].first,
+                                            ranges[leader_gdo].second),
+                    cohort.controls, announce);
+
+  std::vector<std::unique_ptr<MemberNode>> members;
+  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    if (g == leader_gdo) continue;
+    members.push_back(std::make_unique<MemberNode>(
+        network, *platforms[g], g, leader_gdo,
+        cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+  }
+  // A member that failed at construction (EPC limit) would never handshake
+  // and the leader would wait forever - surface the error up front.
+  for (const auto& member : members) {
+    if (!member->status().ok()) return member->status().error();
+  }
+  for (auto& member : members) member->start();
+
+  std::unique_ptr<common::ThreadPool> pool;
+  if (spec.parallel_combinations && announce.combinations.size() > 1) {
+    pool = std::make_unique<common::ThreadPool>();
+  }
+  auto result = leader.run_study(pool.get());
+
+  if (!result.ok()) {
+    // Unblock members still waiting on their mailboxes before joining.
+    for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+      if (g != leader_gdo) network.detach(node_id_of(g));
+    }
+  }
+  for (auto& member : members) member->join();
+  if (!result.ok()) return result;
+
+  // Surface any member-side failure (e.g. tampering detected) even when the
+  // leader finished: a correct run requires every node to have succeeded.
+  for (const auto& member : members) {
+    if (!member->status().ok()) return member->status().error();
+  }
+
+  StudyResult study = std::move(result).take();
+  double member_compute_sum = 0;
+  double member_compute_max = 0;
+  for (const auto& member : members) {
+    member_compute_sum += member->compute_ms();
+    member_compute_max = std::max(member_compute_max, member->compute_ms());
+  }
+  study.modelled_distributed_ms =
+      study.timings.total_ms - member_compute_sum + member_compute_max;
+  std::uint64_t member_peak = 0;
+  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    if (g == leader_gdo) {
+      study.epc_peak_leader = platforms[g]->epc().peak();
+    } else {
+      member_peak = std::max(member_peak, platforms[g]->epc().peak());
+    }
+  }
+  study.epc_peak_members_max = member_peak;
+  return study;
+}
+
+}  // namespace gendpr::core

@@ -1,0 +1,35 @@
+// One-call federation runner: wires up the network fabric, quoting
+// authority, per-GDO platforms and nodes, elects a leader, runs the study,
+// and tears everything down. This is the public entry point the examples,
+// integration tests, and benchmark harness build on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "gendpr/config.hpp"
+#include "gendpr/node.hpp"
+#include "genome/cohort.hpp"
+
+namespace gendpr::core {
+
+struct FederationSpec {
+  std::uint32_t num_gdos = 3;
+  StudyConfig config;
+  CollusionPolicy policy = CollusionPolicy::none();
+  /// Seeds leader election and all simulation crypto (deterministic runs).
+  std::uint64_t seed = 7;
+  /// Simulated EPC limit per platform.
+  std::uint64_t epc_limit = tee::EpcMeter::kDefaultLimitBytes;
+  /// Evaluate per-combination LR selections in parallel inside the leader
+  /// enclave (§5.6: "efficiently conducted in parallel").
+  bool parallel_combinations = true;
+};
+
+/// Runs a full federated GenDPR study over `cohort`: case genomes are split
+/// equally among `spec.num_gdos` GDOs; the control population serves as the
+/// public reference panel. Blocking; returns when all nodes finished.
+common::Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
+                                                const FederationSpec& spec);
+
+}  // namespace gendpr::core

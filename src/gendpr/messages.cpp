@@ -1,0 +1,286 @@
+#include "gendpr/messages.hpp"
+
+#include "wire/serialize.hpp"
+
+namespace gendpr::core {
+
+using common::Errc;
+using common::make_error;
+using common::Result;
+
+namespace {
+
+common::Error trailing() {
+  return make_error(Errc::bad_message, "trailing bytes after message");
+}
+
+void write_config(wire::Writer& w, const StudyConfig& config) {
+  w.f64(config.maf_cutoff);
+  w.f64(config.ld_cutoff);
+  w.f64(config.lr_false_positive_rate);
+  w.f64(config.lr_power_threshold);
+}
+
+Result<StudyConfig> read_config(wire::Reader& r) {
+  StudyConfig config;
+  for (double* field : {&config.maf_cutoff, &config.ld_cutoff,
+                        &config.lr_false_positive_rate,
+                        &config.lr_power_threshold}) {
+    auto v = r.f64();
+    if (!v.ok()) return v.error();
+    *field = v.value();
+  }
+  return config;
+}
+
+void write_matrix(wire::Writer& w, const stats::LrMatrix& m) {
+  w.u32(static_cast<std::uint32_t>(m.rows()));
+  w.u32(static_cast<std::uint32_t>(m.cols()));
+  for (double v : m.values()) w.f64(v);
+}
+
+Result<stats::LrMatrix> read_matrix(wire::Reader& r) {
+  auto rows = r.u32();
+  if (!rows.ok()) return rows.error();
+  auto cols = r.u32();
+  if (!cols.ok()) return cols.error();
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(rows.value()) * cols.value();
+  if (cells > r.remaining() / 8) {
+    return make_error(Errc::bad_message, "LR matrix body truncated");
+  }
+  stats::LrMatrix m(rows.value(), cols.value());
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    m.values()[i] = r.f64().value();  // size pre-validated
+  }
+  return m;
+}
+
+}  // namespace
+
+common::Bytes StudyAnnounce::serialize() const {
+  wire::Writer w;
+  w.u64(study_id);
+  w.u32(num_snps);
+  write_config(w, config);
+  w.varint(combinations.size());
+  for (const auto& combination : combinations) {
+    w.vector_u32(combination);
+  }
+  return std::move(w).take();
+}
+
+Result<StudyAnnounce> StudyAnnounce::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  StudyAnnounce msg;
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  msg.study_id = id.value();
+  auto snps = r.u32();
+  if (!snps.ok()) return snps.error();
+  msg.num_snps = snps.value();
+  auto config = read_config(r);
+  if (!config.ok()) return config.error();
+  msg.config = config.value();
+  auto count = r.varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto combination = r.vector_u32();
+    if (!combination.ok()) return combination.error();
+    msg.combinations.push_back(std::move(combination).take());
+  }
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes SummaryStats::serialize() const {
+  wire::Writer w;
+  w.vector_u32(case_counts);
+  w.u32(n_case);
+  return std::move(w).take();
+}
+
+Result<SummaryStats> SummaryStats::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  SummaryStats msg;
+  auto counts = r.vector_u32();
+  if (!counts.ok()) return counts.error();
+  msg.case_counts = std::move(counts).take();
+  auto n = r.u32();
+  if (!n.ok()) return n.error();
+  msg.n_case = n.value();
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes Phase1Result::serialize() const {
+  wire::Writer w;
+  w.vector_u32(retained);
+  return std::move(w).take();
+}
+
+Result<Phase1Result> Phase1Result::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  Phase1Result msg;
+  auto retained = r.vector_u32();
+  if (!retained.ok()) return retained.error();
+  msg.retained = std::move(retained).take();
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes MomentsRequest::serialize() const {
+  wire::Writer w;
+  w.u32(request_id);
+  w.u32(snp_a);
+  w.u32(snp_b);
+  return std::move(w).take();
+}
+
+Result<MomentsRequest> MomentsRequest::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  MomentsRequest msg;
+  for (std::uint32_t* field : {&msg.request_id, &msg.snp_a, &msg.snp_b}) {
+    auto v = r.u32();
+    if (!v.ok()) return v.error();
+    *field = v.value();
+  }
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes MomentsResponse::serialize() const {
+  wire::Writer w;
+  w.u32(request_id);
+  w.f64(moments.mu_x);
+  w.f64(moments.mu_y);
+  w.f64(moments.mu_xy);
+  w.f64(moments.mu_x2);
+  w.f64(moments.mu_y2);
+  w.u64(moments.n);
+  return std::move(w).take();
+}
+
+Result<MomentsResponse> MomentsResponse::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  MomentsResponse msg;
+  auto id = r.u32();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  for (double* field : {&msg.moments.mu_x, &msg.moments.mu_y,
+                        &msg.moments.mu_xy, &msg.moments.mu_x2,
+                        &msg.moments.mu_y2}) {
+    auto v = r.f64();
+    if (!v.ok()) return v.error();
+    *field = v.value();
+  }
+  auto n = r.u64();
+  if (!n.ok()) return n.error();
+  msg.moments.n = n.value();
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes Phase2Result::serialize() const {
+  wire::Writer w;
+  w.vector_u32(retained);
+  w.vector_f64(reference_freq);
+  w.varint(case_freq_per_combination.size());
+  for (const auto& freq : case_freq_per_combination) {
+    w.vector_f64(freq);
+  }
+  return std::move(w).take();
+}
+
+Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  Phase2Result msg;
+  auto retained = r.vector_u32();
+  if (!retained.ok()) return retained.error();
+  msg.retained = std::move(retained).take();
+  auto ref_freq = r.vector_f64();
+  if (!ref_freq.ok()) return ref_freq.error();
+  msg.reference_freq = std::move(ref_freq).take();
+  auto count = r.varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto freq = r.vector_f64();
+    if (!freq.ok()) return freq.error();
+    msg.case_freq_per_combination.push_back(std::move(freq).take());
+  }
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes LrMatrices::serialize() const {
+  wire::Writer w;
+  w.varint(entries.size());
+  for (const Entry& entry : entries) {
+    w.u32(entry.combination_id);
+    write_matrix(w, entry.matrix);
+  }
+  return std::move(w).take();
+}
+
+Result<LrMatrices> LrMatrices::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  LrMatrices msg;
+  auto count = r.varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    Entry entry;
+    auto id = r.u32();
+    if (!id.ok()) return id.error();
+    entry.combination_id = id.value();
+    auto matrix = read_matrix(r);
+    if (!matrix.ok()) return matrix.error();
+    entry.matrix = std::move(matrix).take();
+    msg.entries.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes Phase3Result::serialize() const {
+  wire::Writer w;
+  w.vector_u32(safe);
+  w.f64(final_power);
+  return std::move(w).take();
+}
+
+Result<Phase3Result> Phase3Result::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  Phase3Result msg;
+  auto safe = r.vector_u32();
+  if (!safe.ok()) return safe.error();
+  msg.safe = std::move(safe).take();
+  auto power = r.f64();
+  if (!power.ok()) return power.error();
+  msg.final_power = power.value();
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
+common::Bytes envelope(MsgType type, common::BytesView body) {
+  common::Bytes out;
+  out.reserve(1 + body.size());
+  out.push_back(static_cast<std::uint8_t>(type));
+  common::append(out, body);
+  return out;
+}
+
+Result<std::pair<MsgType, common::Bytes>> open_envelope(
+    common::BytesView data) {
+  if (data.empty()) {
+    return make_error(Errc::bad_message, "empty envelope");
+  }
+  const std::uint8_t tag = data[0];
+  if (tag < static_cast<std::uint8_t>(MsgType::study_announce) ||
+      tag > static_cast<std::uint8_t>(MsgType::phase3_result)) {
+    return make_error(Errc::bad_message, "unknown message type");
+  }
+  return std::make_pair(static_cast<MsgType>(tag),
+                        common::Bytes(data.begin() + 1, data.end()));
+}
+
+}  // namespace gendpr::core

@@ -1,0 +1,127 @@
+// Protocol messages exchanged between GenDPR enclaves.
+//
+// Every message travels as plaintext only *inside* enclaves: hosts see the
+// serialized form already sealed into a SecureChannel record. The envelope
+// is one type byte followed by the message body; deserialization is fully
+// bounds-checked (wire::Reader) and rejects trailing garbage, so malformed
+// or truncated inputs from a compromised host surface as bad_message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "gendpr/config.hpp"
+#include "stats/ld.hpp"
+#include "stats/lr_test.hpp"
+
+namespace gendpr::core {
+
+enum class MsgType : std::uint8_t {
+  study_announce = 1,
+  summary_stats = 2,
+  phase1_result = 3,
+  moments_request = 4,
+  moments_response = 5,
+  phase2_result = 6,
+  lr_matrices = 7,
+  phase3_result = 8,
+};
+
+/// Leader -> members: study parameters and the combination table for the
+/// configured collusion policy. combinations[i] lists the GDO indices whose
+/// data forms honest-subset i; members compute per-combination artifacts for
+/// the combinations containing them.
+struct StudyAnnounce {
+  std::uint64_t study_id = 0;
+  std::uint32_t num_snps = 0;
+  StudyConfig config;
+  std::vector<std::vector<std::uint32_t>> combinations;
+
+  common::Bytes serialize() const;
+  static common::Result<StudyAnnounce> deserialize(common::BytesView data);
+};
+
+/// Member -> leader: local allele-count vector over L_des and local case
+/// population size (§5.2's caseLocalCounts / N^case_g).
+struct SummaryStats {
+  std::vector<std::uint32_t> case_counts;
+  std::uint32_t n_case = 0;
+
+  common::Bytes serialize() const;
+  static common::Result<SummaryStats> deserialize(common::BytesView data);
+};
+
+/// Leader -> members: SNPs retained by the (intersected) MAF analysis.
+struct Phase1Result {
+  std::vector<std::uint32_t> retained;  // L'
+
+  common::Bytes serialize() const;
+  static common::Result<Phase1Result> deserialize(common::BytesView data);
+};
+
+/// Leader -> members: request for the correlation moments of one SNP pair
+/// (Phase 2 inner loop). Pairs are requested once and cached per GDO at the
+/// leader; combination walks aggregate cached per-GDO moments.
+struct MomentsRequest {
+  std::uint32_t request_id = 0;
+  std::uint32_t snp_a = 0;
+  std::uint32_t snp_b = 0;
+
+  common::Bytes serialize() const;
+  static common::Result<MomentsRequest> deserialize(common::BytesView data);
+};
+
+/// Member -> leader: the five additive moments plus local population size.
+struct MomentsResponse {
+  std::uint32_t request_id = 0;
+  stats::LdMoments moments;
+
+  common::Bytes serialize() const;
+  static common::Result<MomentsResponse> deserialize(common::BytesView data);
+};
+
+/// Leader -> members: SNPs retained after LD pruning plus the global allele
+/// frequency vectors needed to build correct LR matrices (paper Fig. 4 step
+/// 1): one case-frequency vector per combination and the reference vector.
+struct Phase2Result {
+  std::vector<std::uint32_t> retained;  // L''
+  std::vector<double> reference_freq;   // over L''
+  std::vector<std::vector<double>> case_freq_per_combination;  // over L''
+
+  common::Bytes serialize() const;
+  static common::Result<Phase2Result> deserialize(common::BytesView data);
+};
+
+/// Member -> leader: local LR matrices, one per combination that includes
+/// this GDO, each built with that combination's frequency vector.
+struct LrMatrices {
+  struct Entry {
+    std::uint32_t combination_id = 0;
+    stats::LrMatrix matrix;
+  };
+  std::vector<Entry> entries;
+
+  common::Bytes serialize() const;
+  static common::Result<LrMatrices> deserialize(common::BytesView data);
+};
+
+/// Leader -> members: the final safe SNP set (intersection over
+/// combinations) and the residual adversary power observed.
+struct Phase3Result {
+  std::vector<std::uint32_t> safe;  // L_safe
+  double final_power = 0.0;
+
+  common::Bytes serialize() const;
+  static common::Result<Phase3Result> deserialize(common::BytesView data);
+};
+
+/// Frames a message with its type tag.
+common::Bytes envelope(MsgType type, common::BytesView body);
+
+/// Splits an envelope into its type and body view.
+common::Result<std::pair<MsgType, common::Bytes>> open_envelope(
+    common::BytesView data);
+
+}  // namespace gendpr::core

@@ -1,0 +1,402 @@
+#include "gendpr/node.hpp"
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace gendpr::core {
+
+using common::Errc;
+using common::make_error;
+using common::Result;
+using common::Status;
+using common::Stopwatch;
+
+// ---------------------------------------------------------------------------
+// MemberNode
+// ---------------------------------------------------------------------------
+
+MemberNode::MemberNode(net::Transport& network, tee::Platform& platform,
+                       std::uint32_t gdo_index, std::uint32_t leader_gdo,
+                       genome::GenotypeMatrix cases)
+    : network_(&network),
+      mailbox_(network.attach(node_id_of(gdo_index))),
+      gdo_index_(gdo_index),
+      leader_gdo_(leader_gdo),
+      enclave_(platform, gdo_index) {
+  const Status provisioned = enclave_.provision_dataset(std::move(cases));
+  if (!provisioned.ok()) status_ = provisioned;
+}
+
+MemberNode::~MemberNode() {
+  network_->detach(node_id_of(gdo_index_));
+  if (thread_.joinable()) thread_.join();
+}
+
+void MemberNode::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void MemberNode::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void MemberNode::run() {
+  if (!status_.ok()) return;
+
+  // Attested handshake: member initiates toward the leader's enclave.
+  channel_ = enclave_.channel_to(trusted_module_measurement(),
+                                 /*initiator=*/true);
+  network_->send(node_id_of(gdo_index_), node_id_of(leader_gdo_),
+                 channel_->handshake_message());
+  const auto leader_handshake = mailbox_->receive();
+  if (!leader_handshake.has_value()) {
+    status_ = make_error(Errc::state_violation, "mailbox closed in handshake");
+    return;
+  }
+  if (Status s = channel_->complete(leader_handshake->payload); !s.ok()) {
+    status_ = s;
+    return;
+  }
+  common::log_debug("member", "gdo ", gdo_index_, " channel established");
+
+  // Serve phase requests until the study completes.
+  while (!enclave_.study_complete()) {
+    const auto envelope_msg = mailbox_->receive();
+    if (!envelope_msg.has_value()) {
+      status_ = make_error(Errc::state_violation, "mailbox closed mid-study");
+      return;
+    }
+    auto plaintext = channel_->open(envelope_msg->payload);
+    if (!plaintext.ok()) {
+      status_ = plaintext.error();
+      return;
+    }
+    auto opened = open_envelope(plaintext.value());
+    if (!opened.ok()) {
+      status_ = opened.error();
+      return;
+    }
+    const auto& [type, body] = opened.value();
+
+    auto reply = [&](MsgType reply_type,
+                     common::BytesView reply_body) -> Status {
+      auto record = channel_->seal(envelope(reply_type, reply_body));
+      if (!record.ok()) return record.error();
+      return network_->send(node_id_of(gdo_index_), node_id_of(leader_gdo_),
+                            std::move(record).take());
+    };
+
+    switch (type) {
+      case MsgType::study_announce: {
+        auto announce = StudyAnnounce::deserialize(body);
+        if (!announce.ok()) {
+          status_ = announce.error();
+          return;
+        }
+        if (Status s = enclave_.on_study_announce(announce.value()); !s.ok()) {
+          status_ = s;
+          return;
+        }
+        const Stopwatch compute_watch;
+        const SummaryStats stats = enclave_.make_summary_stats();
+        compute_ms_ += compute_watch.elapsed_ms();
+        if (Status s = reply(MsgType::summary_stats, stats.serialize());
+            !s.ok()) {
+          status_ = s;
+          return;
+        }
+        break;
+      }
+      case MsgType::phase1_result: {
+        auto result = Phase1Result::deserialize(body);
+        if (!result.ok()) {
+          status_ = result.error();
+          return;
+        }
+        if (Status s = enclave_.on_phase1(result.value()); !s.ok()) {
+          status_ = s;
+          return;
+        }
+        break;
+      }
+      case MsgType::moments_request: {
+        auto request = MomentsRequest::deserialize(body);
+        if (!request.ok()) {
+          status_ = request.error();
+          return;
+        }
+        const Stopwatch compute_watch;
+        auto response = enclave_.on_moments_request(request.value());
+        compute_ms_ += compute_watch.elapsed_ms();
+        if (!response.ok()) {
+          status_ = response.error();
+          return;
+        }
+        if (Status s = reply(MsgType::moments_response,
+                             response.value().serialize());
+            !s.ok()) {
+          status_ = s;
+          return;
+        }
+        break;
+      }
+      case MsgType::phase2_result: {
+        auto result = Phase2Result::deserialize(body);
+        if (!result.ok()) {
+          status_ = result.error();
+          return;
+        }
+        const Stopwatch compute_watch;
+        auto matrices = enclave_.on_phase2(result.value());
+        compute_ms_ += compute_watch.elapsed_ms();
+        if (!matrices.ok()) {
+          status_ = matrices.error();
+          return;
+        }
+        if (Status s = reply(MsgType::lr_matrices,
+                             matrices.value().serialize());
+            !s.ok()) {
+          status_ = s;
+          return;
+        }
+        break;
+      }
+      case MsgType::phase3_result: {
+        auto result = Phase3Result::deserialize(body);
+        if (!result.ok()) {
+          status_ = result.error();
+          return;
+        }
+        if (Status s = enclave_.on_phase3(result.value()); !s.ok()) {
+          status_ = s;
+          return;
+        }
+        break;
+      }
+      default:
+        status_ = make_error(Errc::bad_message, "unexpected message type");
+        return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LeaderNode
+// ---------------------------------------------------------------------------
+
+LeaderNode::LeaderNode(net::Transport& network, tee::Platform& platform,
+                       std::uint32_t gdo_index, std::uint32_t num_gdos,
+                       genome::GenotypeMatrix cases,
+                       genome::GenotypeMatrix reference,
+                       StudyAnnounce announce)
+    : network_(&network),
+      mailbox_(network.attach(node_id_of(gdo_index))),
+      gdo_index_(gdo_index),
+      num_gdos_(num_gdos),
+      enclave_(platform, gdo_index),
+      coordinator_(enclave_, std::move(reference), num_gdos,
+                   std::move(announce)),
+      channels_(num_gdos) {
+  // Provisioning failures (EPC limit) surface from run_study, which checks
+  // that the dataset is present before announcing.
+  provision_status_ = enclave_.provision_dataset(std::move(cases));
+}
+
+Status LeaderNode::establish_channels() {
+  std::size_t pending = num_gdos_ - 1;
+  while (pending > 0) {
+    const auto handshake = mailbox_->receive();
+    if (!handshake.has_value()) {
+      return make_error(Errc::state_violation, "mailbox closed in handshake");
+    }
+    const std::uint32_t member = handshake->from - 1;
+    if (member >= num_gdos_ || member == gdo_index_) {
+      return make_error(Errc::unknown_peer, "handshake from unknown node");
+    }
+    auto channel = enclave_.channel_to(trusted_module_measurement(),
+                                       /*initiator=*/false);
+    if (Status s = channel->complete(handshake->payload); !s.ok()) return s;
+    if (Status s = network_->send(node_id_of(gdo_index_), handshake->from,
+                                  channel->handshake_message());
+        !s.ok()) {
+      return s;
+    }
+    channels_[member] = std::move(channel);
+    --pending;
+  }
+  return Status::success();
+}
+
+Status LeaderNode::send_to(std::uint32_t gdo_index, MsgType type,
+                           common::BytesView body) {
+  auto record = channels_[gdo_index]->seal(envelope(type, body));
+  if (!record.ok()) return record.error();
+  return network_->send(node_id_of(gdo_index_), node_id_of(gdo_index),
+                        std::move(record).take());
+}
+
+Status LeaderNode::broadcast(MsgType type, common::BytesView body) {
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (g == gdo_index_) continue;
+    if (Status s = send_to(g, type, body); !s.ok()) return s;
+  }
+  return Status::success();
+}
+
+Result<std::pair<std::uint32_t, common::Bytes>> LeaderNode::receive_record() {
+  const auto envelope_msg = mailbox_->receive();
+  if (!envelope_msg.has_value()) {
+    return make_error(Errc::state_violation, "mailbox closed mid-study");
+  }
+  const std::uint32_t member = envelope_msg->from - 1;
+  if (member >= num_gdos_ || channels_[member] == nullptr) {
+    return make_error(Errc::unknown_peer, "record from unknown node");
+  }
+  auto plaintext = channels_[member]->open(envelope_msg->payload);
+  if (!plaintext.ok()) return plaintext.error();
+  return std::make_pair(member, std::move(plaintext).take());
+}
+
+Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
+  const Stopwatch total_watch;
+  PhaseTimings timings;
+
+  if (!provision_status_.ok()) return provision_status_.error();
+  if (Status s = establish_channels(); !s.ok()) return s.error();
+
+  // --- Announce + Phase 1 input gathering ("Data Aggregation"). ---
+  Stopwatch aggregation_watch;
+  if (Status s = broadcast(MsgType::study_announce,
+                           coordinator_.announce().serialize());
+      !s.ok()) {
+    return s.error();
+  }
+  std::size_t summaries_pending = num_gdos_ - 1;
+  while (summaries_pending > 0) {
+    auto record = receive_record();
+    if (!record.ok()) return record.error();
+    auto opened = open_envelope(record.value().second);
+    if (!opened.ok()) return opened.error();
+    if (opened.value().first != MsgType::summary_stats) {
+      return make_error(Errc::state_violation, "expected summary stats");
+    }
+    auto stats = SummaryStats::deserialize(opened.value().second);
+    if (!stats.ok()) return stats.error();
+    if (Status s = coordinator_.add_summary(record.value().first,
+                                            stats.value());
+        !s.ok()) {
+      return s.error();
+    }
+    --summaries_pending;
+  }
+  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+
+  // --- Phase 1: MAF analysis ("Indexing/Sorting/AlleleFreq."). ---
+  Stopwatch indexing_watch;
+  auto phase1 = coordinator_.run_maf_phase();
+  if (!phase1.ok()) return phase1.error();
+  timings.indexing_ms += indexing_watch.elapsed_ms();
+
+  aggregation_watch.restart();
+  if (Status s = broadcast(MsgType::phase1_result,
+                           phase1.value().serialize());
+      !s.ok()) {
+    return s.error();
+  }
+  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+
+  // --- Phase 2: LD analysis. ---
+  fetch_wait_ms_ = 0;
+  Stopwatch ld_watch;
+  auto fetch = [this](const MomentsRequest& request)
+      -> std::vector<std::optional<stats::LdMoments>> {
+    const Stopwatch fetch_watch;
+    std::vector<std::optional<stats::LdMoments>> per_gdo(num_gdos_);
+    const common::Bytes body = request.serialize();
+    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+      if (g == gdo_index_) continue;
+      const Status s = send_to(g, MsgType::moments_request, body);
+      if (!s.ok()) {
+        common::log_error("leader", "moments request failed: ",
+                          s.error().to_string());
+        return per_gdo;
+      }
+    }
+    std::size_t pending = num_gdos_ - 1;
+    while (pending > 0) {
+      auto record = receive_record();
+      if (!record.ok()) return per_gdo;
+      auto opened = open_envelope(record.value().second);
+      if (!opened.ok() || opened.value().first != MsgType::moments_response) {
+        return per_gdo;
+      }
+      auto response = MomentsResponse::deserialize(opened.value().second);
+      if (!response.ok()) return per_gdo;
+      per_gdo[record.value().first] = response.value().moments;
+      --pending;
+    }
+    fetch_wait_ms_ += fetch_watch.elapsed_ms();
+    return per_gdo;
+  };
+  auto phase2 = coordinator_.run_ld_phase(fetch);
+  if (!phase2.ok()) return phase2.error();
+  timings.ld_ms += ld_watch.elapsed_ms() - fetch_wait_ms_;
+  timings.aggregation_ms += fetch_wait_ms_;
+
+  aggregation_watch.restart();
+  if (Status s = broadcast(MsgType::phase2_result,
+                           phase2.value().serialize());
+      !s.ok()) {
+    return s.error();
+  }
+
+  // --- Phase 3: gather LR matrices, select, broadcast. ---
+  std::size_t matrices_pending = num_gdos_ - 1;
+  while (matrices_pending > 0) {
+    auto record = receive_record();
+    if (!record.ok()) return record.error();
+    auto opened = open_envelope(record.value().second);
+    if (!opened.ok()) return opened.error();
+    if (opened.value().first != MsgType::lr_matrices) {
+      return make_error(Errc::state_violation, "expected LR matrices");
+    }
+    auto matrices = LrMatrices::deserialize(opened.value().second);
+    if (!matrices.ok()) return matrices.error();
+    if (Status s = coordinator_.add_lr_matrices(record.value().first,
+                                                matrices.value());
+        !s.ok()) {
+      return s.error();
+    }
+    --matrices_pending;
+  }
+  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+
+  Stopwatch lr_watch;
+  auto phase3 = coordinator_.run_lr_phase(pool);
+  if (!phase3.ok()) return phase3.error();
+  timings.lr_ms += lr_watch.elapsed_ms();
+
+  aggregation_watch.restart();
+  if (Status s = broadcast(MsgType::phase3_result,
+                           phase3.value().serialize());
+      !s.ok()) {
+    return s.error();
+  }
+  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+  timings.total_ms = total_watch.elapsed_ms();
+
+  StudyResult result;
+  result.outcome = coordinator_.outcome();
+  result.timings = timings;
+  result.leader_gdo = gdo_index_;
+  result.num_combinations = coordinator_.announce().combinations.size();
+  result.ld_pairs_fetched = coordinator_.ld_pairs_fetched();
+  if (net::TrafficMeter* meter = network_->meter_or_null()) {
+    result.network_bytes_total = meter->total_bytes();
+    result.leader_bytes_received =
+        meter->bytes_received_by(node_id_of(gdo_index_));
+  }
+  return result;
+}
+
+}  // namespace gendpr::core

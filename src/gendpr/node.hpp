@@ -1,0 +1,130 @@
+// Untrusted host processes of the federation.
+//
+// A host owns a platform's enclave object but sees only sealed blobs and
+// SecureChannel ciphertext; every protocol decision happens inside
+// gendpr/trusted.hpp. `MemberNode` services the leader's requests on its own
+// thread; `LeaderNode` drives the three phases and produces the study result
+// with the per-phase timing breakdown of the paper's Figures 5-6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gendpr/trusted.hpp"
+#include "net/network.hpp"
+#include "tee/enclave.hpp"
+
+namespace gendpr::core {
+
+/// Network node id of GDO `gdo_index` (0 is reserved).
+inline net::NodeId node_id_of(std::uint32_t gdo_index) {
+  return gdo_index + 1;
+}
+
+/// Per-phase CPU/wall time breakdown, matching the stacked categories of the
+/// paper's Figures 5-6.
+struct PhaseTimings {
+  double aggregation_ms = 0;  // "Data Aggregation": transfer + decrypt + merge
+  double indexing_ms = 0;     // "Indexing/Sorting/AlleleFreq.": MAF phase math
+  double ld_ms = 0;           // "LD analysis"
+  double lr_ms = 0;           // "LR-test analysis"
+  double total_ms = 0;        // end-to-end including setup
+};
+
+struct StudyResult {
+  SelectionOutcome outcome;
+  PhaseTimings timings;
+  /// Wall time modelled for a real multi-host deployment: members compute
+  /// concurrently there, so serialized member compute collapses to the
+  /// slowest member: total - sum(member compute) + max(member compute).
+  /// On a single-core simulation host total_ms serializes everything.
+  double modelled_distributed_ms = 0;
+  std::uint32_t leader_gdo = 0;
+  std::size_t num_combinations = 0;
+  std::size_t ld_pairs_fetched = 0;
+  std::uint64_t network_bytes_total = 0;
+  std::uint64_t leader_bytes_received = 0;
+  std::uint64_t epc_peak_leader = 0;
+  std::uint64_t epc_peak_members_max = 0;
+};
+
+/// Non-leader GDO host: handshakes with the leader, then answers phase
+/// requests until the study completes (or its mailbox closes).
+class MemberNode {
+ public:
+  MemberNode(net::Transport& network, tee::Platform& platform,
+             std::uint32_t gdo_index, std::uint32_t leader_gdo,
+             genome::GenotypeMatrix cases);
+  ~MemberNode();
+
+  MemberNode(const MemberNode&) = delete;
+  MemberNode& operator=(const MemberNode&) = delete;
+
+  /// Starts the service thread.
+  void start();
+  /// Waits for the service thread to finish (after phase 3 or close).
+  void join();
+
+  const GdoEnclave& enclave() const noexcept { return enclave_; }
+  /// Error encountered by the service loop, if any.
+  const common::Status& status() const noexcept { return status_; }
+
+  /// CPU time this member spent computing protocol artifacts (summary
+  /// stats, LD moments, LR matrices). On a real multi-host deployment this
+  /// work overlaps across members; the single-host runner uses it to model
+  /// the distributed wall time (StudyResult::modelled_distributed_ms).
+  double compute_ms() const noexcept { return compute_ms_; }
+
+ private:
+  void run();
+
+  net::Transport* network_;
+  std::shared_ptr<net::Mailbox> mailbox_;
+  std::uint32_t gdo_index_;
+  std::uint32_t leader_gdo_;
+  GdoEnclave enclave_;
+  std::unique_ptr<tee::SecureChannel> channel_;
+  std::thread thread_;
+  common::Status status_;
+  double compute_ms_ = 0;
+};
+
+/// Leader GDO host: establishes channels to all members, then drives the
+/// three-phase protocol and collects the result.
+class LeaderNode {
+ public:
+  LeaderNode(net::Transport& network, tee::Platform& platform,
+             std::uint32_t gdo_index, std::uint32_t num_gdos,
+             genome::GenotypeMatrix cases, genome::GenotypeMatrix reference,
+             StudyAnnounce announce);
+
+  /// Runs the full study. `pool` parallelizes per-combination evaluation in
+  /// the LR phase (nullptr = serial).
+  common::Result<StudyResult> run_study(common::ThreadPool* pool);
+
+  const GdoEnclave& enclave() const noexcept { return enclave_; }
+
+ private:
+  common::Status establish_channels();
+  common::Status send_to(std::uint32_t gdo_index, MsgType type,
+                         common::BytesView body);
+  common::Status broadcast(MsgType type, common::BytesView body);
+  /// Blocks for the next record from any member; returns (gdo_index, body).
+  common::Result<std::pair<std::uint32_t, common::Bytes>> receive_record();
+
+  net::Transport* network_;
+  std::shared_ptr<net::Mailbox> mailbox_;
+  std::uint32_t gdo_index_;
+  std::uint32_t num_gdos_;
+  GdoEnclave enclave_;
+  Coordinator coordinator_;
+  std::vector<std::unique_ptr<tee::SecureChannel>> channels_;  // per GDO
+  common::Status provision_status_;
+  double fetch_wait_ms_ = 0;  // time spent gathering member responses
+};
+
+}  // namespace gendpr::core

@@ -1,0 +1,115 @@
+#include "gendpr/release.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/association.hpp"
+#include "stats/dp.hpp"
+
+namespace gendpr::core {
+
+namespace {
+
+ReleaseRow exact_row(std::uint32_t snp, std::uint32_t case_count,
+                     std::uint64_t n_case, std::uint32_t control_count,
+                     std::uint64_t n_control) {
+  ReleaseRow row;
+  row.snp = snp;
+  row.noise_free = true;
+  row.case_count = case_count;
+  row.control_count = control_count;
+  row.maf = stats::minor_allele_frequency(case_count + control_count,
+                                          n_case + n_control);
+  const stats::SinglewiseTable table{case_count, n_case, control_count,
+                                     n_control};
+  row.chi2 = stats::chi2_statistic(table);
+  row.p_value = stats::chi2_p_value(table);
+  return row;
+}
+
+ReleaseRow noisy_row(std::uint32_t snp, double case_count, double n_case,
+                     double control_count, double n_control) {
+  ReleaseRow row;
+  row.snp = snp;
+  row.noise_free = false;
+  row.case_count = case_count;
+  row.control_count = control_count;
+  // Statistics recomputed from the perturbed counts, clamped to the valid
+  // domain (noise can push counts slightly negative).
+  const double cc = std::clamp(case_count, 0.0, n_case);
+  const double kc = std::clamp(control_count, 0.0, n_control);
+  row.maf = (cc + kc) / (n_case + n_control);
+  const stats::SinglewiseTable table{
+      static_cast<std::uint64_t>(std::llround(cc)),
+      static_cast<std::uint64_t>(n_case),
+      static_cast<std::uint64_t>(std::llround(kc)),
+      static_cast<std::uint64_t>(n_control)};
+  row.chi2 = stats::chi2_statistic(table);
+  row.p_value = stats::chi2_p_value(table);
+  return row;
+}
+
+}  // namespace
+
+Release build_release(const genome::GenotypeMatrix& cases,
+                      const genome::GenotypeMatrix& controls,
+                      const std::vector<std::uint32_t>& safe,
+                      const ReleaseOptions& options) {
+  Release release;
+  const std::uint64_t n_case = cases.num_individuals();
+  const std::uint64_t n_control = controls.num_individuals();
+
+  const auto safe_case_counts = cases.allele_counts(safe);
+  const auto safe_control_counts = controls.allele_counts(safe);
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    release.rows.push_back(exact_row(safe[i], safe_case_counts[i], n_case,
+                                     safe_control_counts[i], n_control));
+  }
+  release.noise_free_count = safe.size();
+
+  if (options.dp_epsilon.has_value()) {
+    std::vector<std::uint32_t> complement;
+    std::size_t cursor = 0;
+    for (std::uint32_t l = 0; l < cases.num_snps(); ++l) {
+      if (cursor < safe.size() && safe[cursor] == l) {
+        ++cursor;
+      } else {
+        complement.push_back(l);
+      }
+    }
+    common::Rng rng(options.dp_seed);
+    const auto raw_case = cases.allele_counts(complement);
+    const auto raw_control = controls.allele_counts(complement);
+    // Each individual affects one count per SNP by at most 1; the per-count
+    // budget is epsilon (case and control counts are disjoint populations).
+    const auto noisy_case = stats::dp_perturb_counts(
+        raw_case, *options.dp_epsilon, 1.0, rng);
+    const auto noisy_control = stats::dp_perturb_counts(
+        raw_control, *options.dp_epsilon, 1.0, rng);
+    for (std::size_t i = 0; i < complement.size(); ++i) {
+      release.rows.push_back(noisy_row(
+          complement[i], noisy_case[i], static_cast<double>(n_case),
+          noisy_control[i], static_cast<double>(n_control)));
+    }
+    release.dp_count = complement.size();
+    std::sort(release.rows.begin(), release.rows.end(),
+              [](const ReleaseRow& a, const ReleaseRow& b) {
+                return a.snp < b.snp;
+              });
+  }
+  return release;
+}
+
+std::string release_to_tsv(const Release& release) {
+  std::ostringstream out;
+  out << "snp\tmode\tcase_count\tcontrol_count\tmaf\tchi2\tp_value\n";
+  for (const ReleaseRow& row : release.rows) {
+    out << row.snp << '\t' << (row.noise_free ? "exact" : "dp") << '\t'
+        << row.case_count << '\t' << row.control_count << '\t' << row.maf
+        << '\t' << row.chi2 << '\t' << row.p_value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gendpr::core

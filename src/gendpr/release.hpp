@@ -1,0 +1,54 @@
+// Release construction: the "open-access GWAS statistics release" of the
+// paper's Figure 1, built after GenDPR has assessed which SNPs are safe.
+//
+// Given aggregate allele counts and the safe SNP set, produces the published
+// rows (allele counts, MAF, chi-squared, p-value) for L_safe, and -
+// implementing the §5.5 hybrid extension - optionally adds DP-perturbed rows
+// for the withheld complement L_des \ L_safe so every desired SNP receives a
+// statistic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "genome/genotype.hpp"
+
+namespace gendpr::core {
+
+struct ReleaseRow {
+  std::uint32_t snp = 0;
+  bool noise_free = true;       // false: DP-perturbed (hybrid release)
+  double case_count = 0;        // exact integer when noise_free
+  double control_count = 0;
+  double maf = 0;               // pooled minor-allele frequency
+  double chi2 = 0;              // association statistic vs control
+  double p_value = 1.0;
+};
+
+struct ReleaseOptions {
+  /// When set, SNPs outside the safe set are published with Laplace noise of
+  /// this epsilon (sensitivity 1 per count); when unset they are withheld.
+  std::optional<double> dp_epsilon;
+  std::uint64_t dp_seed = 1;
+};
+
+struct Release {
+  std::vector<ReleaseRow> rows;     // sorted by SNP index
+  std::size_t noise_free_count = 0;
+  std::size_t dp_count = 0;
+};
+
+/// Builds the release from the case/control populations and the safe set.
+/// `safe` must be sorted (as produced by the protocol).
+Release build_release(const genome::GenotypeMatrix& cases,
+                      const genome::GenotypeMatrix& controls,
+                      const std::vector<std::uint32_t>& safe,
+                      const ReleaseOptions& options = {});
+
+/// Renders the release as a TSV table (header + one row per SNP).
+std::string release_to_tsv(const Release& release);
+
+}  // namespace gendpr::core

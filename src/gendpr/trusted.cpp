@@ -1,0 +1,496 @@
+#include "gendpr/trusted.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/combinatorics.hpp"
+#include "wire/serialize.hpp"
+#include "stats/association.hpp"
+
+namespace gendpr::core {
+
+using common::Errc;
+using common::make_error;
+using common::Result;
+using common::Status;
+
+tee::Measurement trusted_module_measurement() {
+  return tee::measure(kTrustedModuleName, kTrustedModuleVersion);
+}
+
+// ---------------------------------------------------------------------------
+// GdoEnclave
+// ---------------------------------------------------------------------------
+
+GdoEnclave::GdoEnclave(tee::Platform& platform, std::uint32_t gdo_index)
+    : tee::Enclave(platform, kTrustedModuleName, kTrustedModuleVersion),
+      gdo_index_(gdo_index) {}
+
+Status GdoEnclave::provision_dataset(genome::GenotypeMatrix cases) {
+  auto allocation = reserve_epc(cases.storage_bytes());
+  if (!allocation.ok()) return allocation.error();
+  dataset_epc_ = std::move(allocation).take();
+  cases_ = std::move(cases);
+  return Status::success();
+}
+
+Status GdoEnclave::on_study_announce(const StudyAnnounce& announce) {
+  if (announce.num_snps != cases_.num_snps()) {
+    return make_error(Errc::invalid_argument,
+                      "announced SNP count does not match local dataset");
+  }
+  for (const auto& combination : announce.combinations) {
+    if (combination.empty()) {
+      return make_error(Errc::bad_message, "empty combination in announce");
+    }
+  }
+  announce_ = announce;
+  l_prime_.clear();
+  l_double_prime_.clear();
+  l_safe_.clear();
+  study_complete_ = false;
+  return Status::success();
+}
+
+SummaryStats GdoEnclave::make_summary_stats() const {
+  SummaryStats stats;
+  stats.case_counts = cases_.allele_counts();
+  stats.n_case = static_cast<std::uint32_t>(cases_.num_individuals());
+  return stats;
+}
+
+Status GdoEnclave::on_phase1(const Phase1Result& result) {
+  if (!announce_.has_value()) {
+    return make_error(Errc::state_violation, "phase1 before study announce");
+  }
+  for (std::uint32_t snp : result.retained) {
+    if (snp >= announce_->num_snps) {
+      return make_error(Errc::bad_message, "retained SNP out of range");
+    }
+  }
+  l_prime_ = result.retained;
+  return Status::success();
+}
+
+Result<MomentsResponse> GdoEnclave::on_moments_request(
+    const MomentsRequest& request) const {
+  if (!announce_.has_value()) {
+    return make_error(Errc::state_violation,
+                      "moments request before study announce");
+  }
+  if (request.snp_a >= cases_.num_snps() ||
+      request.snp_b >= cases_.num_snps()) {
+    return make_error(Errc::bad_message, "moments request SNP out of range");
+  }
+  MomentsResponse response;
+  response.request_id = request.request_id;
+  response.moments =
+      stats::compute_ld_moments(cases_, request.snp_a, request.snp_b);
+  return response;
+}
+
+Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
+  if (!announce_.has_value()) {
+    return make_error(Errc::state_violation, "phase2 before study announce");
+  }
+  if (result.case_freq_per_combination.size() !=
+      announce_->combinations.size()) {
+    return make_error(Errc::bad_message,
+                      "combination frequency count mismatch");
+  }
+  for (std::uint32_t snp : result.retained) {
+    if (snp >= cases_.num_snps()) {
+      return make_error(Errc::bad_message, "phase2 SNP out of range");
+    }
+  }
+  if (result.reference_freq.size() != result.retained.size()) {
+    return make_error(Errc::bad_message, "reference frequency size mismatch");
+  }
+  l_double_prime_ = result.retained;
+
+  LrMatrices response;
+  for (std::size_t c = 0; c < announce_->combinations.size(); ++c) {
+    const auto& members = announce_->combinations[c];
+    if (std::find(members.begin(), members.end(), gdo_index_) ==
+        members.end()) {
+      continue;  // this GDO's data is not part of combination c
+    }
+    if (result.case_freq_per_combination[c].size() !=
+        result.retained.size()) {
+      return make_error(Errc::bad_message,
+                        "combination frequency size mismatch");
+    }
+    const stats::LrWeights weights = stats::lr_weights(
+        result.case_freq_per_combination[c], result.reference_freq);
+    LrMatrices::Entry entry;
+    entry.combination_id = static_cast<std::uint32_t>(c);
+    entry.matrix = stats::build_lr_matrix(cases_, result.retained, weights);
+    response.entries.push_back(std::move(entry));
+  }
+  return response;
+}
+
+common::Bytes GdoEnclave::seal_study_checkpoint() {
+  wire::Writer w;
+  w.u8(study_complete_ ? 1 : 0);
+  w.vector_u32(l_prime_);
+  w.vector_u32(l_double_prime_);
+  w.vector_u32(l_safe_);
+  return seal(w.buffer());
+}
+
+Status GdoEnclave::restore_study_checkpoint(common::BytesView sealed) {
+  auto plaintext = unseal(sealed);
+  if (!plaintext.ok()) return plaintext.error();
+  wire::Reader r(plaintext.value());
+  auto complete = r.u8();
+  if (!complete.ok()) return complete.error();
+  auto l_prime = r.vector_u32();
+  if (!l_prime.ok()) return l_prime.error();
+  auto l_double_prime = r.vector_u32();
+  if (!l_double_prime.ok()) return l_double_prime.error();
+  auto l_safe = r.vector_u32();
+  if (!l_safe.ok()) return l_safe.error();
+  if (!r.exhausted()) {
+    return make_error(Errc::bad_message, "trailing bytes in checkpoint");
+  }
+  study_complete_ = complete.value() != 0;
+  l_prime_ = std::move(l_prime).take();
+  l_double_prime_ = std::move(l_double_prime).take();
+  l_safe_ = std::move(l_safe).take();
+  return Status::success();
+}
+
+Status GdoEnclave::on_phase3(const Phase3Result& result) {
+  if (!announce_.has_value()) {
+    return make_error(Errc::state_violation, "phase3 before study announce");
+  }
+  l_safe_ = result.safe;
+  study_complete_ = true;
+  return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> intersect_sorted(
+    const std::vector<std::vector<std::uint32_t>>& lists) {
+  if (lists.empty()) return {};
+  std::vector<std::uint32_t> result = lists[0];
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    std::vector<std::uint32_t> next;
+    std::set_intersection(result.begin(), result.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> Coordinator::build_combinations(
+    std::uint32_t num_gdos, const CollusionPolicy& policy) {
+  std::vector<std::vector<std::uint32_t>> combinations;
+  auto add_for_f = [&](unsigned f) {
+    const auto subsets = common::combinations(num_gdos, num_gdos - f);
+    for (const auto& subset : subsets) {
+      std::vector<std::uint32_t> members(subset.begin(), subset.end());
+      combinations.push_back(std::move(members));
+    }
+  };
+  switch (policy.mode) {
+    case CollusionPolicy::Mode::none:
+      add_for_f(0);
+      break;
+    case CollusionPolicy::Mode::fixed_f:
+      add_for_f(std::min<unsigned>(policy.f, num_gdos - 1));
+      break;
+    case CollusionPolicy::Mode::all_f:
+      for (unsigned f = 1; f < num_gdos; ++f) add_for_f(f);
+      break;
+  }
+  return combinations;
+}
+
+struct Coordinator::CombinationInputs {};
+
+namespace {
+/// Thrown by aggregate_pair when a member response is absent; converted to a
+/// protocol error at the run_ld_phase boundary.
+struct MissingMomentsError {
+  std::uint32_t gdo_index;
+};
+}  // namespace
+
+Coordinator::Coordinator(GdoEnclave& leader_enclave,
+                         genome::GenotypeMatrix reference,
+                         std::uint32_t num_gdos, StudyAnnounce announce)
+    : leader_(&leader_enclave),
+      reference_(std::move(reference)),
+      num_gdos_(num_gdos),
+      announce_(std::move(announce)),
+      summaries_(num_gdos),
+      lr_matrices_(announce_.combinations.size()) {
+  reference_counts_ = reference_.allele_counts();
+}
+
+Status Coordinator::add_summary(std::uint32_t gdo_index,
+                                const SummaryStats& stats) {
+  if (gdo_index >= num_gdos_) {
+    return make_error(Errc::unknown_peer, "summary from unknown GDO");
+  }
+  if (stats.case_counts.size() != announce_.num_snps) {
+    return make_error(Errc::bad_message, "summary count vector wrong size");
+  }
+  for (std::uint32_t count : stats.case_counts) {
+    if (count > stats.n_case) {
+      return make_error(Errc::bad_message,
+                        "allele count exceeds population size");
+    }
+  }
+  summaries_[gdo_index] = stats;
+  return Status::success();
+}
+
+bool Coordinator::phase1_ready() const noexcept {
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (g == leader_->gdo_index()) continue;  // leader's summary is local
+    if (!summaries_[g].has_value()) return false;
+  }
+  return true;
+}
+
+Result<Phase1Result> Coordinator::run_maf_phase() {
+  // The leader's own summary enters directly (no network round trip).
+  if (!summaries_[leader_->gdo_index()].has_value()) {
+    summaries_[leader_->gdo_index()] = leader_->make_summary_stats();
+  }
+  if (!phase1_ready()) {
+    return make_error(Errc::state_violation,
+                      "MAF phase before all summaries arrived");
+  }
+  const double cutoff = announce_.config.maf_cutoff;
+  std::vector<std::vector<std::uint32_t>> per_combination;
+  per_combination.reserve(announce_.combinations.size());
+
+  for (const auto& members : announce_.combinations) {
+    std::uint64_t n_total = reference_.num_individuals();
+    for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
+    std::vector<double> maf(announce_.num_snps, 0.0);
+    for (std::uint32_t l = 0; l < announce_.num_snps; ++l) {
+      std::uint64_t count = reference_counts_[l];
+      for (std::uint32_t g : members) count += summaries_[g]->case_counts[l];
+      maf[l] = stats::minor_allele_frequency(count, n_total);
+    }
+    per_combination.push_back(stats::maf_filter(maf, cutoff));
+  }
+
+  l_prime_ = intersect_sorted(per_combination);
+  outcome_.l_prime = l_prime_;
+  Phase1Result result;
+  result.retained = l_prime_;
+  return result;
+}
+
+std::vector<double> Coordinator::combination_case_freq(
+    const std::vector<std::uint32_t>& members,
+    const std::vector<std::uint32_t>& snps) const {
+  std::uint64_t n_total = 0;
+  for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
+  std::vector<double> freq(snps.size(), 0.0);
+  for (std::size_t i = 0; i < snps.size(); ++i) {
+    std::uint64_t count = 0;
+    for (std::uint32_t g : members) {
+      count += summaries_[g]->case_counts[snps[i]];
+    }
+    freq[i] = n_total == 0
+                  ? 0.0
+                  : static_cast<double>(count) / static_cast<double>(n_total);
+  }
+  return freq;
+}
+
+std::vector<double> Coordinator::combination_chi2_p_values(
+    const std::vector<std::uint32_t>& members) const {
+  std::uint64_t n_case = 0;
+  for (std::uint32_t g : members) n_case += summaries_[g]->n_case;
+  const std::uint64_t n_ref = reference_.num_individuals();
+  std::vector<double> p_values(announce_.num_snps, 1.0);
+  for (std::uint32_t l = 0; l < announce_.num_snps; ++l) {
+    std::uint64_t case_minor = 0;
+    for (std::uint32_t g : members) case_minor += summaries_[g]->case_counts[l];
+    const stats::SinglewiseTable table{case_minor, n_case,
+                                       reference_counts_[l], n_ref};
+    p_values[l] = stats::chi2_p_value(table);
+  }
+  return p_values;
+}
+
+stats::LdMoments Coordinator::aggregate_pair(
+    const std::vector<std::uint32_t>& members, std::uint32_t a,
+    std::uint32_t b, const FetchMoments& fetch) {
+  const auto key = std::make_pair(a, b);
+  auto cached = moments_cache_.find(key);
+  if (cached == moments_cache_.end()) {
+    MomentsRequest request;
+    request.request_id = static_cast<std::uint32_t>(moments_cache_.size());
+    request.snp_a = a;
+    request.snp_b = b;
+    std::vector<std::optional<stats::LdMoments>> fetched = fetch(request);
+    fetched.resize(num_gdos_);
+    // The leader computes its own moments locally.
+    fetched[leader_->gdo_index()] =
+        stats::compute_ld_moments(leader_->dataset(), a, b);
+    std::vector<stats::LdMoments> per_gdo(num_gdos_);
+    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+      if (!fetched[g].has_value()) {
+        // A missing member response must abort the phase (converted to a
+        // protocol error in run_ld_phase), never silently skew the
+        // aggregate with zero moments.
+        throw MissingMomentsError{g};
+      }
+      per_gdo[g] = *fetched[g];
+    }
+    cached = moments_cache_.emplace(key, std::move(per_gdo)).first;
+    reference_moments_cache_.emplace(
+        key, stats::compute_ld_moments(reference_, a, b));
+  }
+  stats::LdMoments total = reference_moments_cache_.at(key);
+  for (std::uint32_t g : members) total += cached->second[g];
+  return total;
+}
+
+Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
+  std::vector<std::vector<std::uint32_t>> per_combination;
+  per_combination.reserve(announce_.combinations.size());
+
+  try {
+    for (const auto& members : announce_.combinations) {
+      const std::vector<double> p_values = combination_chi2_p_values(members);
+      auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
+        return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
+      };
+      per_combination.push_back(stats::greedy_ld_prune(
+          l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value));
+    }
+  } catch (const MissingMomentsError& missing) {
+    return make_error(Errc::state_violation,
+                      "LD phase aborted: no moments from GDO " +
+                          std::to_string(missing.gdo_index));
+  }
+
+  l_double_prime_ = intersect_sorted(per_combination);
+  outcome_.l_double_prime = l_double_prime_;
+
+  Phase2Result result;
+  result.retained = l_double_prime_;
+  result.reference_freq.resize(l_double_prime_.size());
+  const std::uint64_t n_ref = reference_.num_individuals();
+  for (std::size_t i = 0; i < l_double_prime_.size(); ++i) {
+    result.reference_freq[i] =
+        n_ref == 0 ? 0.0
+                   : static_cast<double>(
+                         reference_counts_[l_double_prime_[i]]) /
+                         static_cast<double>(n_ref);
+  }
+  for (const auto& members : announce_.combinations) {
+    result.case_freq_per_combination.push_back(
+        combination_case_freq(members, l_double_prime_));
+  }
+  case_freq_per_combination_ = result.case_freq_per_combination;
+  reference_freq_ = result.reference_freq;
+  return result;
+}
+
+Status Coordinator::add_lr_matrices(std::uint32_t gdo_index,
+                                    const LrMatrices& matrices) {
+  if (gdo_index >= num_gdos_) {
+    return make_error(Errc::unknown_peer, "LR matrices from unknown GDO");
+  }
+  for (const auto& entry : matrices.entries) {
+    if (entry.combination_id >= announce_.combinations.size()) {
+      return make_error(Errc::bad_message, "unknown combination id");
+    }
+    const auto& members = announce_.combinations[entry.combination_id];
+    if (std::find(members.begin(), members.end(), gdo_index) ==
+        members.end()) {
+      return make_error(Errc::bad_message,
+                        "LR matrix from GDO outside the combination");
+    }
+    if (entry.matrix.cols() != l_double_prime_.size()) {
+      return make_error(Errc::bad_message, "LR matrix column mismatch");
+    }
+    if (entry.matrix.rows() != summaries_[gdo_index]->n_case) {
+      return make_error(Errc::bad_message, "LR matrix row count mismatch");
+    }
+    lr_matrices_[entry.combination_id][gdo_index] = entry.matrix;
+  }
+  return Status::success();
+}
+
+bool Coordinator::phase3_ready() const noexcept {
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    for (std::uint32_t g : announce_.combinations[c]) {
+      if (g == leader_->gdo_index()) continue;  // computed locally
+      if (lr_matrices_[c].find(g) == lr_matrices_[c].end()) return false;
+    }
+  }
+  return true;
+}
+
+Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
+  if (!phase3_ready()) {
+    return make_error(Errc::state_violation,
+                      "LR phase before all matrices arrived");
+  }
+  const std::size_t num_combinations = announce_.combinations.size();
+  std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
+  std::vector<double> per_combination_power(num_combinations, 0.0);
+
+  auto evaluate = [&](std::size_t c) {
+    const auto& members = announce_.combinations[c];
+    // Leader's own local LR matrix for this combination, if it is a member.
+    const stats::LrWeights weights = stats::lr_weights(
+        case_freq_per_combination_[c], reference_freq_);
+    stats::LrMatrix merged;
+    for (std::uint32_t g : members) {  // ascending GDO order by construction
+      if (g == leader_->gdo_index()) {
+        merged.append_rows(stats::build_lr_matrix(leader_->dataset(),
+                                                  l_double_prime_, weights));
+      } else {
+        merged.append_rows(lr_matrices_[c].at(g));
+      }
+    }
+    const stats::LrMatrix reference_lr =
+        stats::build_lr_matrix(reference_, l_double_prime_, weights);
+    stats::LrSelectionParams params;
+    params.false_positive_rate = announce_.config.lr_false_positive_rate;
+    params.power_threshold = announce_.config.lr_power_threshold;
+    const stats::LrSelectionResult selection =
+        stats::select_safe_snps(merged, reference_lr, params);
+    std::vector<std::uint32_t> safe;
+    safe.reserve(selection.safe_columns.size());
+    for (std::uint32_t column : selection.safe_columns) {
+      safe.push_back(l_double_prime_[column]);
+    }
+    per_combination[c] = std::move(safe);
+    per_combination_power[c] = selection.final_power;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(num_combinations, evaluate);
+  } else {
+    for (std::size_t c = 0; c < num_combinations; ++c) evaluate(c);
+  }
+
+  outcome_.l_safe = intersect_sorted(per_combination);
+  outcome_.final_power = per_combination_power.empty()
+                             ? 0.0
+                             : *std::max_element(per_combination_power.begin(),
+                                                 per_combination_power.end());
+  Phase3Result result;
+  result.safe = outcome_.l_safe;
+  result.final_power = outcome_.final_power;
+  return result;
+}
+
+}  // namespace gendpr::core

@@ -1,0 +1,192 @@
+// Trusted GenDPR modules (run inside the per-GDO enclaves).
+//
+// `GdoEnclave` is the member-side trusted module of Fig. 2: it holds the
+// GDO's local case genotypes (which never leave it in plaintext) and answers
+// the leader's phase requests with intermediate aggregates. `Coordinator` is
+// the leader-side coordination module: it aggregates member inputs with its
+// own local data and the public reference panel, runs the MAF / LD / LR-test
+// decisions per honest-subset combination (§5.6), and intersects the
+// per-combination survivor lists.
+//
+// All methods take and return plaintext protocol messages; the untrusted
+// host (node.hpp) moves only SecureChannel ciphertext. The split mirrors
+// the paper's enclave boundary: decisions happen here, transport out there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gendpr/config.hpp"
+#include "gendpr/messages.hpp"
+#include "genome/genotype.hpp"
+#include "stats/ld.hpp"
+#include "stats/lr_test.hpp"
+#include "tee/enclave.hpp"
+
+namespace gendpr::core {
+
+/// Name/version measured into every GenDPR trusted module. All federation
+/// enclaves must run this exact module to pass mutual attestation.
+inline constexpr const char* kTrustedModuleName = "gendpr.trusted";
+inline constexpr const char* kTrustedModuleVersion = "1.0.0";
+
+tee::Measurement trusted_module_measurement();
+
+/// Member-side trusted module.
+class GdoEnclave : public tee::Enclave {
+ public:
+  GdoEnclave(tee::Platform& platform, std::uint32_t gdo_index);
+
+  std::uint32_t gdo_index() const noexcept { return gdo_index_; }
+
+  /// Loads the GDO's local case genotypes into the enclave (models decrypting
+  /// the sealed local dataset; accounted against the EPC meter).
+  common::Status provision_dataset(genome::GenotypeMatrix cases);
+
+  const genome::GenotypeMatrix& dataset() const noexcept { return cases_; }
+
+  /// --- protocol handlers (member role) ---
+  common::Status on_study_announce(const StudyAnnounce& announce);
+  SummaryStats make_summary_stats() const;
+  common::Status on_phase1(const Phase1Result& result);
+  common::Result<MomentsResponse> on_moments_request(
+      const MomentsRequest& request) const;
+  /// Builds one local LR matrix per combination containing this GDO, using
+  /// the combination's global frequency vector (paper Fig. 4 step 2).
+  common::Result<LrMatrices> on_phase2(const Phase2Result& result);
+  common::Status on_phase3(const Phase3Result& result);
+
+  const std::vector<std::uint32_t>& retained_after_phase1() const noexcept {
+    return l_prime_;
+  }
+  const std::vector<std::uint32_t>& safe_snps() const noexcept {
+    return l_safe_;
+  }
+  bool study_complete() const noexcept { return study_complete_; }
+
+  /// Persists the study progress outside the enclave via the platform's
+  /// sealing mechanism (§4: "a TEE data-sealing mechanism is used to store
+  /// data persistently outside the TEE"). Only an enclave with the same
+  /// measurement on the same platform can restore it.
+  common::Bytes seal_study_checkpoint();
+  common::Status restore_study_checkpoint(common::BytesView sealed);
+
+ private:
+  std::uint32_t gdo_index_;
+  genome::GenotypeMatrix cases_;
+  tee::EpcAllocation dataset_epc_;
+
+  std::optional<StudyAnnounce> announce_;
+  std::vector<std::uint32_t> l_prime_;
+  std::vector<std::uint32_t> l_double_prime_;
+  std::vector<std::uint32_t> l_safe_;
+  bool study_complete_ = false;
+};
+
+/// Aggregated per-phase outcome of a coordinated study.
+struct SelectionOutcome {
+  std::vector<std::uint32_t> l_prime;
+  std::vector<std::uint32_t> l_double_prime;
+  std::vector<std::uint32_t> l_safe;
+  double final_power = 0.0;
+};
+
+/// Leader-side coordination module. Owns the reference panel (public data)
+/// and the leader GDO's own enclave for its local dataset.
+class Coordinator {
+ public:
+  /// `fetch_moments(request)` must return the per-member moments for the
+  /// requested pair, indexed by GDO index (the leader's own entry may be
+  /// empty; it is computed locally). The host implements it with a
+  /// broadcast/gather over the secure channels.
+  using FetchMoments = std::function<std::vector<std::optional<stats::LdMoments>>(
+      const MomentsRequest&)>;
+
+  Coordinator(GdoEnclave& leader_enclave, genome::GenotypeMatrix reference,
+              std::uint32_t num_gdos, StudyAnnounce announce);
+
+  const StudyAnnounce& announce() const noexcept { return announce_; }
+
+  /// Builds the combination table for a policy (shared by runner and tests).
+  static std::vector<std::vector<std::uint32_t>> build_combinations(
+      std::uint32_t num_gdos, const CollusionPolicy& policy);
+
+  /// --- Phase 1 ---
+  common::Status add_summary(std::uint32_t gdo_index,
+                             const SummaryStats& stats);
+  bool phase1_ready() const noexcept;
+  /// Runs per-combination MAF analysis and intersects (Alg. 1 lines 10-25).
+  common::Result<Phase1Result> run_maf_phase();
+
+  /// --- Phase 2 ---
+  /// Runs the greedy LD walk for every combination (Alg. 1 lines 28-57),
+  /// pulling member moments through `fetch` (cached per pair), and
+  /// intersects the survivors.
+  common::Result<Phase2Result> run_ld_phase(const FetchMoments& fetch);
+
+  /// --- Phase 3 ---
+  common::Status add_lr_matrices(std::uint32_t gdo_index,
+                                 const LrMatrices& matrices);
+  bool phase3_ready() const noexcept;
+  /// Merges per-combination LR matrices (ascending GDO order), runs the
+  /// safe-subset selection per combination (optionally in parallel), and
+  /// intersects. `pool` may be null for serial evaluation.
+  common::Result<Phase3Result> run_lr_phase(common::ThreadPool* pool);
+
+  const SelectionOutcome& outcome() const noexcept { return outcome_; }
+
+  /// Count of distinct SNP pairs fetched during the LD phase (bandwidth
+  /// accounting; cached pairs are fetched once).
+  std::size_t ld_pairs_fetched() const noexcept { return moments_cache_.size(); }
+
+ private:
+  struct CombinationInputs;
+
+  stats::LdMoments aggregate_pair(const std::vector<std::uint32_t>& members,
+                                  std::uint32_t a, std::uint32_t b,
+                                  const FetchMoments& fetch);
+  std::vector<double> combination_case_freq(
+      const std::vector<std::uint32_t>& members,
+      const std::vector<std::uint32_t>& snps) const;
+  std::vector<double> combination_chi2_p_values(
+      const std::vector<std::uint32_t>& members) const;
+
+  GdoEnclave* leader_;
+  genome::GenotypeMatrix reference_;
+  std::uint32_t num_gdos_;
+  StudyAnnounce announce_;
+
+  // Phase 1 state.
+  std::vector<std::optional<SummaryStats>> summaries_;  // per GDO
+  std::vector<std::uint32_t> reference_counts_;
+
+  // Phase 2 state.
+  std::vector<std::uint32_t> l_prime_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<stats::LdMoments>>
+      moments_cache_;  // per pair: per-GDO moments
+  std::map<std::pair<std::uint32_t, std::uint32_t>, stats::LdMoments>
+      reference_moments_cache_;
+
+  // Phase 3 state.
+  std::vector<std::uint32_t> l_double_prime_;
+  std::vector<std::vector<double>> case_freq_per_combination_;
+  std::vector<double> reference_freq_;
+  /// lr_matrices_[combination_id][gdo_index] -> matrix (only set for members
+  /// of the combination).
+  std::vector<std::map<std::uint32_t, stats::LrMatrix>> lr_matrices_;
+
+  SelectionOutcome outcome_;
+};
+
+/// Intersection of sorted unique SNP lists (the per-phase intersection of
+/// §5.6). Exposed for tests.
+std::vector<std::uint32_t> intersect_sorted(
+    const std::vector<std::vector<std::uint32_t>>& lists);
+
+}  // namespace gendpr::core

@@ -1,0 +1,91 @@
+// Genotype storage.
+//
+// A GWAS over L SNPs encodes each genome as one binary value per SNP
+// (paper §3.1, Table 1): 0 = only the major allele present, 1 = the minor
+// allele present. GenotypeMatrix stores N individuals x L SNPs bit-packed
+// (8 genotypes/byte), which keeps the simulated enclave working set small -
+// one of the design points the Table 3 reproduction and the packing ablation
+// bench measure. An unpacked byte-per-genotype variant exists for the
+// ablation comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::genome {
+
+/// Bit-packed N x L matrix of binary genotypes. Row-major: each individual's
+/// genotypes are contiguous, so per-individual scans (LR-test) and per-SNP
+/// columns (allele counts) are both cheap.
+class GenotypeMatrix {
+ public:
+  GenotypeMatrix() = default;
+  GenotypeMatrix(std::size_t num_individuals, std::size_t num_snps);
+
+  std::size_t num_individuals() const noexcept { return num_individuals_; }
+  std::size_t num_snps() const noexcept { return num_snps_; }
+
+  bool get(std::size_t individual, std::size_t snp) const noexcept;
+  void set(std::size_t individual, std::size_t snp, bool minor) noexcept;
+
+  /// Count of minor alleles at `snp` over all individuals.
+  std::uint32_t allele_count(std::size_t snp) const noexcept;
+
+  /// Minor-allele counts for every SNP (the caseLocalCounts vector of §5.2).
+  std::vector<std::uint32_t> allele_counts() const;
+
+  /// Minor-allele counts restricted to the SNP subset `snps`.
+  std::vector<std::uint32_t> allele_counts(
+      const std::vector<std::uint32_t>& snps) const;
+
+  /// Selects rows [begin, end) into a new matrix (GDO partitioning).
+  GenotypeMatrix slice_rows(std::size_t begin, std::size_t end) const;
+
+  /// Heap bytes used by the packed storage (EPC accounting).
+  std::size_t storage_bytes() const noexcept { return bits_.size(); }
+
+  bool operator==(const GenotypeMatrix&) const = default;
+
+ private:
+  std::size_t index_of(std::size_t individual, std::size_t snp) const noexcept {
+    return individual * row_stride_ + snp / 8;
+  }
+
+  std::size_t num_individuals_ = 0;
+  std::size_t num_snps_ = 0;
+  std::size_t row_stride_ = 0;  // bytes per row
+  common::Bytes bits_;
+};
+
+/// Unpacked (1 byte/genotype) storage; exists only for the packing ablation.
+class UnpackedGenotypeMatrix {
+ public:
+  UnpackedGenotypeMatrix(std::size_t num_individuals, std::size_t num_snps)
+      : num_individuals_(num_individuals),
+        num_snps_(num_snps),
+        values_(num_individuals * num_snps, 0) {}
+
+  bool get(std::size_t individual, std::size_t snp) const noexcept {
+    return values_[individual * num_snps_ + snp] != 0;
+  }
+  void set(std::size_t individual, std::size_t snp, bool minor) noexcept {
+    values_[individual * num_snps_ + snp] = minor ? 1 : 0;
+  }
+  std::uint32_t allele_count(std::size_t snp) const noexcept {
+    std::uint32_t count = 0;
+    for (std::size_t n = 0; n < num_individuals_; ++n) {
+      count += values_[n * num_snps_ + snp];
+    }
+    return count;
+  }
+  std::size_t storage_bytes() const noexcept { return values_.size(); }
+
+ private:
+  std::size_t num_individuals_;
+  std::size_t num_snps_;
+  std::vector<std::uint8_t> values_;
+};
+
+}  // namespace gendpr::genome

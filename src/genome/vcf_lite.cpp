@@ -1,0 +1,185 @@
+#include "genome/vcf_lite.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "crypto/hmac.hpp"
+#include "wire/serialize.hpp"
+
+namespace gendpr::genome {
+
+using common::Errc;
+using common::make_error;
+
+std::string write_vcf_lite(const VcfLite& vcf) {
+  std::ostringstream out;
+  out << "##gendpr-vcf-lite v1\n";
+  out << "##individuals=" << vcf.genotypes.num_individuals() << "\n";
+  out << "##snps=" << vcf.genotypes.num_snps() << "\n";
+  out << "#ids";
+  for (const std::string& id : vcf.snp_ids) out << ' ' << id;
+  out << "\n";
+  for (std::size_t n = 0; n < vcf.genotypes.num_individuals(); ++n) {
+    std::string line(vcf.genotypes.num_snps(), '0');
+    for (std::size_t l = 0; l < vcf.genotypes.num_snps(); ++l) {
+      if (vcf.genotypes.get(n, l)) line[l] = '1';
+    }
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+common::Result<std::uint64_t> parse_header_count(const std::string& line,
+                                                 const std::string& prefix) {
+  if (line.rfind(prefix, 0) != 0) {
+    return make_error(Errc::bad_message, "expected header " + prefix);
+  }
+  std::uint64_t value = 0;
+  const char* begin = line.data() + prefix.size();
+  const char* end = line.data() + line.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    return make_error(Errc::bad_message, "bad count in header " + prefix);
+  }
+  return value;
+}
+
+}  // namespace
+
+common::Result<VcfLite> read_vcf_lite(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  if (!std::getline(in, line) || line != "##gendpr-vcf-lite v1") {
+    return make_error(Errc::bad_message, "missing vcf-lite magic header");
+  }
+  if (!std::getline(in, line)) {
+    return make_error(Errc::bad_message, "missing individuals header");
+  }
+  auto individuals = parse_header_count(line, "##individuals=");
+  if (!individuals.ok()) return individuals.error();
+  if (!std::getline(in, line)) {
+    return make_error(Errc::bad_message, "missing snps header");
+  }
+  auto snps = parse_header_count(line, "##snps=");
+  if (!snps.ok()) return snps.error();
+
+  if (!std::getline(in, line) || line.rfind("#ids", 0) != 0) {
+    return make_error(Errc::bad_message, "missing #ids line");
+  }
+  VcfLite vcf;
+  {
+    std::istringstream ids(line.substr(4));
+    std::string id;
+    while (ids >> id) vcf.snp_ids.push_back(id);
+  }
+  if (vcf.snp_ids.size() != snps.value()) {
+    return make_error(Errc::bad_message,
+                      "snp id count does not match ##snps header");
+  }
+
+  vcf.genotypes = GenotypeMatrix(individuals.value(), snps.value());
+  for (std::uint64_t n = 0; n < individuals.value(); ++n) {
+    if (!std::getline(in, line)) {
+      return make_error(Errc::bad_message, "missing genotype line " +
+                                               std::to_string(n));
+    }
+    if (line.size() != snps.value()) {
+      return make_error(Errc::bad_message, "genotype line " +
+                                               std::to_string(n) +
+                                               " has wrong length");
+    }
+    for (std::uint64_t l = 0; l < snps.value(); ++l) {
+      if (line[l] == '1') {
+        vcf.genotypes.set(n, l, true);
+      } else if (line[l] != '0') {
+        return make_error(Errc::bad_message, "non-binary genotype character");
+      }
+    }
+  }
+  return vcf;
+}
+
+common::Status write_vcf_lite_file(const std::string& path,
+                                   const VcfLite& vcf) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(Errc::io_error, "cannot open for write: " + path);
+  }
+  out << write_vcf_lite(vcf);
+  if (!out) return make_error(Errc::io_error, "write failed: " + path);
+  return common::Status::success();
+}
+
+common::Result<VcfLite> read_vcf_lite_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(Errc::io_error, "cannot open for read: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_vcf_lite(buffer.str());
+}
+
+crypto::Sha256Digest digest_vcf(const std::string& vcf_text) {
+  return crypto::Sha256::hash(common::to_bytes(vcf_text));
+}
+
+namespace {
+
+crypto::Sha256Digest manifest_signature(const DatasetManifest& manifest,
+                                        common::BytesView signing_key) {
+  crypto::HmacSha256 mac(signing_key);
+  mac.update(common::to_bytes("gendpr.dataset.manifest.v1"));
+  wire::Writer w;
+  w.string(manifest.dataset_name);
+  w.u64(manifest.num_individuals);
+  w.u64(manifest.num_snps);
+  w.raw(common::BytesView(manifest.content_digest.data(),
+                          manifest.content_digest.size()));
+  mac.update(w.buffer());
+  return mac.finish();
+}
+
+}  // namespace
+
+DatasetManifest sign_dataset(const std::string& dataset_name,
+                             const std::string& vcf_text,
+                             common::BytesView signing_key) {
+  DatasetManifest manifest;
+  manifest.dataset_name = dataset_name;
+  manifest.content_digest = digest_vcf(vcf_text);
+  // Dimensions are advisory metadata; parse errors surface at read time.
+  const auto parsed = read_vcf_lite(vcf_text);
+  if (parsed.ok()) {
+    manifest.num_individuals = parsed.value().genotypes.num_individuals();
+    manifest.num_snps = parsed.value().genotypes.num_snps();
+  }
+  manifest.signature = manifest_signature(manifest, signing_key);
+  return manifest;
+}
+
+common::Status verify_dataset(const DatasetManifest& manifest,
+                              const std::string& vcf_text,
+                              common::BytesView signing_key) {
+  const crypto::Sha256Digest expected =
+      manifest_signature(manifest, signing_key);
+  if (!common::ct_equal(
+          common::BytesView(expected.data(), expected.size()),
+          common::BytesView(manifest.signature.data(),
+                            manifest.signature.size()))) {
+    return make_error(Errc::attestation_rejected,
+                      "dataset manifest signature invalid");
+  }
+  const crypto::Sha256Digest digest = digest_vcf(vcf_text);
+  if (digest != manifest.content_digest) {
+    return make_error(Errc::attestation_rejected,
+                      "dataset content does not match signed manifest");
+  }
+  return common::Status::success();
+}
+
+}  // namespace gendpr::genome

@@ -1,0 +1,151 @@
+#include "net/network.hpp"
+
+#include <vector>
+
+namespace gendpr::net {
+
+void Mailbox::push(Envelope envelope) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    queue_.push_back(std::move(envelope));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Envelope> Mailbox::receive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  Envelope envelope = std::move(queue_.front());
+  queue_.pop_front();
+  return envelope;
+}
+
+std::optional<Envelope> Mailbox::try_receive() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Envelope envelope = std::move(queue_.front());
+  queue_.pop_front();
+  return envelope;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void TrafficMeter::record(NodeId from, NodeId to, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LinkStats& stats = links_[{from, to}];
+  stats.bytes += bytes;
+  stats.messages += 1;
+}
+
+std::uint64_t TrafficMeter::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [link, stats] : links_) total += stats.bytes;
+  return total;
+}
+
+std::uint64_t TrafficMeter::total_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [link, stats] : links_) total += stats.messages;
+  return total;
+}
+
+std::uint64_t TrafficMeter::bytes_sent_by(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [link, stats] : links_) {
+    if (link.first == node) total += stats.bytes;
+  }
+  return total;
+}
+
+std::uint64_t TrafficMeter::bytes_received_by(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [link, stats] : links_) {
+    if (link.second == node) total += stats.bytes;
+  }
+  return total;
+}
+
+void TrafficMeter::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_.clear();
+}
+
+std::shared_ptr<Mailbox> Network::attach(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto mailbox = std::make_shared<Mailbox>();
+  mailboxes_[node] = mailbox;
+  return mailbox;
+}
+
+void Network::detach(NodeId node) {
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(node);
+    if (it == mailboxes_.end()) return;
+    mailbox = it->second;
+    mailboxes_.erase(it);
+  }
+  mailbox->close();
+}
+
+common::Status Network::send(NodeId from, NodeId to, common::Bytes payload) {
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(to);
+    if (it == mailboxes_.end()) {
+      return common::make_error(common::Errc::unknown_peer,
+                                "send to unattached node " +
+                                    std::to_string(to));
+    }
+    mailbox = it->second;
+  }
+  meter_.record(from, to, payload.size());
+  mailbox->push(Envelope{from, to, std::move(payload)});
+  return common::Status::success();
+}
+
+void Network::broadcast(NodeId from, const common::Bytes& payload) {
+  std::vector<std::pair<NodeId, std::shared_ptr<Mailbox>>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    targets.reserve(mailboxes_.size());
+    for (const auto& [node, mailbox] : mailboxes_) {
+      if (node != from) targets.emplace_back(node, mailbox);
+    }
+  }
+  for (auto& [node, mailbox] : targets) {
+    meter_.record(from, node, payload.size());
+    mailbox->push(Envelope{from, node, payload});
+  }
+}
+
+bool Network::is_attached(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mailboxes_.count(node) > 0;
+}
+
+std::size_t Network::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mailboxes_.size();
+}
+
+}  // namespace gendpr::net

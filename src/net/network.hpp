@@ -1,0 +1,129 @@
+// In-process message-passing fabric for the GWAS federation.
+//
+// Substitutes for the paper's inter-biocenter network (all evaluation nodes
+// ran on one host there as well). Each registered node owns a mailbox;
+// `send` enqueues an envelope, `Mailbox::receive` blocks until one arrives.
+// Message boundaries, per-sender FIFO ordering, and the exact on-the-wire
+// bytes (always ciphertext above this layer) are preserved, and a traffic
+// meter records per-link volumes for the §7.1 bandwidth accounting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace gendpr::net {
+
+/// Federation-unique node identifier. 0 is reserved as "unassigned".
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+struct Envelope {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  common::Bytes payload;
+};
+
+/// Blocking MPSC queue of envelopes owned by one node.
+class Mailbox {
+ public:
+  void push(Envelope envelope);
+
+  /// Blocks until a message arrives. Returns std::nullopt if the mailbox was
+  /// closed and drained.
+  std::optional<Envelope> receive();
+
+  /// Non-blocking variant.
+  std::optional<Envelope> try_receive();
+
+  /// Wakes all waiters; subsequent receive() calls drain then end.
+  void close();
+
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+/// Byte counters per directed link, plus totals. Thread-safe.
+class TrafficMeter {
+ public:
+  void record(NodeId from, NodeId to, std::size_t bytes);
+
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t bytes_sent_by(NodeId node) const;
+  std::uint64_t bytes_received_by(NodeId node) const;
+
+  void reset();
+
+ private:
+  struct LinkStats {
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> links_;
+};
+
+/// Abstract message transport between federation nodes. The protocol layer
+/// (gendpr/node.hpp) binds to this interface; implementations are the
+/// in-process Network below and the cross-machine TcpHub (net/tcp.hpp).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a node and returns its mailbox (owned by the transport).
+  virtual std::shared_ptr<Mailbox> attach(NodeId node) = 0;
+
+  /// Removes a node; its mailbox is closed.
+  virtual void detach(NodeId node) = 0;
+
+  /// Delivers `payload` to `to`. Fails with unknown_peer if `to` is not
+  /// reachable.
+  virtual common::Status send(NodeId from, NodeId to,
+                              common::Bytes payload) = 0;
+
+  /// Byte accounting, when the implementation provides it.
+  virtual TrafficMeter* meter_or_null() noexcept { return nullptr; }
+};
+
+/// The in-process fabric: node registry + routing. Nodes register to obtain
+/// a mailbox; any registered node may send to any other by id.
+class Network : public Transport {
+ public:
+  std::shared_ptr<Mailbox> attach(NodeId node) override;
+
+  void detach(NodeId node) override;
+
+  common::Status send(NodeId from, NodeId to, common::Bytes payload) override;
+
+  TrafficMeter* meter_or_null() noexcept override { return &meter_; }
+
+  /// Sends a copy of the payload to every attached node except `from`.
+  void broadcast(NodeId from, const common::Bytes& payload);
+
+  bool is_attached(NodeId node) const;
+  std::size_t node_count() const;
+
+  TrafficMeter& meter() noexcept { return meter_; }
+  const TrafficMeter& meter() const noexcept { return meter_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<NodeId, std::shared_ptr<Mailbox>> mailboxes_;
+  TrafficMeter meter_;
+};
+
+}  // namespace gendpr::net

@@ -1,0 +1,257 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace gendpr::net {
+
+using common::Errc;
+using common::make_error;
+using common::Status;
+
+namespace {
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t offset = 0;
+  while (offset < size) {
+    const ssize_t n = ::send(fd, data + offset, size - offset, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return make_error(Errc::io_error,
+                        std::string("tcp send: ") + std::strerror(errno));
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+Status read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t offset = 0;
+  while (offset < size) {
+    const ssize_t n = ::recv(fd, data + offset, size - offset, 0);
+    if (n == 0) {
+      return make_error(Errc::io_error, "tcp peer closed connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(Errc::io_error,
+                        std::string("tcp recv: ") + std::strerror(errno));
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Sends one frame: [u32 len][u32 from][payload]; len covers from+payload.
+Status send_frame(int fd, NodeId from, common::BytesView payload) {
+  std::uint8_t header[8];
+  store_u32(header, static_cast<std::uint32_t>(payload.size() + 4));
+  store_u32(header + 4, from);
+  if (Status s = write_all(fd, header, 8); !s.ok()) return s;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+}  // namespace
+
+common::Result<std::unique_ptr<TcpHub>> TcpHub::create(NodeId self,
+                                                       std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(Errc::io_error,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("getsockname: ") + std::strerror(errno));
+  }
+  auto hub = std::unique_ptr<TcpHub>(
+      new TcpHub(self, fd, ntohs(addr.sin_port)));
+  return hub;
+}
+
+TcpHub::TcpHub(NodeId self, int listen_fd, std::uint16_t port)
+    : self_(self), listen_fd_(listen_fd), port_(port) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpHub::~TcpHub() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [peer, fd] : peer_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    peer_fds_.clear();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& thread : reader_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  mailbox_->close();
+}
+
+common::Status TcpHub::register_connection(NodeId peer, int fd) {
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closing_) {
+    ::close(fd);
+    return make_error(Errc::state_violation, "hub is closing");
+  }
+  if (peer_fds_.count(peer) > 0) {
+    ::close(fd);
+    return make_error(Errc::invalid_argument,
+                      "duplicate connection for peer " + std::to_string(peer));
+  }
+  peer_fds_[peer] = fd;
+  reader_threads_.emplace_back([this, peer, fd] { reader_loop(peer, fd); });
+  return Status::success();
+}
+
+void TcpHub::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closing_) return;
+      }
+      if (errno == EINTR) continue;
+      return;  // listening socket gone
+    }
+    // First frame on an inbound connection is the hello carrying the peer id.
+    std::uint8_t header[8];
+    if (!read_all(fd, header, 8).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const std::uint32_t frame_len = load_u32(header);
+    const NodeId peer = load_u32(header + 4);
+    if (frame_len != 4) {  // hello has an empty payload
+      ::close(fd);
+      continue;
+    }
+    if (!register_connection(peer, fd).ok()) continue;
+  }
+}
+
+void TcpHub::reader_loop(NodeId peer, int fd) {
+  for (;;) {
+    std::uint8_t header[8];
+    if (!read_all(fd, header, 8).ok()) return;
+    const std::uint32_t frame_len = load_u32(header);
+    const NodeId from = load_u32(header + 4);
+    if (frame_len < 4 || frame_len - 4 > kMaxFrameBytes) {
+      common::log_warn("tcp", "oversized/undersized frame from peer ", peer);
+      return;
+    }
+    common::Bytes payload(frame_len - 4);
+    if (!payload.empty() && !read_all(fd, payload.data(), payload.size()).ok()) {
+      return;
+    }
+    meter_.record(from, self_, payload.size());
+    mailbox_->push(Envelope{from, self_, std::move(payload)});
+  }
+}
+
+common::Status TcpHub::connect_peer(NodeId peer, const std::string& host,
+                                    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(Errc::io_error,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(Errc::invalid_argument, "bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("connect: ") + std::strerror(errno));
+  }
+  // Hello: announce who we are.
+  if (Status s = send_frame(fd, self_, {}); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return register_connection(peer, fd);
+}
+
+std::shared_ptr<Mailbox> TcpHub::attach(NodeId node) {
+  // A hub hosts exactly one node; tolerate (and ignore) re-attachment.
+  if (node != self_) {
+    common::log_warn("tcp", "attach for foreign node ", node, " on hub ",
+                     self_);
+  }
+  return mailbox_;
+}
+
+void TcpHub::detach(NodeId node) {
+  if (node == self_) mailbox_->close();
+}
+
+common::Status TcpHub::send(NodeId from, NodeId to, common::Bytes payload) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = peer_fds_.find(to);
+    if (it == peer_fds_.end()) {
+      return make_error(Errc::unknown_peer,
+                        "no connection to node " + std::to_string(to));
+    }
+    fd = it->second;
+  }
+  meter_.record(from, to, payload.size());
+  return send_frame(fd, from, payload);
+}
+
+}  // namespace gendpr::net

@@ -1,0 +1,75 @@
+// TCP transport: the cross-machine counterpart of the in-process Network.
+//
+// A real GenDPR federation spans institutions; each GDO machine runs one
+// TcpHub bound to a TCP port, connects to its peers, and the protocol layer
+// (gendpr/node.hpp) runs unchanged against the net::Transport interface.
+// Framing is length-prefixed: [u32 len][u32 from][payload]; a hello frame
+// announcing the sender's node id opens every connection. Only ciphertext
+// crosses this layer (SecureChannel records and attestation handshakes), so
+// TCP's lack of confidentiality is irrelevant by construction.
+//
+// Scope: blocking sockets with one reader thread per peer connection -
+// appropriate for federation sizes (G <= dozens), not a general-purpose
+// high-connection-count server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gendpr::net {
+
+class TcpHub : public Transport {
+ public:
+  /// Binds a listening socket on 127.0.0.1:port (port 0 = ephemeral; see
+  /// port()) for node `self` and starts accepting peer connections.
+  static common::Result<std::unique_ptr<TcpHub>> create(NodeId self,
+                                                        std::uint16_t port);
+
+  ~TcpHub() override;
+
+  TcpHub(const TcpHub&) = delete;
+  TcpHub& operator=(const TcpHub&) = delete;
+
+  /// The port actually bound (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+  NodeId self() const noexcept { return self_; }
+
+  /// Dials a peer hub and registers the connection under `peer`.
+  common::Status connect_peer(NodeId peer, const std::string& host,
+                              std::uint16_t port);
+
+  // Transport interface. attach() must be called with this hub's own node
+  // id; send() routes to a connected peer (dialed by us or accepted).
+  std::shared_ptr<Mailbox> attach(NodeId node) override;
+  void detach(NodeId node) override;
+  common::Status send(NodeId from, NodeId to, common::Bytes payload) override;
+  TrafficMeter* meter_or_null() noexcept override { return &meter_; }
+
+ private:
+  TcpHub(NodeId self, int listen_fd, std::uint16_t port);
+
+  void accept_loop();
+  void reader_loop(NodeId peer, int fd);
+  common::Status register_connection(NodeId peer, int fd);
+
+  NodeId self_;
+  int listen_fd_;
+  std::uint16_t port_;
+  std::shared_ptr<Mailbox> mailbox_ = std::make_shared<Mailbox>();
+  TrafficMeter meter_;
+
+  std::mutex mutex_;
+  std::map<NodeId, int> peer_fds_;
+  std::vector<std::thread> reader_threads_;
+  std::thread accept_thread_;
+  bool closing_ = false;
+};
+
+}  // namespace gendpr::net

@@ -1,0 +1,45 @@
+#include "stats/contingency.hpp"
+
+#include "stats/special.hpp"
+
+namespace gendpr::stats {
+
+PairwiseTable pairwise_table(const genome::GenotypeMatrix& genotypes,
+                             std::uint32_t snp_a, std::uint32_t snp_b) {
+  PairwiseTable table;
+  for (std::size_t n = 0; n < genotypes.num_individuals(); ++n) {
+    const bool a = genotypes.get(n, snp_a);
+    const bool b = genotypes.get(n, snp_b);
+    if (!a && !b) {
+      ++table.c00;
+    } else if (!a && b) {
+      ++table.c01;
+    } else if (a && !b) {
+      ++table.c10;
+    } else {
+      ++table.c11;
+    }
+  }
+  return table;
+}
+
+double pairwise_r2(const PairwiseTable& table) {
+  const double row0 = static_cast<double>(table.row0());
+  const double row1 = static_cast<double>(table.row1());
+  const double col0 = static_cast<double>(table.col0());
+  const double col1 = static_cast<double>(table.col1());
+  if (row0 == 0.0 || row1 == 0.0 || col0 == 0.0 || col1 == 0.0) return 0.0;
+  const double det = static_cast<double>(table.c00) *
+                         static_cast<double>(table.c11) -
+                     static_cast<double>(table.c01) *
+                         static_cast<double>(table.c10);
+  return det * det / (row0 * row1 * col0 * col1);
+}
+
+double pairwise_p_value(const PairwiseTable& table) {
+  const std::uint64_t n = table.total();
+  if (n == 0) return 1.0;
+  return chi2_sf(static_cast<double>(n) * pairwise_r2(table), 1.0);
+}
+
+}  // namespace gendpr::stats

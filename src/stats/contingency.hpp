@@ -1,0 +1,54 @@
+// Pairwise contingency tables (paper Table 2b) and the r^2 linkage
+// disequilibrium statistic in the paper's own formulation:
+//
+//   r^2 = (C00*C11 - C01*C10)^2 / (C0-*C1-*C-0*C-1)
+//
+// where C_ab counts individuals carrying allele a at the first SNP and b at
+// the second. For binary dominant-encoded genotypes this is algebraically
+// identical to the moments-based squared Pearson correlation in ld.hpp
+// (tests/stats/contingency_test.cpp proves the equivalence numerically);
+// GenDPR's wire protocol ships the additive moments because they aggregate
+// across GDOs, while this form exists for direct/centralized use and for
+// readers following the paper's notation.
+#pragma once
+
+#include <cstdint>
+
+#include "genome/genotype.hpp"
+
+namespace gendpr::stats {
+
+/// Pairwise table of two SNPs over one population (paper Table 2b).
+struct PairwiseTable {
+  std::uint64_t c00 = 0;  // major/major
+  std::uint64_t c01 = 0;  // major at l1, minor at l2
+  std::uint64_t c10 = 0;  // minor at l1, major at l2
+  std::uint64_t c11 = 0;  // minor/minor
+
+  std::uint64_t row0() const noexcept { return c00 + c01; }  // C_0-
+  std::uint64_t row1() const noexcept { return c10 + c11; }  // C_1-
+  std::uint64_t col0() const noexcept { return c00 + c10; }  // C_-0
+  std::uint64_t col1() const noexcept { return c01 + c11; }  // C_-1
+  std::uint64_t total() const noexcept { return c00 + c01 + c10 + c11; }
+
+  PairwiseTable& operator+=(const PairwiseTable& other) noexcept {
+    c00 += other.c00;
+    c01 += other.c01;
+    c10 += other.c10;
+    c11 += other.c11;
+    return *this;
+  }
+};
+
+/// Builds the pairwise table of (snp_a, snp_b) over all individuals.
+PairwiseTable pairwise_table(const genome::GenotypeMatrix& genotypes,
+                             std::uint32_t snp_a, std::uint32_t snp_b);
+
+/// The paper's r^2 statistic; 0 for degenerate margins.
+double pairwise_r2(const PairwiseTable& table);
+
+/// P-value via the chi-squared approximation (n * r^2, 1 dof), matching
+/// ld_p_value for the same population.
+double pairwise_p_value(const PairwiseTable& table);
+
+}  // namespace gendpr::stats

@@ -1,0 +1,43 @@
+#include "stats/dp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gendpr::stats {
+
+double laplace_noise(common::Rng& rng, double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("laplace_noise: scale must be > 0");
+  }
+  // Inverse CDF: u uniform in (-1/2, 1/2); x = -b sgn(u) ln(1 - 2|u|).
+  double u = 0.0;
+  do {
+    u = rng.uniform() - 0.5;
+  } while (u == -0.5);
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+std::vector<double> dp_perturb_counts(const std::vector<std::uint32_t>& counts,
+                                      double epsilon, double sensitivity,
+                                      common::Rng& rng) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("dp_perturb_counts: epsilon must be > 0");
+  }
+  const double scale = sensitivity / epsilon;
+  std::vector<double> noisy;
+  noisy.reserve(counts.size());
+  for (std::uint32_t count : counts) {
+    noisy.push_back(static_cast<double>(count) + laplace_noise(rng, scale));
+  }
+  return noisy;
+}
+
+double expected_absolute_error(double epsilon, double sensitivity) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("expected_absolute_error: epsilon must be > 0");
+  }
+  return sensitivity / epsilon;
+}
+
+}  // namespace gendpr::stats

@@ -1,0 +1,30 @@
+// Differential-privacy utilities for the hybrid release of §5.5.
+//
+// The paper sketches a hybrid scheme: statistics over L_safe are released
+// noise-free, while SNPs in L_des \ L_safe can still be published with
+// DP perturbation. This module provides the Laplace mechanism over count
+// vectors and the epsilon accounting for that example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gendpr::stats {
+
+/// One Laplace(0, scale) deviate.
+double laplace_noise(common::Rng& rng, double scale);
+
+/// Laplace mechanism over a count vector. `sensitivity` is the L1
+/// sensitivity of each count (1 for presence/absence of one individual's
+/// allele); noise scale is sensitivity / epsilon.
+std::vector<double> dp_perturb_counts(const std::vector<std::uint32_t>& counts,
+                                      double epsilon, double sensitivity,
+                                      common::Rng& rng);
+
+/// Expected absolute error of the mechanism (scale = sensitivity/epsilon;
+/// E|Laplace(0,b)| = b). Useful for utility reporting in the example.
+double expected_absolute_error(double epsilon, double sensitivity);
+
+}  // namespace gendpr::stats

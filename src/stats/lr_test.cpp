@@ -1,0 +1,172 @@
+#include "stats/lr_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gendpr::stats {
+
+void LrMatrix::append_rows(const LrMatrix& other) {
+  if (rows_ == 0 && cols_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.cols_ != cols_) {
+    throw std::invalid_argument("LrMatrix::append_rows: column mismatch");
+  }
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  rows_ += other.rows_;
+}
+
+LrWeights lr_weights(const std::vector<double>& case_freq,
+                     const std::vector<double>& reference_freq,
+                     double freq_floor) {
+  if (case_freq.size() != reference_freq.size()) {
+    throw std::invalid_argument("lr_weights: frequency vector size mismatch");
+  }
+  LrWeights weights;
+  weights.when_minor.resize(case_freq.size());
+  weights.when_major.resize(case_freq.size());
+  for (std::size_t l = 0; l < case_freq.size(); ++l) {
+    const double p_hat =
+        std::clamp(case_freq[l], freq_floor, 1.0 - freq_floor);
+    const double p = std::clamp(reference_freq[l], freq_floor,
+                                1.0 - freq_floor);
+    weights.when_minor[l] = std::log(p_hat / p);
+    weights.when_major[l] = std::log((1.0 - p_hat) / (1.0 - p));
+  }
+  return weights;
+}
+
+LrMatrix build_lr_matrix(const genome::GenotypeMatrix& genotypes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights,
+                         const std::vector<std::uint32_t>& snp_to_weight_col) {
+  LrMatrix matrix(genotypes.num_individuals(), snps.size());
+  for (std::size_t n = 0; n < genotypes.num_individuals(); ++n) {
+    for (std::size_t i = 0; i < snps.size(); ++i) {
+      const std::uint32_t col = snp_to_weight_col[i];
+      matrix.at(n, i) = genotypes.get(n, snps[i])
+                            ? weights.when_minor[col]
+                            : weights.when_major[col];
+    }
+  }
+  return matrix;
+}
+
+LrMatrix build_lr_matrix(const genome::GenotypeMatrix& genotypes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights) {
+  std::vector<std::uint32_t> identity(snps.size());
+  std::iota(identity.begin(), identity.end(), 0u);
+  return build_lr_matrix(genotypes, snps, weights, identity);
+}
+
+double detection_power(const std::vector<double>& case_scores,
+                       const std::vector<double>& reference_scores,
+                       double false_positive_rate, double* threshold_out) {
+  if (reference_scores.empty() || case_scores.empty()) {
+    if (threshold_out != nullptr) *threshold_out = 0.0;
+    return 0.0;
+  }
+  // Threshold: smallest reference score such that the fraction of reference
+  // scores strictly above it is <= fpr, i.e. the (1-fpr) empirical quantile.
+  // nth_element instead of a full sort: this runs once per candidate SNP in
+  // the selection loop and dominates the LR phase at paper scale.
+  std::vector<double> scratch_ref = reference_scores;
+  const std::size_t n_ref = scratch_ref.size();
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil((1.0 - false_positive_rate) * static_cast<double>(n_ref)));
+  if (idx == 0) idx = 1;
+  if (idx > n_ref) idx = n_ref;
+  std::nth_element(scratch_ref.begin(), scratch_ref.begin() + (idx - 1),
+                   scratch_ref.end());
+  const double threshold = scratch_ref[idx - 1];
+  if (threshold_out != nullptr) *threshold_out = threshold;
+
+  std::size_t detected = 0;
+  for (double score : case_scores) {
+    if (score > threshold) ++detected;
+  }
+  return static_cast<double>(detected) /
+         static_cast<double>(case_scores.size());
+}
+
+LrSelectionResult select_safe_snps(const LrMatrix& case_lr,
+                                   const LrMatrix& reference_lr,
+                                   const LrSelectionParams& params) {
+  if (case_lr.cols() != reference_lr.cols()) {
+    throw std::invalid_argument("select_safe_snps: column count mismatch");
+  }
+  const std::size_t cols = case_lr.cols();
+  LrSelectionResult result;
+  if (cols == 0) return result;
+
+  // Identifying power of each SNP alone: the gap between the mean case and
+  // mean reference LR contribution. Low-gap SNPs are admitted first.
+  std::vector<double> gap(cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    double case_mean = 0.0;
+    for (std::size_t r = 0; r < case_lr.rows(); ++r) {
+      case_mean += case_lr.at(r, c);
+    }
+    if (case_lr.rows() > 0) case_mean /= static_cast<double>(case_lr.rows());
+    double ref_mean = 0.0;
+    for (std::size_t r = 0; r < reference_lr.rows(); ++r) {
+      ref_mean += reference_lr.at(r, c);
+    }
+    if (reference_lr.rows() > 0) {
+      ref_mean /= static_cast<double>(reference_lr.rows());
+    }
+    gap[c] = case_mean - ref_mean;
+  }
+  std::vector<std::uint32_t> order(cols);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&gap](std::uint32_t a, std::uint32_t b) {
+                     if (gap[a] != gap[b]) return gap[a] < gap[b];
+                     return a < b;  // deterministic tie-break
+                   });
+
+  // Greedy forward admission with incremental per-individual sums.
+  std::vector<double> case_sums(case_lr.rows(), 0.0);
+  std::vector<double> ref_sums(reference_lr.rows(), 0.0);
+  std::vector<std::uint32_t> kept;
+  double current_power = 0.0;
+  double current_threshold = 0.0;
+
+  for (std::uint32_t candidate : order) {
+    for (std::size_t r = 0; r < case_lr.rows(); ++r) {
+      case_sums[r] += case_lr.at(r, candidate);
+    }
+    for (std::size_t r = 0; r < reference_lr.rows(); ++r) {
+      ref_sums[r] += reference_lr.at(r, candidate);
+    }
+    double threshold = 0.0;
+    const double power = detection_power(case_sums, ref_sums,
+                                         params.false_positive_rate,
+                                         &threshold);
+    if (power <= params.power_threshold) {
+      kept.push_back(candidate);
+      current_power = power;
+      current_threshold = threshold;
+    } else {
+      // Roll the candidate back and try the next one.
+      for (std::size_t r = 0; r < case_lr.rows(); ++r) {
+        case_sums[r] -= case_lr.at(r, candidate);
+      }
+      for (std::size_t r = 0; r < reference_lr.rows(); ++r) {
+        ref_sums[r] -= reference_lr.at(r, candidate);
+      }
+    }
+  }
+
+  std::sort(kept.begin(), kept.end());
+  result.safe_columns = std::move(kept);
+  result.final_power = current_power;
+  result.final_threshold = current_threshold;
+  return result;
+}
+
+}  // namespace gendpr::stats

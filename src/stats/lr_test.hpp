@@ -1,0 +1,112 @@
+// Likelihood-ratio membership test (SecureGenome-style) and the safe-subset
+// selection of the paper's Phase 3.
+//
+// The per-individual LR over a SNP set L (paper Eq. 1):
+//   LR_n = sum_l [ x_{n,l} log(p̂_l/p_l) + (1 - x_{n,l}) log((1-p̂_l)/(1-p_l)) ]
+// where p̂_l is the case frequency and p_l the reference frequency. The
+// adversary scores a victim genome and flags membership when LR exceeds a
+// threshold calibrated on the reference population at a tolerated
+// false-positive rate. A SNP set is *safe* when the adversary's detection
+// power (fraction of true case members flagged) stays below the configured
+// threshold (defaults mirror §7: FPR 0.1, power limit 0.9).
+//
+// `LrMatrix` is the exchanged artifact (one row per individual, one column
+// per SNP); GDOs build local matrices from *global* frequencies, the leader
+// concatenates them. `select_safe_snps` runs the empirical subset search:
+// SNPs are admitted in ascending order of identifying power and a candidate
+// is kept only if the resulting power stays below the limit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/genotype.hpp"
+
+namespace gendpr::stats {
+
+/// Dense row-major matrix of per-individual, per-SNP LR contributions.
+class LrMatrix {
+ public:
+  LrMatrix() = default;
+  LrMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double at(std::size_t row, std::size_t col) const noexcept {
+    return values_[row * cols_ + col];
+  }
+  double& at(std::size_t row, std::size_t col) noexcept {
+    return values_[row * cols_ + col];
+  }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::vector<double>& values() noexcept { return values_; }
+
+  /// Appends the rows of `other` (must have the same column count).
+  void append_rows(const LrMatrix& other);
+
+  bool operator==(const LrMatrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// Per-SNP LR weights for x=1 and x=0 given case and reference frequencies.
+struct LrWeights {
+  std::vector<double> when_minor;  // log(p̂/p)
+  std::vector<double> when_major;  // log((1-p̂)/(1-p))
+};
+
+/// Computes the weights, clamping frequencies into [freq_floor, 1-freq_floor]
+/// so rare/fixed SNPs do not produce infinities.
+LrWeights lr_weights(const std::vector<double>& case_freq,
+                     const std::vector<double>& reference_freq,
+                     double freq_floor = 1e-6);
+
+/// Builds the LR matrix of `genotypes` restricted to `snps`, using weights
+/// computed from global frequencies (paper Fig. 4 step 2).
+LrMatrix build_lr_matrix(const genome::GenotypeMatrix& genotypes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights,
+                         const std::vector<std::uint32_t>& snp_to_weight_col);
+
+/// Convenience overload when `snps` indexes the weight vectors directly
+/// (weight column i corresponds to snps[i]).
+LrMatrix build_lr_matrix(const genome::GenotypeMatrix& genotypes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights);
+
+struct LrSelectionParams {
+  double false_positive_rate = 0.1;  // beta in §7
+  double power_threshold = 0.9;      // identification-power limit in §7
+};
+
+struct LrSelectionResult {
+  /// Column indices (into the LR matrices) retained as safe.
+  std::vector<std::uint32_t> safe_columns;
+  /// Adversary detection power over the final safe set.
+  double final_power = 0.0;
+  /// LR threshold calibrated on the reference at the configured FPR.
+  double final_threshold = 0.0;
+};
+
+/// Empirical safe-subset search over merged case and reference LR matrices
+/// (they must have equal column counts). Deterministic: depends only on the
+/// multiset of rows, so any GDO concatenation order yields the same result.
+LrSelectionResult select_safe_snps(const LrMatrix& case_lr,
+                                   const LrMatrix& reference_lr,
+                                   const LrSelectionParams& params);
+
+/// Detection power of the adversary for fixed per-individual LR scores:
+/// threshold = (1 - fpr) quantile of reference scores; power = fraction of
+/// case scores strictly above it. Exposed for tests and the membership
+/// attack example.
+double detection_power(const std::vector<double>& case_scores,
+                       const std::vector<double>& reference_scores,
+                       double false_positive_rate, double* threshold_out);
+
+}  // namespace gendpr::stats

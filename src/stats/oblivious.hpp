@@ -1,0 +1,59 @@
+// Data-oblivious kernels - a first cut at the paper's stated future work
+// (§8: "we plan to extend GenDPR to cope with side-channel attacks against
+// TEEs by designing an oblivious version of the protocol").
+//
+// SGX enclaves leak through memory-access patterns and branches on secret
+// data (§2.1). The hot loops of GenDPR's phases touch genotypes; this module
+// provides drop-in variants whose control flow and memory-access pattern are
+// independent of the genotype values:
+//   * branchless selection (constant-time cmov on doubles),
+//   * a bitonic sorting network (the standard oblivious sort) for score
+//     calibration,
+//   * an oblivious LR-matrix builder (arithmetic select instead of a
+//     genotype-dependent branch),
+//   * an oblivious detection-power evaluation (bitonic sort + branchless
+//     threshold comparison).
+// Results are bit-identical to the regular implementations (tested); the
+// cost difference is quantified in bench_ablation_oblivious, mirroring the
+// "significant performance overhead" the paper cites for data-oblivious
+// genomics ([1, 30] in its bibliography).
+//
+// Scope note: these harden the genotype-touching inner loops. Full protocol
+// obliviousness (hiding which SNPs survive each phase from an observer of
+// enclave memory) additionally needs ORAM-style structures and is out of
+// scope, as it is for the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "genome/genotype.hpp"
+#include "stats/lr_test.hpp"
+
+namespace gendpr::stats {
+
+/// Constant-time select: returns a if mask==1, b if mask==0, without a
+/// branch on mask. mask must be 0 or 1.
+double oblivious_select(std::uint64_t mask, double a, double b) noexcept;
+
+/// In-place bitonic sort (ascending). The comparison sequence depends only
+/// on data.size(), never on the values: the canonical oblivious sort.
+/// O(n log^2 n) compare-exchanges.
+void oblivious_sort(std::span<double> data);
+
+/// LR matrix over `snps` with no genotype-dependent branch: each cell is
+/// computed as w_major + g * (w_minor - w_major) with g in {0,1}.
+LrMatrix oblivious_build_lr_matrix(const genome::GenotypeMatrix& genotypes,
+                                   const std::vector<std::uint32_t>& snps,
+                                   const LrWeights& weights);
+
+/// detection_power with an oblivious calibration: the reference scores are
+/// bitonic-sorted (fixed pattern) and the case comparisons accumulate
+/// branchlessly. Same result as stats::detection_power.
+double oblivious_detection_power(const std::vector<double>& case_scores,
+                                 const std::vector<double>& reference_scores,
+                                 double false_positive_rate,
+                                 double* threshold_out);
+
+}  // namespace gendpr::stats

@@ -1,0 +1,92 @@
+#include "tee/attestation.hpp"
+
+#include "crypto/hmac.hpp"
+#include "wire/serialize.hpp"
+
+namespace gendpr::tee {
+
+common::Bytes Quote::serialize() const {
+  wire::Writer w;
+  w.u32(identity.platform_id);
+  w.raw(common::BytesView(identity.measurement.data(),
+                          identity.measurement.size()));
+  w.raw(common::BytesView(report_data.data(), report_data.size()));
+  w.raw(common::BytesView(signature.data(), signature.size()));
+  return std::move(w).take();
+}
+
+common::Result<Quote> Quote::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  Quote quote;
+  auto platform = r.u32();
+  if (!platform.ok()) return platform.error();
+  quote.identity.platform_id = platform.value();
+  for (auto* field : {&quote.identity.measurement, &quote.report_data,
+                      &quote.signature}) {
+    auto raw = r.raw(field->size());
+    if (!raw.ok()) return raw.error();
+    std::copy(raw.value().begin(), raw.value().end(), field->begin());
+  }
+  if (!r.exhausted()) {
+    return common::make_error(common::Errc::bad_message,
+                              "trailing bytes after quote");
+  }
+  return quote;
+}
+
+QuotingAuthority QuotingAuthority::with_random_key(crypto::Csprng& rng) {
+  return QuotingAuthority(rng.array<32>());
+}
+
+QuotingAuthority::QuotingAuthority(std::array<std::uint8_t, 32> key) noexcept
+    : key_(key) {}
+
+crypto::Sha256Digest QuotingAuthority::sign(
+    const EnclaveIdentity& identity,
+    const crypto::Sha256Digest& report_data) const {
+  crypto::HmacSha256 h(common::BytesView(key_.data(), key_.size()));
+  const std::string domain = "gendpr.quote.v1";
+  h.update(common::to_bytes(domain));
+  wire::Writer w;
+  w.u32(identity.platform_id);
+  h.update(w.buffer());
+  h.update(common::BytesView(identity.measurement.data(),
+                             identity.measurement.size()));
+  h.update(common::BytesView(report_data.data(), report_data.size()));
+  return h.finish();
+}
+
+Quote QuotingAuthority::issue(const EnclaveIdentity& identity,
+                              const crypto::Sha256Digest& report_data) const {
+  Quote quote;
+  quote.identity = identity;
+  quote.report_data = report_data;
+  quote.signature = sign(identity, report_data);
+  return quote;
+}
+
+common::Status QuotingAuthority::verify(const Quote& quote) const {
+  const crypto::Sha256Digest expected =
+      sign(quote.identity, quote.report_data);
+  if (!common::ct_equal(
+          common::BytesView(expected.data(), expected.size()),
+          common::BytesView(quote.signature.data(), quote.signature.size()))) {
+    return common::make_error(common::Errc::attestation_rejected,
+                              "quote signature invalid");
+  }
+  return common::Status::success();
+}
+
+common::Status QuotingAuthority::verify_measurement(
+    const Quote& quote, const Measurement& expected) const {
+  if (auto status = verify(quote); !status.ok()) return status;
+  if (quote.identity.measurement != expected) {
+    return common::make_error(common::Errc::attestation_rejected,
+                              "unexpected enclave measurement " +
+                                  measurement_prefix(
+                                      quote.identity.measurement));
+  }
+  return common::Status::success();
+}
+
+}  // namespace gendpr::tee

@@ -1,0 +1,60 @@
+// Remote attestation (simulated quoting infrastructure).
+//
+// On SGX, a quoting enclave signs a report (MRENCLAVE + user data) with a
+// platform key whose provenance Intel's attestation service vouches for.
+// The simulation collapses that PKI into a deployment-wide QuotingAuthority
+// holding a MAC key: quotes are HMAC-SHA256 over (platform, measurement,
+// report_data). Everything the protocol relies on survives: a verifier
+// learns, unforgeably (within the simulation), *which code* is talking and
+// can bind channel key material via report_data. Forged and replayed quotes
+// are rejected, which the failure-injection tests exercise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/csprng.hpp"
+#include "crypto/sha256.hpp"
+#include "tee/identity.hpp"
+
+namespace gendpr::tee {
+
+struct Quote {
+  EnclaveIdentity identity;
+  /// 32 bytes chosen by the quoted enclave; the secure channel binds the
+  /// hash of its ephemeral public key + session nonce here.
+  crypto::Sha256Digest report_data{};
+  crypto::Sha256Digest signature{};
+
+  common::Bytes serialize() const;
+  static common::Result<Quote> deserialize(common::BytesView data);
+};
+
+/// Deployment-wide attestation root. Each enclave requests quotes from it;
+/// each verifier checks signatures against it.
+class QuotingAuthority {
+ public:
+  static QuotingAuthority with_random_key(crypto::Csprng& rng);
+  explicit QuotingAuthority(std::array<std::uint8_t, 32> key) noexcept;
+
+  Quote issue(const EnclaveIdentity& identity,
+              const crypto::Sha256Digest& report_data) const;
+
+  /// Verifies the quote signature (authenticity) only; policy checks (is
+  /// this the measurement I expect?) belong to the caller.
+  common::Status verify(const Quote& quote) const;
+
+  /// Verifies signature AND that the quoted measurement equals `expected`.
+  common::Status verify_measurement(const Quote& quote,
+                                    const Measurement& expected) const;
+
+ private:
+  crypto::Sha256Digest sign(const EnclaveIdentity& identity,
+                            const crypto::Sha256Digest& report_data) const;
+
+  std::array<std::uint8_t, 32> key_;
+};
+
+}  // namespace gendpr::tee

@@ -1,0 +1,106 @@
+// Enclave runtime: the base class all trusted modules derive from, plus the
+// per-machine platform services bundle.
+//
+// A `Platform` models one GDO's TEE-enabled server: it owns the sealing root
+// key (CPU-fused on real SGX) and the EPC meter, and references the
+// deployment-wide quoting authority. An `Enclave` is a trusted module loaded
+// on a platform: it carries its identity (platform id + measurement), can
+// seal/unseal data bound to its measurement, request quotes, and open
+// mutually-attested channels to remote enclaves. Host (untrusted) code holds
+// the Enclave object but - by convention enforced through the protected API -
+// only moves opaque sealed blobs and channel records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/csprng.hpp"
+#include "tee/attestation.hpp"
+#include "tee/epc_meter.hpp"
+#include "tee/identity.hpp"
+#include "tee/sealing.hpp"
+#include "tee/secure_channel.hpp"
+
+namespace gendpr::tee {
+
+/// Services of one TEE-enabled machine.
+class Platform {
+ public:
+  Platform(std::uint32_t platform_id, const QuotingAuthority& authority,
+           crypto::Csprng rng,
+           std::uint64_t epc_limit = EpcMeter::kDefaultLimitBytes)
+      : platform_id_(platform_id),
+        authority_(&authority),
+        rng_(std::move(rng)),
+        sealing_(SealingService::with_random_root(rng_)),
+        epc_(epc_limit) {}
+
+  std::uint32_t id() const noexcept { return platform_id_; }
+  const QuotingAuthority& authority() const noexcept { return *authority_; }
+  const SealingService& sealing() const noexcept { return sealing_; }
+  crypto::Csprng& rng() noexcept { return rng_; }
+  EpcMeter& epc() noexcept { return epc_; }
+  const EpcMeter& epc() const noexcept { return epc_; }
+
+ private:
+  std::uint32_t platform_id_;
+  const QuotingAuthority* authority_;
+  crypto::Csprng rng_;
+  SealingService sealing_;
+  EpcMeter epc_;
+};
+
+/// Base class for trusted modules.
+class Enclave {
+ public:
+  Enclave(Platform& platform, const std::string& module_name,
+          const std::string& version)
+      : platform_(&platform),
+        identity_{platform.id(), measure(module_name, version)} {}
+
+  virtual ~Enclave() = default;
+
+  const EnclaveIdentity& identity() const noexcept { return identity_; }
+  const Measurement& measurement() const noexcept {
+    return identity_.measurement;
+  }
+  Platform& platform() noexcept { return *platform_; }
+
+  /// Seals data to this enclave's measurement on this platform.
+  common::Bytes seal(common::BytesView plaintext) {
+    return platform_->sealing().seal(identity_.measurement, plaintext,
+                                     platform_->rng());
+  }
+
+  common::Result<common::Bytes> unseal(common::BytesView sealed) const {
+    return platform_->sealing().unseal(identity_.measurement, sealed);
+  }
+
+  /// Opens a half-established attested channel toward a peer running the
+  /// trusted module with measurement `peer_measurement`.
+  std::unique_ptr<SecureChannel> channel_to(
+      const Measurement& peer_measurement, bool initiator) {
+    return std::make_unique<SecureChannel>(platform_->authority(), identity_,
+                                           peer_measurement, initiator,
+                                           platform_->rng());
+  }
+
+  /// Accounts `bytes` of trusted working-set memory for the lifetime of the
+  /// returned guard. Throws via Result conversion at call sites when the EPC
+  /// limit would be exceeded.
+  common::Result<EpcAllocation> reserve_epc(std::uint64_t bytes) {
+    if (auto status = platform_->epc().allocate(bytes); !status.ok()) {
+      return status.error();
+    }
+    return EpcAllocation(platform_->epc(), bytes);
+  }
+
+ private:
+  Platform* platform_;
+  EnclaveIdentity identity_;
+};
+
+}  // namespace gendpr::tee

@@ -1,0 +1,37 @@
+#include "tee/epc_meter.hpp"
+
+namespace gendpr::tee {
+
+common::Status EpcMeter::allocate(std::uint64_t bytes) noexcept {
+  std::uint64_t current = in_use_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + bytes > limit_) {
+      return common::make_error(common::Errc::capacity_exceeded,
+                                "EPC limit exceeded");
+    }
+    if (in_use_.compare_exchange_weak(current, current + bytes,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Track peak (racy max update loop).
+  std::uint64_t now = in_use_.load(std::memory_order_relaxed);
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return common::Status::success();
+}
+
+void EpcMeter::release(std::uint64_t bytes) noexcept {
+  std::uint64_t current = in_use_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = bytes > current ? 0 : current - bytes;
+    if (in_use_.compare_exchange_weak(current, next,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace gendpr::tee

@@ -1,0 +1,87 @@
+// Simulated Enclave Page Cache accounting.
+//
+// SGX1 enclaves are limited to ~128 MB of protected memory (§2.1 of the
+// paper); GenDPR's design goal is to stay well within it by exchanging only
+// intermediate aggregates. The meter tracks the trusted working set of each
+// enclave so Table 3 ("average resource utilization", ~2 MB per enclave) can
+// be reproduced, and enforces the limit so over-allocation surfaces as the
+// same failure an SGX enclave would hit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace gendpr::tee {
+
+class EpcMeter {
+ public:
+  static constexpr std::uint64_t kDefaultLimitBytes = 128ull * 1024 * 1024;
+
+  explicit EpcMeter(std::uint64_t limit_bytes = kDefaultLimitBytes) noexcept
+      : limit_(limit_bytes) {}
+
+  /// Records an allocation inside the enclave. Fails with capacity_exceeded
+  /// if it would push the working set past the EPC limit.
+  common::Status allocate(std::uint64_t bytes) noexcept;
+
+  /// Records a release. Releasing more than allocated clamps to zero.
+  void release(std::uint64_t bytes) noexcept;
+
+  std::uint64_t in_use() const noexcept {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t limit() const noexcept { return limit_; }
+
+  void reset_peak() noexcept {
+    peak_.store(in_use(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> in_use_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// RAII allocation: releases on destruction.
+class EpcAllocation {
+ public:
+  EpcAllocation() = default;
+  EpcAllocation(EpcMeter& meter, std::uint64_t bytes)
+      : meter_(&meter), bytes_(bytes) {}
+  ~EpcAllocation() { release(); }
+
+  EpcAllocation(const EpcAllocation&) = delete;
+  EpcAllocation& operator=(const EpcAllocation&) = delete;
+  EpcAllocation(EpcAllocation&& other) noexcept
+      : meter_(other.meter_), bytes_(other.bytes_) {
+    other.meter_ = nullptr;
+    other.bytes_ = 0;
+  }
+  EpcAllocation& operator=(EpcAllocation&& other) noexcept {
+    if (this != &other) {
+      release();
+      meter_ = other.meter_;
+      bytes_ = other.bytes_;
+      other.meter_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  void release() noexcept {
+    if (meter_ != nullptr && bytes_ > 0) meter_->release(bytes_);
+    meter_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  EpcMeter* meter_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gendpr::tee

@@ -1,0 +1,23 @@
+#include "tee/identity.hpp"
+
+#include "common/bytes.hpp"
+
+namespace gendpr::tee {
+
+Measurement measure(const std::string& module_name,
+                    const std::string& version) {
+  crypto::Sha256 h;
+  const std::string domain = "gendpr.enclave.measurement.v1";
+  h.update(common::to_bytes(domain));
+  h.update(common::to_bytes("|"));
+  h.update(common::to_bytes(module_name));
+  h.update(common::to_bytes("|"));
+  h.update(common::to_bytes(version));
+  return h.finish();
+}
+
+std::string measurement_prefix(const Measurement& m) {
+  return common::to_hex(common::BytesView(m.data(), 8));
+}
+
+}  // namespace gendpr::tee

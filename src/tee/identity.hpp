@@ -1,0 +1,35 @@
+// Enclave identity and measurement.
+//
+// In SGX, MRENCLAVE is the SHA-256 of the enclave's initial code/data pages.
+// The simulation measures a *code identity string* (name + version + build
+// salt) the same way: two enclaves running the same trusted module agree on
+// the measurement; a tampered module yields a different one and is rejected
+// during attestation. This preserves the paper's trust relation — "remote
+// attestation ensures authenticity of the trusted part of GenDPR" (§4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace gendpr::tee {
+
+using Measurement = crypto::Sha256Digest;
+
+/// Computes the measurement of a trusted module from its code identity.
+Measurement measure(const std::string& module_name,
+                    const std::string& version);
+
+struct EnclaveIdentity {
+  /// Platform the enclave runs on (one per GDO machine in our federation).
+  std::uint32_t platform_id = 0;
+  Measurement measurement{};
+
+  bool operator==(const EnclaveIdentity&) const = default;
+};
+
+/// Short hex prefix of a measurement, for logs.
+std::string measurement_prefix(const Measurement& m);
+
+}  // namespace gendpr::tee

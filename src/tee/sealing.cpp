@@ -1,0 +1,54 @@
+#include "tee/sealing.hpp"
+
+#include "crypto/gcm.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace gendpr::tee {
+
+SealingService SealingService::with_random_root(crypto::Csprng& rng) {
+  return SealingService(rng.array<32>());
+}
+
+SealingService::SealingService(std::array<std::uint8_t, 32> root_key) noexcept
+    : root_key_(root_key) {}
+
+common::Bytes SealingService::sealing_key_for(
+    const Measurement& measurement) const {
+  return crypto::hkdf(
+      common::BytesView(measurement.data(), measurement.size()),
+      common::BytesView(root_key_.data(), root_key_.size()),
+      common::to_bytes("gendpr.sealing.v1"), 32);
+}
+
+common::Bytes SealingService::seal(const Measurement& measurement,
+                                   common::BytesView plaintext,
+                                   crypto::Csprng& rng) const {
+  const common::Bytes key = sealing_key_for(measurement);
+  crypto::GcmNonce nonce;
+  rng.fill(nonce);
+  const common::Bytes sealed = crypto::gcm_seal(
+      key, nonce, common::BytesView(measurement.data(), measurement.size()),
+      plaintext);
+  common::Bytes out;
+  out.reserve(nonce.size() + sealed.size());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  common::append(out, sealed);
+  return out;
+}
+
+common::Result<common::Bytes> SealingService::unseal(
+    const Measurement& measurement, common::BytesView sealed) const {
+  if (sealed.size() < crypto::kGcmNonceSize + crypto::kGcmTagSize) {
+    return common::make_error(common::Errc::decrypt_failed,
+                              "sealed blob too short");
+  }
+  crypto::GcmNonce nonce;
+  std::copy(sealed.begin(), sealed.begin() + crypto::kGcmNonceSize,
+            nonce.begin());
+  const common::Bytes key = sealing_key_for(measurement);
+  return crypto::gcm_open(
+      key, nonce, common::BytesView(measurement.data(), measurement.size()),
+      sealed.subspan(crypto::kGcmNonceSize));
+}
+
+}  // namespace gendpr::tee

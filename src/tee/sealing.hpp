@@ -1,0 +1,47 @@
+// Data sealing (SGX-style persistent secrets).
+//
+// The paper stores intermediate data persistently outside the TEE via the
+// SGX sealing mechanism: "Sealed data can only be encrypted/decrypted by the
+// enclave using its private key" (§4). The simulation mirrors SGX's
+// MRENCLAVE sealing policy: each platform holds a root sealing key (fused
+// into the CPU on real hardware); the per-enclave key is derived from
+// (root key, measurement), so only an enclave with the *same measurement on
+// the same platform* can unseal.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/csprng.hpp"
+#include "tee/identity.hpp"
+
+namespace gendpr::tee {
+
+/// One per simulated machine (GDO server). Owns the platform root key.
+class SealingService {
+ public:
+  /// Generates a fresh random root key (normal operation).
+  static SealingService with_random_root(crypto::Csprng& rng);
+
+  /// Deterministic root for reproducible tests.
+  explicit SealingService(std::array<std::uint8_t, 32> root_key) noexcept;
+
+  /// Seals `plaintext` to the given measurement. Output layout:
+  /// nonce (12B) || ciphertext || tag (16B). The measurement is bound as AAD.
+  common::Bytes seal(const Measurement& measurement,
+                     common::BytesView plaintext, crypto::Csprng& rng) const;
+
+  /// Unseals a blob for the given measurement. Fails with decrypt_failed on
+  /// tampering, truncation, a different measurement, or another platform's
+  /// root key.
+  common::Result<common::Bytes> unseal(const Measurement& measurement,
+                                       common::BytesView sealed) const;
+
+ private:
+  common::Bytes sealing_key_for(const Measurement& measurement) const;
+
+  std::array<std::uint8_t, 32> root_key_;
+};
+
+}  // namespace gendpr::tee

@@ -1,0 +1,64 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gendpr::common {
+namespace {
+
+TEST(ErrorTest, ErrcNamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::ok), "ok");
+  EXPECT_STREQ(errc_name(Errc::decrypt_failed), "decrypt_failed");
+  EXPECT_STREQ(errc_name(Errc::attestation_rejected), "attestation_rejected");
+  EXPECT_STREQ(errc_name(Errc::bad_message), "bad_message");
+  EXPECT_STREQ(errc_name(Errc::capacity_exceeded), "capacity_exceeded");
+}
+
+TEST(ErrorTest, ErrorToString) {
+  const Error e = make_error(Errc::bad_message, "truncated frame");
+  EXPECT_EQ(e.to_string(), "bad_message: truncated frame");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(make_error(Errc::decrypt_failed, "tag mismatch"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::decrypt_failed);
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  Result<int> r(make_error(Errc::bad_message, "x"));
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(ResultTest, ErrorOnValueThrows) {
+  Result<int> r(7);
+  EXPECT_THROW(r.error(), std::logic_error);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::ok);
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s(make_error(Errc::state_violation, "phase out of order"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::state_violation);
+}
+
+}  // namespace
+}  // namespace gendpr::common

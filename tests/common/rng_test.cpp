@@ -1,0 +1,158 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace gendpr::common {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(31);
+  const double shape = 2.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+  EXPECT_NEAR(sum / n, shape, 0.05);
+}
+
+TEST(RngTest, GammaSubUnitShape) {
+  Rng rng(37);
+  const double shape = 0.4;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, shape, 0.03);
+}
+
+TEST(RngTest, BetaWithinUnitInterval) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.beta(0.5, 2.0);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(43);
+  const double a = 2.0;
+  const double b = 6.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.beta(a, b);
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(RngTest, PermutationIsBijective) {
+  Rng rng(47);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationEmpty) {
+  Rng rng(53);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(59);
+  Rng b = a.fork();
+  // The fork must not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace gendpr::common

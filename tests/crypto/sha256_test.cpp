@@ -1,0 +1,85 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::crypto {
+namespace {
+
+using common::Bytes;
+using common::to_bytes;
+using common::to_hex;
+
+std::string hash_hex(common::BytesView data) {
+  const Sha256Digest d = Sha256::hash(data);
+  return to_hex(common::BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP known-answer tests.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hash_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hash_hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  const Bytes data(1000000, 'a');
+  EXPECT_EQ(hash_hex(data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  Sha256 h;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  std::size_t offset = 0;
+  const std::size_t chunks[] = {1, 3, 7, 13, 19};
+  std::size_t chunk_idx = 0;
+  while (offset < data.size()) {
+    const std::size_t take =
+        std::min(chunks[chunk_idx % 5], data.size() - offset);
+    h.update(common::BytesView(data.data() + offset, take));
+    offset += take;
+    ++chunk_idx;
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(data));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise padding around the 55/56/64-byte boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 incremental;
+    incremental.update(common::BytesView(data.data(), len / 2));
+    incremental.update(common::BytesView(data.data() + len / 2,
+                                         len - len / 2));
+    EXPECT_EQ(incremental.finish(), Sha256::hash(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, VectorConvenienceMatches) {
+  const Bytes data = to_bytes("abc");
+  const Bytes digest = sha256(data);
+  EXPECT_EQ(to_hex(digest),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hash_hex(to_bytes("a")), hash_hex(to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace gendpr::crypto

@@ -1,0 +1,270 @@
+// Failure injection at the federation level: a compromised/malfunctioning
+// host between the enclaves. Everything the untrusted side can mutate -
+// handshakes, records, message ordering - must surface as a clean protocol
+// error at the leader, never as a wrong selection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "gendpr/node.hpp"
+#include "genome/cohort.hpp"
+
+namespace gendpr::core {
+namespace {
+
+struct LeaderFixture {
+  genome::Cohort cohort;
+  tee::QuotingAuthority authority{std::array<std::uint8_t, 32>{0x51}};
+  tee::Platform leader_platform{1, authority,
+                                crypto::Csprng(std::array<std::uint8_t, 32>{1})};
+  tee::Platform member_platform{2, authority,
+                                crypto::Csprng(std::array<std::uint8_t, 32>{2})};
+  net::Network network;
+
+  LeaderFixture() {
+    genome::CohortSpec spec;
+    spec.num_case = 200;
+    spec.num_control = 200;
+    spec.num_snps = 60;
+    spec.seed = 31;
+    cohort = genome::generate_cohort(spec);
+  }
+
+  StudyAnnounce announce() const {
+    StudyAnnounce a;
+    a.study_id = 1;
+    a.num_snps = static_cast<std::uint32_t>(cohort.cases.num_snps());
+    a.combinations = Coordinator::build_combinations(2, CollusionPolicy::none());
+    return a;
+  }
+
+  /// The leader node (GDO 0). Constructing it attaches it to the network,
+  /// so tests MUST create it (via this accessor) before starting any
+  /// adversarial member thread - otherwise the member's first message races
+  /// the leader's attach and gets dropped, deadlocking the handshake.
+  LeaderNode& leader() {
+    if (!leader_node) {
+      leader_node = std::make_unique<LeaderNode>(
+          network, leader_platform, 0, 2, cohort.cases.slice_rows(0, 100),
+          cohort.controls, announce());
+    }
+    return *leader_node;
+  }
+
+  common::Result<StudyResult> run_leader() {
+    return leader().run_study(nullptr);
+  }
+
+  std::unique_ptr<LeaderNode> leader_node;
+};
+
+TEST(FailureInjectionTest, GarbageHandshakeRejected) {
+  LeaderFixture f;
+  f.leader();  // attach the leader before the attacker speaks
+  auto mailbox = f.network.attach(node_id_of(1));
+  std::thread attacker([&] {
+    f.network.send(node_id_of(1), node_id_of(0),
+                   common::Bytes{0xde, 0xad, 0xbe, 0xef});
+  });
+  const auto result = f.run_leader();
+  attacker.join();
+  ASSERT_FALSE(result.ok());
+  // Truncated/garbled handshake -> bad_message or attestation failure.
+  EXPECT_TRUE(result.error().code == common::Errc::bad_message ||
+              result.error().code == common::Errc::attestation_rejected)
+      << result.error().to_string();
+}
+
+TEST(FailureInjectionTest, HandshakeFromUnknownNodeRejected) {
+  LeaderFixture f;
+  f.leader();
+  f.network.attach(node_id_of(7));
+  std::thread attacker([&] {
+    f.network.send(node_id_of(7), node_id_of(0), common::Bytes{0x01});
+  });
+  const auto result = f.run_leader();
+  attacker.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::unknown_peer);
+}
+
+TEST(FailureInjectionTest, TamperedRecordDetected) {
+  LeaderFixture f;
+  f.leader();
+  // An honest member, but the "network" (this test) flips a bit in its
+  // first protocol record before delivery.
+  auto member_mailbox = f.network.attach(node_id_of(1));
+  GdoEnclave member_enclave(f.member_platform, 1);
+  ASSERT_TRUE(
+      member_enclave.provision_dataset(f.cohort.cases.slice_rows(100, 200))
+          .ok());
+
+  std::thread member([&] {
+    auto channel = member_enclave.channel_to(trusted_module_measurement(),
+                                             /*initiator=*/true);
+    f.network.send(node_id_of(1), node_id_of(0),
+                   channel->handshake_message());
+    const auto leader_handshake = member_mailbox->receive();
+    ASSERT_TRUE(leader_handshake.has_value());
+    ASSERT_TRUE(channel->complete(leader_handshake->payload).ok());
+
+    // Receive the study announce, answer with summary stats - but corrupt
+    // the record on its way out (simulating a compromised host).
+    const auto announce_record = member_mailbox->receive();
+    ASSERT_TRUE(announce_record.has_value());
+    auto plaintext = channel->open(announce_record->payload);
+    ASSERT_TRUE(plaintext.ok());
+    auto opened = open_envelope(plaintext.value());
+    ASSERT_TRUE(opened.ok());
+    auto announce = StudyAnnounce::deserialize(opened.value().second);
+    ASSERT_TRUE(announce.ok());
+    ASSERT_TRUE(member_enclave.on_study_announce(announce.value()).ok());
+    auto record = channel->seal(envelope(
+        MsgType::summary_stats,
+        member_enclave.make_summary_stats().serialize()));
+    ASSERT_TRUE(record.ok());
+    common::Bytes corrupted = record.value();
+    corrupted[corrupted.size() / 2] ^= 0x01;
+    f.network.send(node_id_of(1), node_id_of(0), std::move(corrupted));
+  });
+
+  const auto result = f.run_leader();
+  member.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::decrypt_failed);
+}
+
+TEST(FailureInjectionTest, WrongMessageTypeRejected) {
+  LeaderFixture f;
+  f.leader();
+  auto member_mailbox = f.network.attach(node_id_of(1));
+  GdoEnclave member_enclave(f.member_platform, 1);
+  ASSERT_TRUE(
+      member_enclave.provision_dataset(f.cohort.cases.slice_rows(100, 200))
+          .ok());
+
+  std::thread member([&] {
+    auto channel = member_enclave.channel_to(trusted_module_measurement(),
+                                             /*initiator=*/true);
+    f.network.send(node_id_of(1), node_id_of(0),
+                   channel->handshake_message());
+    const auto leader_handshake = member_mailbox->receive();
+    ASSERT_TRUE(leader_handshake.has_value());
+    ASSERT_TRUE(channel->complete(leader_handshake->payload).ok());
+    const auto announce_record = member_mailbox->receive();
+    ASSERT_TRUE(announce_record.has_value());
+    ASSERT_TRUE(channel->open(announce_record->payload).ok());
+    // Reply with a phase-3 message where summary stats are expected.
+    auto record =
+        channel->seal(envelope(MsgType::phase3_result,
+                               Phase3Result{{1, 2}, 0.0}.serialize()));
+    ASSERT_TRUE(record.ok());
+    f.network.send(node_id_of(1), node_id_of(0), std::move(record).take());
+  });
+
+  const auto result = f.run_leader();
+  member.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::state_violation);
+}
+
+TEST(FailureInjectionTest, OversizedSummaryRejected) {
+  LeaderFixture f;
+  f.leader();
+  auto member_mailbox = f.network.attach(node_id_of(1));
+  GdoEnclave member_enclave(f.member_platform, 1);
+  ASSERT_TRUE(
+      member_enclave.provision_dataset(f.cohort.cases.slice_rows(100, 200))
+          .ok());
+
+  std::thread member([&] {
+    auto channel = member_enclave.channel_to(trusted_module_measurement(),
+                                             /*initiator=*/true);
+    f.network.send(node_id_of(1), node_id_of(0),
+                   channel->handshake_message());
+    const auto leader_handshake = member_mailbox->receive();
+    ASSERT_TRUE(leader_handshake.has_value());
+    ASSERT_TRUE(channel->complete(leader_handshake->payload).ok());
+    const auto announce_record = member_mailbox->receive();
+    ASSERT_TRUE(announce_record.has_value());
+    ASSERT_TRUE(channel->open(announce_record->payload).ok());
+    // Claims counts over the wrong number of SNPs.
+    SummaryStats bogus;
+    bogus.case_counts.assign(9999, 1);
+    bogus.n_case = 100;
+    auto record =
+        channel->seal(envelope(MsgType::summary_stats, bogus.serialize()));
+    ASSERT_TRUE(record.ok());
+    f.network.send(node_id_of(1), node_id_of(0), std::move(record).take());
+  });
+
+  const auto result = f.run_leader();
+  member.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::bad_message);
+}
+
+TEST(FailureInjectionTest, MissingMomentsAbortLdPhase) {
+  // A member that stops answering moments requests must abort the phase
+  // with a protocol error - never let zero moments skew the aggregate.
+  LeaderFixture f;
+  GdoEnclave leader_enclave(f.leader_platform, 0);
+  ASSERT_TRUE(
+      leader_enclave.provision_dataset(f.cohort.cases.slice_rows(0, 100))
+          .ok());
+  Coordinator coordinator(leader_enclave, f.cohort.controls, 2, f.announce());
+  SummaryStats member_stats;
+  member_stats.case_counts.assign(f.cohort.cases.num_snps(), 5);
+  member_stats.n_case = 100;
+  ASSERT_TRUE(coordinator.add_summary(1, member_stats).ok());
+  ASSERT_TRUE(coordinator.run_maf_phase().ok());
+
+  auto silent_fetch = [](const MomentsRequest&) {
+    return std::vector<std::optional<stats::LdMoments>>{};  // no responses
+  };
+  const auto result = coordinator.run_ld_phase(silent_fetch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::state_violation);
+}
+
+TEST(CheckpointTest, SealRestoreRoundTrip) {
+  LeaderFixture f;
+  GdoEnclave enclave(f.member_platform, 1);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  StudyAnnounce announce = f.announce();
+  ASSERT_TRUE(enclave.on_study_announce(announce).ok());
+  ASSERT_TRUE(enclave.on_phase1(Phase1Result{{1, 2, 3}}).ok());
+  ASSERT_TRUE(enclave.on_phase3(Phase3Result{{2, 3}, 0.5}).ok());
+
+  const common::Bytes checkpoint = enclave.seal_study_checkpoint();
+
+  GdoEnclave restored(f.member_platform, 1);
+  ASSERT_TRUE(restored.restore_study_checkpoint(checkpoint).ok());
+  EXPECT_EQ(restored.safe_snps(), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(restored.retained_after_phase1(),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(restored.study_complete());
+}
+
+TEST(CheckpointTest, OtherPlatformCannotRestore) {
+  LeaderFixture f;
+  GdoEnclave enclave(f.member_platform, 1);
+  ASSERT_TRUE(enclave.on_phase1(Phase1Result{}).ok() == false);  // sanity
+  const common::Bytes checkpoint = enclave.seal_study_checkpoint();
+  GdoEnclave other(f.leader_platform, 1);
+  EXPECT_FALSE(other.restore_study_checkpoint(checkpoint).ok());
+}
+
+TEST(CheckpointTest, TamperedCheckpointRejected) {
+  LeaderFixture f;
+  GdoEnclave enclave(f.member_platform, 1);
+  common::Bytes checkpoint = enclave.seal_study_checkpoint();
+  checkpoint[checkpoint.size() - 1] ^= 0x01;
+  const auto status = enclave.restore_study_checkpoint(checkpoint);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::decrypt_failed);
+}
+
+}  // namespace
+}  // namespace gendpr::core

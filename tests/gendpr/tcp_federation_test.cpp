@@ -1,0 +1,135 @@
+// End-to-end federation over real TCP sockets: each GDO runs its own TcpHub
+// on loopback (its own "machine"), members dial the leader, and the full
+// three-phase protocol runs unchanged over the net::Transport interface.
+// The selection must equal an in-process run over the same cohort.
+#include <gtest/gtest.h>
+
+#include "gendpr/federation.hpp"
+#include "gendpr/node.hpp"
+#include "net/tcp.hpp"
+
+namespace gendpr::core {
+namespace {
+
+TEST(TcpFederationTest, StudyOverRealSocketsMatchesInProcess) {
+  genome::CohortSpec cohort_spec;
+  cohort_spec.num_case = 300;
+  cohort_spec.num_control = 300;
+  cohort_spec.num_snps = 80;
+  cohort_spec.seed = 55;
+  const genome::Cohort cohort = genome::generate_cohort(cohort_spec);
+
+  constexpr std::uint32_t kGdos = 3;
+  constexpr std::uint32_t kLeaderGdo = 0;
+  const auto ranges = genome::equal_partition(cohort_spec.num_case, kGdos);
+
+  tee::QuotingAuthority authority(std::array<std::uint8_t, 32>{0x71});
+  std::vector<std::unique_ptr<tee::Platform>> platforms;
+  for (std::uint32_t g = 0; g < kGdos; ++g) {
+    platforms.push_back(std::make_unique<tee::Platform>(
+        g + 1, authority,
+        crypto::Csprng(std::array<std::uint8_t, 32>{
+            static_cast<std::uint8_t>(g + 1)})));
+  }
+
+  // One hub per GDO "machine"; members dial the leader.
+  std::vector<std::unique_ptr<net::TcpHub>> hubs;
+  for (std::uint32_t g = 0; g < kGdos; ++g) {
+    auto hub = net::TcpHub::create(node_id_of(g), 0);
+    ASSERT_TRUE(hub.ok()) << hub.error().to_string();
+    hubs.push_back(std::move(hub).take());
+  }
+  for (std::uint32_t g = 1; g < kGdos; ++g) {
+    ASSERT_TRUE(hubs[g]
+                    ->connect_peer(node_id_of(kLeaderGdo), "127.0.0.1",
+                                   hubs[kLeaderGdo]->port())
+                    .ok());
+  }
+
+  StudyAnnounce announce;
+  announce.study_id = 9;
+  announce.num_snps = static_cast<std::uint32_t>(cohort_spec.num_snps);
+  announce.combinations =
+      Coordinator::build_combinations(kGdos, CollusionPolicy::none());
+
+  LeaderNode leader(*hubs[kLeaderGdo], *platforms[kLeaderGdo], kLeaderGdo,
+                    kGdos,
+                    cohort.cases.slice_rows(ranges[kLeaderGdo].first,
+                                            ranges[kLeaderGdo].second),
+                    cohort.controls, announce);
+  std::vector<std::unique_ptr<MemberNode>> members;
+  for (std::uint32_t g = 1; g < kGdos; ++g) {
+    members.push_back(std::make_unique<MemberNode>(
+        *hubs[g], *platforms[g], g, kLeaderGdo,
+        cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+    members.back()->start();
+  }
+
+  const auto tcp_result = leader.run_study(nullptr);
+  for (auto& member : members) member->join();
+  ASSERT_TRUE(tcp_result.ok()) << tcp_result.error().to_string();
+  for (const auto& member : members) {
+    EXPECT_TRUE(member->status().ok()) << member->status().error().to_string();
+    EXPECT_TRUE(member->enclave().study_complete());
+  }
+
+  // Reference: the same study over the in-process fabric.
+  FederationSpec spec;
+  spec.num_gdos = kGdos;
+  const auto in_process = run_federated_study(cohort, spec);
+  ASSERT_TRUE(in_process.ok());
+
+  EXPECT_EQ(tcp_result.value().outcome.l_prime,
+            in_process.value().outcome.l_prime);
+  EXPECT_EQ(tcp_result.value().outcome.l_double_prime,
+            in_process.value().outcome.l_double_prime);
+  EXPECT_EQ(tcp_result.value().outcome.l_safe,
+            in_process.value().outcome.l_safe);
+
+  // Traffic was actually metered on the leader's hub.
+  EXPECT_GT(tcp_result.value().network_bytes_total, 0u);
+}
+
+TEST(TcpFederationTest, MemberSafeSetsMatchLeader) {
+  genome::CohortSpec cohort_spec;
+  cohort_spec.num_case = 200;
+  cohort_spec.num_control = 200;
+  cohort_spec.num_snps = 50;
+  cohort_spec.seed = 66;
+  const genome::Cohort cohort = genome::generate_cohort(cohort_spec);
+
+  tee::QuotingAuthority authority(std::array<std::uint8_t, 32>{0x72});
+  tee::Platform leader_platform(1, authority,
+                                crypto::Csprng(std::array<std::uint8_t, 32>{1}));
+  tee::Platform member_platform(2, authority,
+                                crypto::Csprng(std::array<std::uint8_t, 32>{2}));
+
+  auto leader_hub = net::TcpHub::create(node_id_of(0), 0);
+  auto member_hub = net::TcpHub::create(node_id_of(1), 0);
+  ASSERT_TRUE(leader_hub.ok());
+  ASSERT_TRUE(member_hub.ok());
+  ASSERT_TRUE(member_hub.value()
+                  ->connect_peer(node_id_of(0), "127.0.0.1",
+                                 leader_hub.value()->port())
+                  .ok());
+
+  StudyAnnounce announce;
+  announce.num_snps = 50;
+  announce.combinations =
+      Coordinator::build_combinations(2, CollusionPolicy::none());
+
+  LeaderNode leader(*leader_hub.value(), leader_platform, 0, 2,
+                    cohort.cases.slice_rows(0, 100), cohort.controls,
+                    announce);
+  MemberNode member(*member_hub.value(), member_platform, 1, 0,
+                    cohort.cases.slice_rows(100, 200));
+  member.start();
+  const auto result = leader.run_study(nullptr);
+  member.join();
+  ASSERT_TRUE(result.ok());
+  // The member's broadcast-received safe set equals the leader's outcome.
+  EXPECT_EQ(member.enclave().safe_snps(), result.value().outcome.l_safe);
+}
+
+}  // namespace
+}  // namespace gendpr::core

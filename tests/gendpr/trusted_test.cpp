@@ -1,0 +1,264 @@
+#include "gendpr/trusted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "genome/cohort.hpp"
+
+namespace gendpr::core {
+namespace {
+
+struct Fixture {
+  tee::QuotingAuthority authority{std::array<std::uint8_t, 32>{0x01}};
+  tee::Platform platform{1, authority,
+                         crypto::Csprng(std::array<std::uint8_t, 32>{2})};
+
+  genome::Cohort cohort = genome::generate_cohort([] {
+    genome::CohortSpec spec;
+    spec.num_case = 300;
+    spec.num_control = 300;
+    spec.num_snps = 120;
+    spec.seed = 5;
+    return spec;
+  }());
+
+  StudyAnnounce make_announce(std::uint32_t num_gdos,
+                              CollusionPolicy policy) {
+    StudyAnnounce announce;
+    announce.study_id = 1;
+    announce.num_snps = static_cast<std::uint32_t>(cohort.cases.num_snps());
+    announce.combinations =
+        Coordinator::build_combinations(num_gdos, policy);
+    return announce;
+  }
+};
+
+TEST(IntersectSortedTest, BasicCases) {
+  EXPECT_TRUE(intersect_sorted({}).empty());
+  EXPECT_EQ(intersect_sorted({{1, 2, 3}}), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(intersect_sorted({{1, 2, 3}, {2, 3, 4}}),
+            (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(intersect_sorted({{1, 2}, {3, 4}}), (std::vector<std::uint32_t>{}));
+  EXPECT_EQ(intersect_sorted({{1, 2, 3}, {2, 3}, {3}}),
+            (std::vector<std::uint32_t>{3}));
+}
+
+TEST(BuildCombinationsTest, NonePolicyIsAllGdos) {
+  const auto combinations =
+      Coordinator::build_combinations(4, CollusionPolicy::none());
+  ASSERT_EQ(combinations.size(), 1u);
+  EXPECT_EQ(combinations[0], (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BuildCombinationsTest, FixedFMatchesBinomial) {
+  // C(5, 5-2) = 10 combinations of 3 GDOs.
+  const auto combinations =
+      Coordinator::build_combinations(5, CollusionPolicy::fixed(2));
+  EXPECT_EQ(combinations.size(), 10u);
+  for (const auto& members : combinations) {
+    EXPECT_EQ(members.size(), 3u);
+  }
+}
+
+TEST(BuildCombinationsTest, FixedFMaxIsSingletons) {
+  const auto combinations =
+      Coordinator::build_combinations(4, CollusionPolicy::fixed(3));
+  EXPECT_EQ(combinations.size(), 4u);
+  for (const auto& members : combinations) EXPECT_EQ(members.size(), 1u);
+}
+
+TEST(BuildCombinationsTest, ConservativeSumsAllF) {
+  // Sum of C(4, 4-f) for f=1..3: 4 + 6 + 4 = 14.
+  const auto combinations =
+      Coordinator::build_combinations(4, CollusionPolicy::conservative());
+  EXPECT_EQ(combinations.size(), 14u);
+}
+
+TEST(BuildCombinationsTest, FClampedToGMinus1) {
+  const auto combinations =
+      Coordinator::build_combinations(3, CollusionPolicy::fixed(99));
+  EXPECT_EQ(combinations.size(), 3u);  // C(3,1)
+}
+
+TEST(GdoEnclaveTest, ProvisionAccountsEpc) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  EXPECT_EQ(f.platform.epc().in_use(), f.cohort.cases.storage_bytes());
+}
+
+TEST(GdoEnclaveTest, ProvisionRejectedOverEpcLimit) {
+  tee::QuotingAuthority authority{std::array<std::uint8_t, 32>{0x03}};
+  tee::Platform tiny(1, authority,
+                     crypto::Csprng(std::array<std::uint8_t, 32>{4}),
+                     /*epc_limit=*/16);
+  Fixture f;
+  GdoEnclave enclave(tiny, 0);
+  const auto status = enclave.provision_dataset(f.cohort.cases);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::capacity_exceeded);
+}
+
+TEST(GdoEnclaveTest, SummaryStatsMatchDataset) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  const SummaryStats stats = enclave.make_summary_stats();
+  EXPECT_EQ(stats.n_case, f.cohort.cases.num_individuals());
+  EXPECT_EQ(stats.case_counts, f.cohort.cases.allele_counts());
+}
+
+TEST(GdoEnclaveTest, AnnounceSnpMismatchRejected) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  StudyAnnounce announce = f.make_announce(2, CollusionPolicy::none());
+  announce.num_snps = 7;  // wrong
+  EXPECT_FALSE(enclave.on_study_announce(announce).ok());
+}
+
+TEST(GdoEnclaveTest, HandlersEnforcePhaseOrder) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  EXPECT_FALSE(enclave.on_phase1(Phase1Result{}).ok());
+  EXPECT_FALSE(enclave.on_moments_request(MomentsRequest{}).ok());
+  EXPECT_FALSE(enclave.on_phase3(Phase3Result{}).ok());
+}
+
+TEST(GdoEnclaveTest, MomentsRequestOutOfRangeRejected) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  ASSERT_TRUE(
+      enclave.on_study_announce(f.make_announce(1, CollusionPolicy::none()))
+          .ok());
+  MomentsRequest request{0, 0, 100000};
+  EXPECT_FALSE(enclave.on_moments_request(request).ok());
+}
+
+TEST(GdoEnclaveTest, Phase2BuildsMatricesOnlyForOwnCombinations) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 1);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  StudyAnnounce announce = f.make_announce(3, CollusionPolicy::fixed(1));
+  // Combinations of 2 of {0,1,2}: {0,1}, {0,2}, {1,2}. GDO 1 is in 2 of 3.
+  ASSERT_TRUE(enclave.on_study_announce(announce).ok());
+  ASSERT_TRUE(enclave.on_phase1(Phase1Result{{0, 1, 2}}).ok());
+  Phase2Result phase2;
+  phase2.retained = {0, 1, 2};
+  phase2.reference_freq = {0.2, 0.3, 0.4};
+  phase2.case_freq_per_combination = {{0.2, 0.3, 0.4},
+                                      {0.25, 0.35, 0.45},
+                                      {0.21, 0.31, 0.41}};
+  const auto matrices = enclave.on_phase2(phase2);
+  ASSERT_TRUE(matrices.ok());
+  EXPECT_EQ(matrices.value().entries.size(), 2u);
+  for (const auto& entry : matrices.value().entries) {
+    EXPECT_EQ(entry.matrix.rows(), f.cohort.cases.num_individuals());
+    EXPECT_EQ(entry.matrix.cols(), 3u);
+  }
+}
+
+TEST(GdoEnclaveTest, Phase2FrequencySizeMismatchRejected) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 0);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  ASSERT_TRUE(
+      enclave.on_study_announce(f.make_announce(1, CollusionPolicy::none()))
+          .ok());
+  Phase2Result phase2;
+  phase2.retained = {0, 1};
+  phase2.reference_freq = {0.2};  // wrong size
+  phase2.case_freq_per_combination = {{0.2, 0.3}};
+  EXPECT_FALSE(enclave.on_phase2(phase2).ok());
+}
+
+TEST(CoordinatorTest, RejectsBogusSummaries) {
+  Fixture f;
+  GdoEnclave leader(f.platform, 0);
+  ASSERT_TRUE(leader.provision_dataset(f.cohort.cases).ok());
+  Coordinator coordinator(leader, f.cohort.controls, 2,
+                          f.make_announce(2, CollusionPolicy::none()));
+  SummaryStats bogus;
+  bogus.case_counts = {1, 2};  // wrong length
+  bogus.n_case = 10;
+  EXPECT_FALSE(coordinator.add_summary(1, bogus).ok());
+
+  SummaryStats inflated;
+  inflated.case_counts.assign(f.cohort.cases.num_snps(), 100);
+  inflated.n_case = 10;  // counts exceed population
+  EXPECT_FALSE(coordinator.add_summary(1, inflated).ok());
+
+  SummaryStats ok;
+  ok.case_counts.assign(f.cohort.cases.num_snps(), 1);
+  ok.n_case = 10;
+  EXPECT_FALSE(coordinator.add_summary(7, ok).ok());  // unknown GDO
+  EXPECT_TRUE(coordinator.add_summary(1, ok).ok());
+}
+
+TEST(CoordinatorTest, MafPhaseRequiresAllSummaries) {
+  Fixture f;
+  GdoEnclave leader(f.platform, 0);
+  ASSERT_TRUE(leader.provision_dataset(f.cohort.cases).ok());
+  Coordinator coordinator(leader, f.cohort.controls, 3,
+                          f.make_announce(3, CollusionPolicy::none()));
+  EXPECT_FALSE(coordinator.phase1_ready());
+  EXPECT_FALSE(coordinator.run_maf_phase().ok());
+}
+
+TEST(CoordinatorTest, SingleGdoPipelineRunsEndToEnd) {
+  Fixture f;
+  GdoEnclave leader(f.platform, 0);
+  ASSERT_TRUE(leader.provision_dataset(f.cohort.cases).ok());
+  Coordinator coordinator(leader, f.cohort.controls, 1,
+                          f.make_announce(1, CollusionPolicy::none()));
+  ASSERT_TRUE(coordinator.phase1_ready());
+  const auto phase1 = coordinator.run_maf_phase();
+  ASSERT_TRUE(phase1.ok());
+  EXPECT_FALSE(phase1.value().retained.empty());
+
+  auto fetch = [](const MomentsRequest&) {
+    return std::vector<std::optional<stats::LdMoments>>{};
+  };
+  const auto phase2 = coordinator.run_ld_phase(fetch);
+  ASSERT_TRUE(phase2.ok());
+  EXPECT_LE(phase2.value().retained.size(), phase1.value().retained.size());
+
+  ASSERT_TRUE(coordinator.phase3_ready());
+  const auto phase3 = coordinator.run_lr_phase(nullptr);
+  ASSERT_TRUE(phase3.ok());
+  EXPECT_LE(phase3.value().safe.size(), phase2.value().retained.size());
+  EXPECT_LE(phase3.value().final_power, 0.9);
+}
+
+TEST(CoordinatorTest, LrMatrixValidation) {
+  Fixture f;
+  GdoEnclave leader(f.platform, 0);
+  ASSERT_TRUE(leader.provision_dataset(f.cohort.cases).ok());
+  Coordinator coordinator(leader, f.cohort.controls, 2,
+                          f.make_announce(2, CollusionPolicy::none()));
+  SummaryStats member_stats;
+  member_stats.case_counts.assign(f.cohort.cases.num_snps(), 5);
+  member_stats.n_case = 50;
+  ASSERT_TRUE(coordinator.add_summary(1, member_stats).ok());
+  ASSERT_TRUE(coordinator.run_maf_phase().ok());
+  auto fetch = [&](const MomentsRequest&) {
+    std::vector<std::optional<stats::LdMoments>> per_gdo(2);
+    per_gdo[1] = stats::LdMoments{5, 5, 1, 5, 5, 50};
+    return per_gdo;
+  };
+  ASSERT_TRUE(coordinator.run_ld_phase(fetch).ok());
+
+  LrMatrices bad_combination;
+  bad_combination.entries.push_back({7, stats::LrMatrix(50, 1)});
+  EXPECT_FALSE(coordinator.add_lr_matrices(1, bad_combination).ok());
+
+  LrMatrices wrong_rows;
+  wrong_rows.entries.push_back(
+      {0, stats::LrMatrix(3, coordinator.outcome().l_double_prime.size())});
+  EXPECT_FALSE(coordinator.add_lr_matrices(1, wrong_rows).ok());
+}
+
+}  // namespace
+}  // namespace gendpr::core

@@ -1,0 +1,142 @@
+#include "genome/vcf_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "genome/cohort.hpp"
+
+namespace gendpr::genome {
+namespace {
+
+VcfLite sample_vcf() {
+  VcfLite vcf;
+  vcf.snp_ids = {"rs1", "rs2", "rs3"};
+  vcf.genotypes = GenotypeMatrix(2, 3);
+  vcf.genotypes.set(0, 0, true);
+  vcf.genotypes.set(1, 2, true);
+  return vcf;
+}
+
+TEST(VcfLiteTest, WriteProducesExpectedText) {
+  const std::string text = write_vcf_lite(sample_vcf());
+  EXPECT_EQ(text,
+            "##gendpr-vcf-lite v1\n"
+            "##individuals=2\n"
+            "##snps=3\n"
+            "#ids rs1 rs2 rs3\n"
+            "100\n"
+            "001\n");
+}
+
+TEST(VcfLiteTest, RoundTrip) {
+  const VcfLite original = sample_vcf();
+  const auto parsed = read_vcf_lite(write_vcf_lite(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().snp_ids, original.snp_ids);
+  EXPECT_EQ(parsed.value().genotypes, original.genotypes);
+}
+
+TEST(VcfLiteTest, RoundTripLargeRandomMatrix) {
+  common::Rng rng(3);
+  VcfLite vcf;
+  vcf.genotypes = GenotypeMatrix(100, 57);
+  for (std::size_t l = 0; l < 57; ++l) {
+    vcf.snp_ids.push_back("rs" + std::to_string(l));
+  }
+  for (std::size_t n = 0; n < 100; ++n) {
+    for (std::size_t l = 0; l < 57; ++l) {
+      if (rng.bernoulli(0.3)) vcf.genotypes.set(n, l, true);
+    }
+  }
+  const auto parsed = read_vcf_lite(write_vcf_lite(vcf));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().genotypes, vcf.genotypes);
+}
+
+TEST(VcfLiteTest, RejectsMissingMagic) {
+  EXPECT_FALSE(read_vcf_lite("not a vcf\n").ok());
+}
+
+TEST(VcfLiteTest, RejectsBadCounts) {
+  EXPECT_FALSE(read_vcf_lite("##gendpr-vcf-lite v1\n##individuals=x\n").ok());
+}
+
+TEST(VcfLiteTest, RejectsIdCountMismatch) {
+  const std::string text =
+      "##gendpr-vcf-lite v1\n##individuals=1\n##snps=3\n#ids rs1 rs2\n000\n";
+  EXPECT_FALSE(read_vcf_lite(text).ok());
+}
+
+TEST(VcfLiteTest, RejectsWrongLineLength) {
+  const std::string text =
+      "##gendpr-vcf-lite v1\n##individuals=1\n##snps=3\n#ids a b c\n0000\n";
+  EXPECT_FALSE(read_vcf_lite(text).ok());
+}
+
+TEST(VcfLiteTest, RejectsNonBinaryGenotype) {
+  const std::string text =
+      "##gendpr-vcf-lite v1\n##individuals=1\n##snps=3\n#ids a b c\n012\n";
+  EXPECT_FALSE(read_vcf_lite(text).ok());
+}
+
+TEST(VcfLiteTest, RejectsMissingGenotypeLines) {
+  const std::string text =
+      "##gendpr-vcf-lite v1\n##individuals=2\n##snps=2\n#ids a b\n00\n";
+  EXPECT_FALSE(read_vcf_lite(text).ok());
+}
+
+TEST(VcfLiteTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vcf_lite_test.vcf";
+  const VcfLite vcf = sample_vcf();
+  ASSERT_TRUE(write_vcf_lite_file(path, vcf).ok());
+  const auto parsed = read_vcf_lite_file(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().genotypes, vcf.genotypes);
+  std::remove(path.c_str());
+}
+
+TEST(VcfLiteTest, MissingFileFails) {
+  const auto result = read_vcf_lite_file("/nonexistent/path.vcf");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::io_error);
+}
+
+TEST(DatasetManifestTest, SignVerifyRoundTrip) {
+  const std::string text = write_vcf_lite(sample_vcf());
+  const common::Bytes key = common::to_bytes("gdo-3 signing key");
+  const DatasetManifest manifest = sign_dataset("amd-study", text, key);
+  EXPECT_EQ(manifest.num_individuals, 2u);
+  EXPECT_EQ(manifest.num_snps, 3u);
+  EXPECT_TRUE(verify_dataset(manifest, text, key).ok());
+}
+
+TEST(DatasetManifestTest, TamperedContentRejected) {
+  std::string text = write_vcf_lite(sample_vcf());
+  const common::Bytes key = common::to_bytes("key");
+  const DatasetManifest manifest = sign_dataset("study", text, key);
+  // Flip one genotype character: simulates a GDO tampering with its data.
+  text[text.size() - 2] = text[text.size() - 2] == '0' ? '1' : '0';
+  const auto status = verify_dataset(manifest, text, key);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::attestation_rejected);
+}
+
+TEST(DatasetManifestTest, WrongKeyRejected) {
+  const std::string text = write_vcf_lite(sample_vcf());
+  const DatasetManifest manifest =
+      sign_dataset("study", text, common::to_bytes("key-a"));
+  EXPECT_FALSE(verify_dataset(manifest, text, common::to_bytes("key-b")).ok());
+}
+
+TEST(DatasetManifestTest, TamperedMetadataRejected) {
+  const std::string text = write_vcf_lite(sample_vcf());
+  const common::Bytes key = common::to_bytes("key");
+  DatasetManifest manifest = sign_dataset("study", text, key);
+  manifest.dataset_name = "different-study";
+  EXPECT_FALSE(verify_dataset(manifest, text, key).ok());
+}
+
+}  // namespace
+}  // namespace gendpr::genome

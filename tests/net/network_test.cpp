@@ -1,0 +1,178 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gendpr::net {
+namespace {
+
+using common::Bytes;
+
+TEST(MailboxTest, PushThenReceive) {
+  Mailbox mailbox;
+  mailbox.push(Envelope{1, 2, Bytes{0xaa}});
+  const auto received = mailbox.receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->from, 1u);
+  EXPECT_EQ(received->to, 2u);
+  EXPECT_EQ(received->payload, (Bytes{0xaa}));
+}
+
+TEST(MailboxTest, FifoOrder) {
+  Mailbox mailbox;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    mailbox.push(Envelope{1, 2, Bytes{i}});
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(mailbox.receive()->payload[0], i);
+  }
+}
+
+TEST(MailboxTest, TryReceiveEmptyReturnsNullopt) {
+  Mailbox mailbox;
+  EXPECT_FALSE(mailbox.try_receive().has_value());
+}
+
+TEST(MailboxTest, CloseWakesBlockedReceiver) {
+  Mailbox mailbox;
+  std::atomic<bool> returned{false};
+  std::thread receiver([&] {
+    const auto result = mailbox.receive();
+    EXPECT_FALSE(result.has_value());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mailbox.close();
+  receiver.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(MailboxTest, ReceiveBlocksUntilPush) {
+  Mailbox mailbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.push(Envelope{1, 2, Bytes{0x42}});
+  });
+  const auto received = mailbox.receive();
+  producer.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->payload, (Bytes{0x42}));
+}
+
+TEST(MailboxTest, PushAfterCloseDropped) {
+  Mailbox mailbox;
+  mailbox.close();
+  mailbox.push(Envelope{1, 2, Bytes{1}});
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(NetworkTest, SendBetweenAttachedNodes) {
+  Network network;
+  network.attach(1);
+  auto mailbox2 = network.attach(2);
+  ASSERT_TRUE(network.send(1, 2, Bytes{0x11}).ok());
+  const auto received = mailbox2->receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->from, 1u);
+  EXPECT_EQ(received->payload, (Bytes{0x11}));
+}
+
+TEST(NetworkTest, SendToUnknownPeerFails) {
+  Network network;
+  network.attach(1);
+  const auto status = network.send(1, 99, Bytes{0x11});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::unknown_peer);
+}
+
+TEST(NetworkTest, BroadcastSkipsSender) {
+  Network network;
+  auto m1 = network.attach(1);
+  auto m2 = network.attach(2);
+  auto m3 = network.attach(3);
+  network.broadcast(1, Bytes{0x77});
+  EXPECT_EQ(m1->pending(), 0u);
+  EXPECT_EQ(m2->pending(), 1u);
+  EXPECT_EQ(m3->pending(), 1u);
+}
+
+TEST(NetworkTest, DetachClosesMailbox) {
+  Network network;
+  auto mailbox = network.attach(5);
+  network.detach(5);
+  EXPECT_FALSE(network.is_attached(5));
+  EXPECT_FALSE(mailbox->receive().has_value());
+}
+
+TEST(NetworkTest, NodeCount) {
+  Network network;
+  EXPECT_EQ(network.node_count(), 0u);
+  network.attach(1);
+  network.attach(2);
+  EXPECT_EQ(network.node_count(), 2u);
+  network.detach(1);
+  EXPECT_EQ(network.node_count(), 1u);
+}
+
+TEST(NetworkTest, ConcurrentSendersAllDelivered) {
+  Network network;
+  auto sink = network.attach(100);
+  constexpr int kSenders = 8;
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    network.attach(s + 1);
+    senders.emplace_back([&network, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        ASSERT_TRUE(network
+                        .send(s + 1, 100,
+                              Bytes{static_cast<std::uint8_t>(s),
+                                    static_cast<std::uint8_t>(i)})
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  int received = 0;
+  while (sink->try_receive().has_value()) ++received;
+  EXPECT_EQ(received, kSenders * kPerSender);
+}
+
+TEST(TrafficMeterTest, RecordsBytesAndMessages) {
+  Network network;
+  network.attach(1);
+  network.attach(2);
+  ASSERT_TRUE(network.send(1, 2, Bytes(100)).ok());
+  ASSERT_TRUE(network.send(1, 2, Bytes(50)).ok());
+  ASSERT_TRUE(network.send(2, 1, Bytes(25)).ok());
+  EXPECT_EQ(network.meter().total_bytes(), 175u);
+  EXPECT_EQ(network.meter().total_messages(), 3u);
+  EXPECT_EQ(network.meter().bytes_sent_by(1), 150u);
+  EXPECT_EQ(network.meter().bytes_received_by(1), 25u);
+  EXPECT_EQ(network.meter().bytes_received_by(2), 150u);
+}
+
+TEST(TrafficMeterTest, BroadcastCountsPerReceiver) {
+  Network network;
+  network.attach(1);
+  network.attach(2);
+  network.attach(3);
+  network.broadcast(1, Bytes(10));
+  EXPECT_EQ(network.meter().total_bytes(), 20u);
+  EXPECT_EQ(network.meter().total_messages(), 2u);
+}
+
+TEST(TrafficMeterTest, ResetClears) {
+  Network network;
+  network.attach(1);
+  network.attach(2);
+  ASSERT_TRUE(network.send(1, 2, Bytes(10)).ok());
+  network.meter().reset();
+  EXPECT_EQ(network.meter().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gendpr::net

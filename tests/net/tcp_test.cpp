@@ -1,0 +1,170 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gendpr::net {
+namespace {
+
+using common::Bytes;
+
+TEST(TcpHubTest, CreateBindsEphemeralPort) {
+  auto hub = TcpHub::create(1, 0);
+  ASSERT_TRUE(hub.ok()) << hub.error().to_string();
+  EXPECT_GT(hub.value()->port(), 0);
+  EXPECT_EQ(hub.value()->self(), 1u);
+}
+
+TEST(TcpHubTest, ConnectAndExchange) {
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+
+  auto mailbox_b = b.value()->attach(2);
+  ASSERT_TRUE(a.value()->send(1, 2, Bytes{0x42, 0x43}).ok());
+  const auto received = mailbox_b->receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->from, 1u);
+  EXPECT_EQ(received->payload, (Bytes{0x42, 0x43}));
+}
+
+TEST(TcpHubTest, BidirectionalAfterSingleDial) {
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+  auto mailbox_a = a.value()->attach(1);
+  auto mailbox_b = b.value()->attach(2);
+
+  ASSERT_TRUE(a.value()->send(1, 2, Bytes{1}).ok());
+  ASSERT_TRUE(mailbox_b->receive().has_value());
+  // b learned about a through the hello; reply over the same connection.
+  ASSERT_TRUE(b.value()->send(2, 1, Bytes{2}).ok());
+  const auto reply = mailbox_a->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->from, 2u);
+  EXPECT_EQ(reply->payload, (Bytes{2}));
+}
+
+TEST(TcpHubTest, SendToUnknownPeerFails) {
+  auto hub = TcpHub::create(1, 0);
+  ASSERT_TRUE(hub.ok());
+  const auto status = hub.value()->send(1, 9, Bytes{1});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::unknown_peer);
+}
+
+TEST(TcpHubTest, ConnectToClosedPortFails) {
+  auto hub = TcpHub::create(1, 0);
+  ASSERT_TRUE(hub.ok());
+  // Grab a port then release it so nothing is listening there.
+  std::uint16_t dead_port = 1;
+  {
+    auto scratch = TcpHub::create(9, 0);
+    ASSERT_TRUE(scratch.ok());
+    dead_port = scratch.value()->port();
+  }
+  const auto status =
+      hub.value()->connect_peer(2, "127.0.0.1", dead_port);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TcpHubTest, BadHostRejected) {
+  auto hub = TcpHub::create(1, 0);
+  ASSERT_TRUE(hub.ok());
+  const auto status = hub.value()->connect_peer(2, "not-an-ip", 1234);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::invalid_argument);
+}
+
+TEST(TcpHubTest, LargePayloadRoundTrip) {
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+  auto mailbox_b = b.value()->attach(2);
+
+  common::Rng rng(3);
+  Bytes big(2 * 1024 * 1024);
+  for (auto& byte : big) byte = static_cast<std::uint8_t>(rng.next());
+  ASSERT_TRUE(a.value()->send(1, 2, big).ok());
+  const auto received = mailbox_b->receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->payload, big);
+}
+
+TEST(TcpHubTest, ManyMessagesPreserveOrder) {
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+  auto mailbox_b = b.value()->attach(2);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    Bytes msg(4);
+    for (int j = 0; j < 4; ++j) msg[j] = static_cast<std::uint8_t>(i >> (8 * j));
+    ASSERT_TRUE(a.value()->send(1, 2, std::move(msg)).ok());
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto received = mailbox_b->receive();
+    ASSERT_TRUE(received.has_value());
+    std::uint32_t value = 0;
+    for (int j = 0; j < 4; ++j) value |= std::uint32_t{received->payload[j]} << (8 * j);
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST(TcpHubTest, MeterCountsTraffic) {
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+  auto mailbox_b = b.value()->attach(2);
+  ASSERT_TRUE(a.value()->send(1, 2, Bytes(100)).ok());
+  ASSERT_TRUE(mailbox_b->receive().has_value());
+  EXPECT_EQ(a.value()->meter_or_null()->bytes_sent_by(1), 100u);
+  EXPECT_EQ(b.value()->meter_or_null()->bytes_received_by(2), 100u);
+}
+
+TEST(TcpHubTest, ThreeHubStar) {
+  // Leader hub + two members dialing in: the federation topology.
+  auto leader = TcpHub::create(1, 0);
+  auto m1 = TcpHub::create(2, 0);
+  auto m2 = TcpHub::create(3, 0);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(
+      m1.value()->connect_peer(1, "127.0.0.1", leader.value()->port()).ok());
+  ASSERT_TRUE(
+      m2.value()->connect_peer(1, "127.0.0.1", leader.value()->port()).ok());
+  auto leader_mailbox = leader.value()->attach(1);
+  ASSERT_TRUE(m1.value()->send(2, 1, Bytes{0xaa}).ok());
+  ASSERT_TRUE(m2.value()->send(3, 1, Bytes{0xbb}).ok());
+  std::set<std::uint32_t> senders;
+  for (int i = 0; i < 2; ++i) {
+    const auto received = leader_mailbox->receive();
+    ASSERT_TRUE(received.has_value());
+    senders.insert(received->from);
+  }
+  EXPECT_EQ(senders, (std::set<std::uint32_t>{2, 3}));
+  // Leader can reply to both over the accepted connections.
+  ASSERT_TRUE(leader.value()->send(1, 2, Bytes{0x01}).ok());
+  ASSERT_TRUE(leader.value()->send(1, 3, Bytes{0x02}).ok());
+  EXPECT_TRUE(m1.value()->attach(2)->receive().has_value());
+  EXPECT_TRUE(m2.value()->attach(3)->receive().has_value());
+}
+
+}  // namespace
+}  // namespace gendpr::net

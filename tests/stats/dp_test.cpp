@@ -1,0 +1,80 @@
+#include "stats/dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gendpr::stats {
+namespace {
+
+TEST(LaplaceNoiseTest, MeanNearZero) {
+  common::Rng rng(1);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += laplace_noise(rng, 2.0);
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(LaplaceNoiseTest, VarianceMatchesScale) {
+  common::Rng rng(2);
+  const double scale = 1.5;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = laplace_noise(rng, scale);
+    sum_sq += x * x;
+  }
+  // Var(Laplace(0, b)) = 2 b^2.
+  EXPECT_NEAR(sum_sq / n, 2.0 * scale * scale, 0.1);
+}
+
+TEST(LaplaceNoiseTest, InvalidScaleThrows) {
+  common::Rng rng(3);
+  EXPECT_THROW(laplace_noise(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(laplace_noise(rng, -1.0), std::invalid_argument);
+}
+
+TEST(DpPerturbTest, OutputSizeMatches) {
+  common::Rng rng(4);
+  const std::vector<std::uint32_t> counts = {10, 20, 30};
+  const auto noisy = dp_perturb_counts(counts, 1.0, 1.0, rng);
+  EXPECT_EQ(noisy.size(), 3u);
+}
+
+TEST(DpPerturbTest, NoiseMagnitudeScalesWithEpsilon) {
+  common::Rng rng(5);
+  const std::vector<std::uint32_t> counts(5000, 100);
+  const auto loose = dp_perturb_counts(counts, 0.1, 1.0, rng);
+  const auto tight = dp_perturb_counts(counts, 10.0, 1.0, rng);
+  double loose_err = 0.0;
+  double tight_err = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    loose_err += std::abs(loose[i] - 100.0);
+    tight_err += std::abs(tight[i] - 100.0);
+  }
+  loose_err /= counts.size();
+  tight_err /= counts.size();
+  // Expected |noise| = 1/epsilon: 10 vs 0.1.
+  EXPECT_NEAR(loose_err, 10.0, 1.5);
+  EXPECT_NEAR(tight_err, 0.1, 0.02);
+  EXPECT_GT(loose_err, 20.0 * tight_err);
+}
+
+TEST(DpPerturbTest, InvalidEpsilonThrows) {
+  common::Rng rng(6);
+  EXPECT_THROW(dp_perturb_counts({1}, 0.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(DpPerturbTest, EmptyInput) {
+  common::Rng rng(7);
+  EXPECT_TRUE(dp_perturb_counts({}, 1.0, 1.0, rng).empty());
+}
+
+TEST(ExpectedErrorTest, Formula) {
+  EXPECT_DOUBLE_EQ(expected_absolute_error(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_absolute_error(0.5, 2.0), 4.0);
+  EXPECT_THROW(expected_absolute_error(0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gendpr::stats

@@ -1,0 +1,249 @@
+#include "stats/lr_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gendpr::stats {
+namespace {
+
+TEST(LrWeightsTest, KnownValues) {
+  const LrWeights w = lr_weights({0.4}, {0.2});
+  EXPECT_NEAR(w.when_minor[0], std::log(0.4 / 0.2), 1e-12);
+  EXPECT_NEAR(w.when_major[0], std::log(0.6 / 0.8), 1e-12);
+}
+
+TEST(LrWeightsTest, EqualFrequenciesGiveZero) {
+  const LrWeights w = lr_weights({0.3, 0.1}, {0.3, 0.1});
+  for (double v : w.when_minor) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : w.when_major) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LrWeightsTest, ClampsDegenerateFrequencies) {
+  const LrWeights w = lr_weights({0.0, 1.0}, {0.5, 0.5});
+  for (double v : w.when_minor) EXPECT_TRUE(std::isfinite(v));
+  for (double v : w.when_major) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LrWeightsTest, SizeMismatchThrows) {
+  EXPECT_THROW(lr_weights({0.1, 0.2}, {0.1}), std::invalid_argument);
+}
+
+TEST(LrMatrixTest, BuildUsesGenotypeToPickWeight) {
+  genome::GenotypeMatrix g(2, 3);
+  g.set(0, 1, true);
+  g.set(1, 2, true);
+  const LrWeights w = lr_weights({0.4, 0.4, 0.4}, {0.2, 0.2, 0.2});
+  const std::vector<std::uint32_t> snps = {0, 1, 2};
+  const LrMatrix lr = build_lr_matrix(g, snps, w);
+  EXPECT_EQ(lr.rows(), 2u);
+  EXPECT_EQ(lr.cols(), 3u);
+  EXPECT_DOUBLE_EQ(lr.at(0, 0), w.when_major[0]);
+  EXPECT_DOUBLE_EQ(lr.at(0, 1), w.when_minor[1]);
+  EXPECT_DOUBLE_EQ(lr.at(1, 2), w.when_minor[2]);
+}
+
+TEST(LrMatrixTest, SubsetColumnsMapThroughWeightIndex) {
+  genome::GenotypeMatrix g(1, 5);
+  g.set(0, 4, true);
+  // Weights indexed over the subset {2, 4}.
+  const LrWeights w = lr_weights({0.3, 0.5}, {0.3, 0.25});
+  const std::vector<std::uint32_t> snps = {2, 4};
+  const LrMatrix lr = build_lr_matrix(g, snps, w);
+  EXPECT_DOUBLE_EQ(lr.at(0, 0), w.when_major[0]);
+  EXPECT_DOUBLE_EQ(lr.at(0, 1), w.when_minor[1]);
+}
+
+TEST(LrMatrixTest, AppendRowsConcatenates) {
+  LrMatrix a(2, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 2) = 2.0;
+  LrMatrix b(1, 3);
+  b.at(0, 1) = 3.0;
+  a.append_rows(b);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+}
+
+TEST(LrMatrixTest, AppendToEmptyAdopts) {
+  LrMatrix empty;
+  LrMatrix b(2, 4);
+  b.at(1, 3) = 5.0;
+  empty.append_rows(b);
+  EXPECT_EQ(empty.rows(), 2u);
+  EXPECT_EQ(empty.cols(), 4u);
+  EXPECT_DOUBLE_EQ(empty.at(1, 3), 5.0);
+}
+
+TEST(LrMatrixTest, AppendColumnMismatchThrows) {
+  LrMatrix a(1, 3);
+  LrMatrix b(1, 2);
+  EXPECT_THROW(a.append_rows(b), std::invalid_argument);
+}
+
+TEST(DetectionPowerTest, SeparatedScoresFullPower) {
+  // Case scores all above every reference score -> power 1 at any FPR.
+  const std::vector<double> case_scores = {10.0, 11.0, 12.0};
+  const std::vector<double> ref_scores = {0.0, 1.0, 2.0, 3.0, 4.0,
+                                          5.0, 6.0, 7.0, 8.0, 9.0};
+  double threshold = 0.0;
+  const double power = detection_power(case_scores, ref_scores, 0.1,
+                                       &threshold);
+  EXPECT_DOUBLE_EQ(power, 1.0);
+  // 90th empirical percentile: exactly one of ten reference scores exceeds
+  // it, matching the 0.1 false-positive budget.
+  EXPECT_DOUBLE_EQ(threshold, 8.0);
+}
+
+TEST(DetectionPowerTest, IdenticalDistributionsPowerNearFpr) {
+  common::Rng rng(3);
+  std::vector<double> case_scores(5000);
+  std::vector<double> ref_scores(5000);
+  for (auto& s : case_scores) s = rng.normal();
+  for (auto& s : ref_scores) s = rng.normal();
+  const double power = detection_power(case_scores, ref_scores, 0.1, nullptr);
+  EXPECT_NEAR(power, 0.1, 0.02);  // no signal: power == false-positive rate
+}
+
+TEST(DetectionPowerTest, EmptyInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(detection_power({}, {1.0}, 0.1, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(detection_power({1.0}, {}, 0.1, nullptr), 0.0);
+}
+
+TEST(DetectionPowerTest, ThresholdQuantileEdges) {
+  const std::vector<double> ref = {1.0, 2.0, 3.0, 4.0};
+  double threshold = 0.0;
+  // FPR 0 -> threshold is the max; nothing above it.
+  detection_power({10.0}, ref, 0.0, &threshold);
+  EXPECT_DOUBLE_EQ(threshold, 4.0);
+  // FPR ~1 -> threshold is the min.
+  detection_power({10.0}, ref, 0.999, &threshold);
+  EXPECT_DOUBLE_EQ(threshold, 1.0);
+}
+
+class SelectSafeSnpsTest : public ::testing::Test {
+ protected:
+  /// Builds LR matrices where columns [0, identifying) have a case/reference
+  /// gap of `gap` and the rest are pure noise.
+  static std::pair<LrMatrix, LrMatrix> synthetic(std::size_t n_case,
+                                                 std::size_t n_ref,
+                                                 std::size_t cols,
+                                                 std::size_t identifying,
+                                                 double gap,
+                                                 std::uint64_t seed) {
+    common::Rng rng(seed);
+    LrMatrix case_lr(n_case, cols);
+    LrMatrix ref_lr(n_ref, cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double shift = c < identifying ? gap : 0.0;
+      for (std::size_t r = 0; r < n_case; ++r) {
+        case_lr.at(r, c) = rng.normal() * 0.1 + shift;
+      }
+      for (std::size_t r = 0; r < n_ref; ++r) {
+        ref_lr.at(r, c) = rng.normal() * 0.1;
+      }
+    }
+    return {case_lr, ref_lr};
+  }
+};
+
+TEST_F(SelectSafeSnpsTest, NoSignalKeepsEverything) {
+  const auto [case_lr, ref_lr] = synthetic(400, 400, 30, 0, 0.0, 7);
+  const LrSelectionResult result =
+      select_safe_snps(case_lr, ref_lr, LrSelectionParams{});
+  EXPECT_EQ(result.safe_columns.size(), 30u);
+  EXPECT_LE(result.final_power, 0.9);
+}
+
+TEST_F(SelectSafeSnpsTest, StrongIdentifiersAreDropped) {
+  const auto [case_lr, ref_lr] = synthetic(400, 400, 30, 5, 3.0, 11);
+  const LrSelectionResult result =
+      select_safe_snps(case_lr, ref_lr, LrSelectionParams{});
+  EXPECT_LE(result.final_power, 0.9);
+  // The 5 identifying columns (0..4) must not all survive.
+  std::size_t surviving_identifiers = 0;
+  for (std::uint32_t c : result.safe_columns) {
+    if (c < 5) ++surviving_identifiers;
+  }
+  EXPECT_LT(surviving_identifiers, 5u);
+  // The noise columns should all survive.
+  std::size_t surviving_noise = 0;
+  for (std::uint32_t c : result.safe_columns) {
+    if (c >= 5) ++surviving_noise;
+  }
+  EXPECT_EQ(surviving_noise, 25u);
+}
+
+TEST_F(SelectSafeSnpsTest, PowerConstraintHolds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto [case_lr, ref_lr] = synthetic(300, 300, 40, 10, 1.5, seed);
+    LrSelectionParams params;
+    params.power_threshold = 0.5;
+    const LrSelectionResult result =
+        select_safe_snps(case_lr, ref_lr, params);
+    EXPECT_LE(result.final_power, 0.5) << "seed " << seed;
+  }
+}
+
+TEST_F(SelectSafeSnpsTest, RowOrderInvariance) {
+  // GenDPR merges GDO matrices in arbitrary order; selection must not care.
+  const auto [case_lr, ref_lr] = synthetic(200, 200, 20, 4, 2.0, 13);
+  LrMatrix reversed_case(case_lr.rows(), case_lr.cols());
+  for (std::size_t r = 0; r < case_lr.rows(); ++r) {
+    for (std::size_t c = 0; c < case_lr.cols(); ++c) {
+      reversed_case.at(case_lr.rows() - 1 - r, c) = case_lr.at(r, c);
+    }
+  }
+  const auto a = select_safe_snps(case_lr, ref_lr, LrSelectionParams{});
+  const auto b = select_safe_snps(reversed_case, ref_lr, LrSelectionParams{});
+  EXPECT_EQ(a.safe_columns, b.safe_columns);
+  EXPECT_DOUBLE_EQ(a.final_power, b.final_power);
+}
+
+TEST_F(SelectSafeSnpsTest, EmptyMatrixGivesEmptyResult) {
+  const LrMatrix empty;
+  const auto result = select_safe_snps(empty, empty, LrSelectionParams{});
+  EXPECT_TRUE(result.safe_columns.empty());
+}
+
+TEST_F(SelectSafeSnpsTest, ColumnMismatchThrows) {
+  LrMatrix a(1, 2);
+  LrMatrix b(1, 3);
+  EXPECT_THROW(select_safe_snps(a, b, LrSelectionParams{}),
+               std::invalid_argument);
+}
+
+TEST_F(SelectSafeSnpsTest, SafeColumnsAreSortedAndUnique) {
+  const auto [case_lr, ref_lr] = synthetic(200, 200, 25, 6, 1.0, 17);
+  const auto result = select_safe_snps(case_lr, ref_lr, LrSelectionParams{});
+  EXPECT_TRUE(std::is_sorted(result.safe_columns.begin(),
+                             result.safe_columns.end()));
+  EXPECT_EQ(std::adjacent_find(result.safe_columns.begin(),
+                               result.safe_columns.end()),
+            result.safe_columns.end());
+}
+
+// Property sweep over FPR values: the final power never exceeds the limit.
+class LrFprSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LrFprSweepTest, PowerBounded) {
+  common::Rng rng(23);
+  LrMatrix case_lr(300, 30);
+  LrMatrix ref_lr(300, 30);
+  for (auto& v : case_lr.values()) v = rng.normal() * 0.2 + 0.1;
+  for (auto& v : ref_lr.values()) v = rng.normal() * 0.2;
+  LrSelectionParams params;
+  params.false_positive_rate = GetParam();
+  params.power_threshold = 0.6;
+  const auto result = select_safe_snps(case_lr, ref_lr, params);
+  EXPECT_LE(result.final_power, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fprs, LrFprSweepTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.5));
+
+}  // namespace
+}  // namespace gendpr::stats

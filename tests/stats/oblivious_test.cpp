@@ -1,0 +1,111 @@
+#include "stats/oblivious.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace gendpr::stats {
+namespace {
+
+TEST(ObliviousSelectTest, SelectsByMask) {
+  EXPECT_DOUBLE_EQ(oblivious_select(1, 3.5, -2.0), 3.5);
+  EXPECT_DOUBLE_EQ(oblivious_select(0, 3.5, -2.0), -2.0);
+}
+
+TEST(ObliviousSelectTest, PreservesSpecialValues) {
+  EXPECT_DOUBLE_EQ(oblivious_select(1, -0.0, 1.0), -0.0);
+  EXPECT_TRUE(std::isinf(oblivious_select(0, 1.0,
+                                          std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(oblivious_select(1, std::nan(""), 0.0)));
+}
+
+TEST(ObliviousSortTest, EmptyAndSingleton) {
+  std::vector<double> empty;
+  oblivious_sort(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<double> one = {5.0};
+  oblivious_sort(one);
+  EXPECT_EQ(one, (std::vector<double>{5.0}));
+}
+
+TEST(ObliviousSortTest, SortsKnownSequence) {
+  std::vector<double> data = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0};
+  oblivious_sort(data);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_DOUBLE_EQ(data.front(), 1.0);
+  EXPECT_DOUBLE_EQ(data.back(), 9.0);
+}
+
+class ObliviousSortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObliviousSortSweep, MatchesStdSort) {
+  common::Rng rng(GetParam() * 31 + 1);
+  std::vector<double> data(GetParam());
+  for (auto& v : data) v = rng.normal();
+  std::vector<double> expected = data;
+  std::sort(expected.begin(), expected.end());
+  oblivious_sort(data);
+  EXPECT_EQ(data, expected);
+}
+
+// Non-powers of two exercise the +inf padding path.
+INSTANTIATE_TEST_SUITE_P(Sizes, ObliviousSortSweep,
+                         ::testing::Values(2, 3, 7, 8, 9, 100, 255, 256, 257,
+                                           1000));
+
+TEST(ObliviousLrMatrixTest, MatchesRegularBuilder) {
+  common::Rng rng(7);
+  genome::GenotypeMatrix genotypes(60, 25);
+  for (std::size_t n = 0; n < 60; ++n) {
+    for (std::size_t l = 0; l < 25; ++l) {
+      if (rng.bernoulli(0.35)) genotypes.set(n, l, true);
+    }
+  }
+  std::vector<std::uint32_t> snps = {0, 3, 9, 24};
+  std::vector<double> case_freq = {0.4, 0.3, 0.2, 0.5};
+  std::vector<double> ref_freq = {0.3, 0.3, 0.3, 0.3};
+  const LrWeights weights = lr_weights(case_freq, ref_freq);
+  const LrMatrix regular = build_lr_matrix(genotypes, snps, weights);
+  const LrMatrix oblivious =
+      oblivious_build_lr_matrix(genotypes, snps, weights);
+  ASSERT_EQ(regular.rows(), oblivious.rows());
+  ASSERT_EQ(regular.cols(), oblivious.cols());
+  for (std::size_t r = 0; r < regular.rows(); ++r) {
+    for (std::size_t c = 0; c < regular.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(regular.at(r, c), oblivious.at(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ObliviousPowerTest, MatchesRegularDetectionPower) {
+  common::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> case_scores(200 + rng.uniform_int(200));
+    std::vector<double> ref_scores(200 + rng.uniform_int(200));
+    for (auto& s : case_scores) s = rng.normal() + 0.5;
+    for (auto& s : ref_scores) s = rng.normal();
+    for (double fpr : {0.05, 0.1, 0.25}) {
+      double t_regular = 0.0;
+      double t_oblivious = 0.0;
+      const double p_regular =
+          detection_power(case_scores, ref_scores, fpr, &t_regular);
+      const double p_oblivious = oblivious_detection_power(
+          case_scores, ref_scores, fpr, &t_oblivious);
+      EXPECT_DOUBLE_EQ(p_regular, p_oblivious);
+      EXPECT_DOUBLE_EQ(t_regular, t_oblivious);
+    }
+  }
+}
+
+TEST(ObliviousPowerTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(oblivious_detection_power({}, {1.0}, 0.1, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(oblivious_detection_power({1.0}, {}, 0.1, nullptr), 0.0);
+}
+
+}  // namespace
+}  // namespace gendpr::stats

@@ -1,0 +1,116 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gendpr::stats {
+namespace {
+
+TEST(GammaTest, PAtZeroIsZero) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.5, 0.0), 1.0);
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaTest, HalfIntegerMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(GammaTest, PoissonIdentity) {
+  // Q(n, x) = sum_{k<n} e^{-x} x^k / k! for integer n.
+  const double x = 5.0;
+  double sum = 0.0;
+  double term = std::exp(-x);
+  for (int k = 0; k < 5; ++k) {
+    sum += term;
+    term *= x / (k + 1);
+  }
+  EXPECT_NEAR(regularized_gamma_q(5.0, x), sum, 1e-12);
+}
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.3, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 100.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.1) {
+    const double p = regularized_gamma_p(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaTest, DomainErrors) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_q(-2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Chi2SfTest, KnownCriticalValues) {
+  // Classic chi-squared critical values for 1 dof.
+  EXPECT_NEAR(chi2_sf(3.841458820694124, 1.0), 0.05, 1e-10);
+  EXPECT_NEAR(chi2_sf(6.634896601021213, 1.0), 0.01, 1e-10);
+  EXPECT_NEAR(chi2_sf(10.827566170662733, 1.0), 0.001, 1e-10);
+  // 2 dof: sf(x) = exp(-x/2).
+  EXPECT_NEAR(chi2_sf(5.991464547107979, 2.0), 0.05, 1e-10);
+  EXPECT_NEAR(chi2_sf(4.0, 2.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(Chi2SfTest, OneDofMatchesErfc) {
+  // sf(x, 1) = erfc(sqrt(x/2)).
+  for (double x : {0.5, 1.0, 2.0, 10.0, 30.0}) {
+    EXPECT_NEAR(chi2_sf(x, 1.0), std::erfc(std::sqrt(x / 2.0)), 1e-12);
+  }
+}
+
+TEST(Chi2SfTest, EdgeBehaviour) {
+  EXPECT_DOUBLE_EQ(chi2_sf(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi2_sf(-3.0, 1.0), 1.0);
+  EXPECT_LT(chi2_sf(1000.0, 1.0), 1e-100);
+  EXPECT_THROW(chi2_sf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.9), 1.2815515655446004, 1e-9);
+}
+
+TEST(NormalTest, QuantileDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gendpr::stats

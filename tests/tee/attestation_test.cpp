@@ -1,0 +1,98 @@
+#include "tee/attestation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gendpr::tee {
+namespace {
+
+crypto::Sha256Digest report(std::uint8_t tag) {
+  crypto::Sha256Digest d{};
+  d[0] = tag;
+  return d;
+}
+
+TEST(QuoteTest, SerializeDeserializeRoundTrip) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{1});
+  const EnclaveIdentity identity{42, measure("mod", "1")};
+  const Quote quote = authority.issue(identity, report(7));
+  const auto restored = Quote::deserialize(quote.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().identity, identity);
+  EXPECT_EQ(restored.value().report_data, quote.report_data);
+  EXPECT_EQ(restored.value().signature, quote.signature);
+}
+
+TEST(QuoteTest, DeserializeRejectsTruncation) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{1});
+  const Quote quote = authority.issue({1, measure("m", "1")}, report(0));
+  const common::Bytes full = quote.serialize();
+  for (std::size_t len = 0; len < full.size(); len += 13) {
+    EXPECT_FALSE(
+        Quote::deserialize(common::BytesView(full.data(), len)).ok());
+  }
+}
+
+TEST(QuoteTest, DeserializeRejectsTrailingBytes) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{1});
+  common::Bytes data =
+      authority.issue({1, measure("m", "1")}, report(0)).serialize();
+  data.push_back(0x00);
+  EXPECT_FALSE(Quote::deserialize(data).ok());
+}
+
+TEST(AttestationTest, IssueVerifyAccepts) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{2});
+  const Quote quote = authority.issue({7, measure("gdo", "1")}, report(1));
+  EXPECT_TRUE(authority.verify(quote).ok());
+}
+
+TEST(AttestationTest, ForgedSignatureRejected) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{3});
+  Quote quote = authority.issue({7, measure("gdo", "1")}, report(1));
+  quote.signature[5] ^= 0x80;
+  const auto status = authority.verify(quote);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::attestation_rejected);
+}
+
+TEST(AttestationTest, TamperedMeasurementRejected) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{4});
+  Quote quote = authority.issue({7, measure("gdo", "1")}, report(1));
+  quote.identity.measurement = measure("malware", "1");
+  EXPECT_FALSE(authority.verify(quote).ok());
+}
+
+TEST(AttestationTest, TamperedReportDataRejected) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{5});
+  Quote quote = authority.issue({7, measure("gdo", "1")}, report(1));
+  quote.report_data[0] ^= 1;
+  EXPECT_FALSE(authority.verify(quote).ok());
+}
+
+TEST(AttestationTest, TamperedPlatformRejected) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{6});
+  Quote quote = authority.issue({7, measure("gdo", "1")}, report(1));
+  quote.identity.platform_id = 8;
+  EXPECT_FALSE(authority.verify(quote).ok());
+}
+
+TEST(AttestationTest, QuoteFromOtherAuthorityRejected) {
+  QuotingAuthority real(std::array<std::uint8_t, 32>{7});
+  QuotingAuthority rogue(std::array<std::uint8_t, 32>{8});
+  const Quote quote = rogue.issue({7, measure("gdo", "1")}, report(1));
+  EXPECT_FALSE(real.verify(quote).ok());
+}
+
+TEST(AttestationTest, VerifyMeasurementChecksPolicy) {
+  QuotingAuthority authority(std::array<std::uint8_t, 32>{9});
+  const Measurement good = measure("gdo", "1");
+  const Quote quote = authority.issue({7, good}, report(1));
+  EXPECT_TRUE(authority.verify_measurement(quote, good).ok());
+  const auto status =
+      authority.verify_measurement(quote, measure("gdo", "2"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::attestation_rejected);
+}
+
+}  // namespace
+}  // namespace gendpr::tee

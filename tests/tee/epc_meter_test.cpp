@@ -1,0 +1,99 @@
+#include "tee/epc_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gendpr::tee {
+namespace {
+
+TEST(EpcMeterTest, AllocateWithinLimit) {
+  EpcMeter meter(1000);
+  EXPECT_TRUE(meter.allocate(400).ok());
+  EXPECT_EQ(meter.in_use(), 400u);
+  EXPECT_TRUE(meter.allocate(600).ok());
+  EXPECT_EQ(meter.in_use(), 1000u);
+}
+
+TEST(EpcMeterTest, RejectsOverLimit) {
+  EpcMeter meter(1000);
+  ASSERT_TRUE(meter.allocate(800).ok());
+  const auto status = meter.allocate(300);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::capacity_exceeded);
+  EXPECT_EQ(meter.in_use(), 800u);  // failed allocation left no trace
+}
+
+TEST(EpcMeterTest, ReleaseRestoresCapacity) {
+  EpcMeter meter(1000);
+  ASSERT_TRUE(meter.allocate(900).ok());
+  meter.release(500);
+  EXPECT_EQ(meter.in_use(), 400u);
+  EXPECT_TRUE(meter.allocate(600).ok());
+}
+
+TEST(EpcMeterTest, PeakTracksHighWatermark) {
+  EpcMeter meter(1000);
+  ASSERT_TRUE(meter.allocate(700).ok());
+  meter.release(600);
+  ASSERT_TRUE(meter.allocate(100).ok());
+  EXPECT_EQ(meter.peak(), 700u);
+  meter.reset_peak();
+  EXPECT_EQ(meter.peak(), 200u);
+}
+
+TEST(EpcMeterTest, OverReleaseClampsToZero) {
+  EpcMeter meter(1000);
+  ASSERT_TRUE(meter.allocate(100).ok());
+  meter.release(500);
+  EXPECT_EQ(meter.in_use(), 0u);
+}
+
+TEST(EpcMeterTest, DefaultLimitIs128Mb) {
+  EpcMeter meter;
+  EXPECT_EQ(meter.limit(), 128ull * 1024 * 1024);
+}
+
+TEST(EpcMeterTest, ConcurrentAllocationsNeverExceedLimit) {
+  EpcMeter meter(10000);
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (meter.allocate(100).ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 100);  // exactly limit/100 succeed
+  EXPECT_EQ(meter.in_use(), 10000u);
+}
+
+TEST(EpcAllocationTest, RaiiReleasesOnScopeExit) {
+  EpcMeter meter(1000);
+  {
+    auto status = meter.allocate(300);
+    ASSERT_TRUE(status.ok());
+    EpcAllocation alloc(meter, 300);
+    EXPECT_EQ(meter.in_use(), 300u);
+  }
+  EXPECT_EQ(meter.in_use(), 0u);
+}
+
+TEST(EpcAllocationTest, MoveTransfersOwnership) {
+  EpcMeter meter(1000);
+  ASSERT_TRUE(meter.allocate(200).ok());
+  EpcAllocation a(meter, 200);
+  EpcAllocation b = std::move(a);
+  a.release();  // no-op: ownership moved
+  EXPECT_EQ(meter.in_use(), 200u);
+  b.release();
+  EXPECT_EQ(meter.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace gendpr::tee

@@ -1,0 +1,42 @@
+#include "tee/identity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gendpr::tee {
+namespace {
+
+TEST(IdentityTest, SameModuleSameMeasurement) {
+  EXPECT_EQ(measure("gendpr.gdo", "1.0"), measure("gendpr.gdo", "1.0"));
+}
+
+TEST(IdentityTest, DifferentModuleDiffers) {
+  EXPECT_NE(measure("gendpr.gdo", "1.0"), measure("gendpr.leader", "1.0"));
+}
+
+TEST(IdentityTest, DifferentVersionDiffers) {
+  EXPECT_NE(measure("gendpr.gdo", "1.0"), measure("gendpr.gdo", "1.1"));
+}
+
+TEST(IdentityTest, SeparatorCannotBeGamed) {
+  // "ab|c" / "a|bc" must not collide thanks to the field separator; the
+  // point is that name/version boundaries are unambiguous.
+  EXPECT_NE(measure("ab", "c"), measure("a", "bc"));
+}
+
+TEST(IdentityTest, EqualityIncludesPlatform) {
+  const Measurement m = measure("mod", "1");
+  const EnclaveIdentity a{1, m};
+  const EnclaveIdentity b{2, m};
+  const EnclaveIdentity c{1, m};
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(IdentityTest, PrefixIs16HexChars) {
+  const std::string prefix = measurement_prefix(measure("mod", "1"));
+  EXPECT_EQ(prefix.size(), 16u);
+  EXPECT_EQ(prefix.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gendpr::tee

@@ -1,0 +1,112 @@
+#include "tee/sealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace gendpr::tee {
+namespace {
+
+using common::Bytes;
+
+crypto::Csprng test_rng(std::uint8_t tag) {
+  return crypto::Csprng(std::array<std::uint8_t, 32>{tag});
+}
+
+TEST(SealingTest, SealUnsealRoundTrip) {
+  auto rng = test_rng(1);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x11});
+  const Measurement m = measure("mod", "1");
+  const Bytes secret = common::to_bytes("allele counts must stay private");
+  const Bytes sealed = sealing.seal(m, secret, rng);
+  const auto opened = sealing.unseal(m, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), secret);
+}
+
+TEST(SealingTest, CiphertextDiffersFromPlaintext) {
+  auto rng = test_rng(2);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x22});
+  const Measurement m = measure("mod", "1");
+  const Bytes secret = common::to_bytes("sensitive");
+  const Bytes sealed = sealing.seal(m, secret, rng);
+  EXPECT_EQ(sealed.size(), secret.size() + 12 + 16);
+  // Plaintext must not appear inside the sealed blob.
+  EXPECT_EQ(std::search(sealed.begin(), sealed.end(), secret.begin(),
+                        secret.end()),
+            sealed.end());
+}
+
+TEST(SealingTest, DifferentMeasurementCannotUnseal) {
+  auto rng = test_rng(3);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x33});
+  const Bytes sealed =
+      sealing.seal(measure("mod", "1"), common::to_bytes("x"), rng);
+  EXPECT_FALSE(sealing.unseal(measure("mod", "2"), sealed).ok());
+  EXPECT_FALSE(sealing.unseal(measure("other", "1"), sealed).ok());
+}
+
+TEST(SealingTest, DifferentPlatformCannotUnseal) {
+  auto rng = test_rng(4);
+  SealingService platform_a(std::array<std::uint8_t, 32>{0xaa});
+  SealingService platform_b(std::array<std::uint8_t, 32>{0xbb});
+  const Measurement m = measure("mod", "1");
+  const Bytes sealed = platform_a.seal(m, common::to_bytes("x"), rng);
+  EXPECT_FALSE(platform_b.unseal(m, sealed).ok());
+}
+
+TEST(SealingTest, TamperedBlobRejected) {
+  auto rng = test_rng(5);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x55});
+  const Measurement m = measure("mod", "1");
+  Bytes sealed = sealing.seal(m, common::to_bytes("payload"), rng);
+  for (std::size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(sealing.unseal(m, corrupted).ok()) << "byte " << i;
+  }
+}
+
+TEST(SealingTest, TruncatedBlobRejected) {
+  auto rng = test_rng(6);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x66});
+  const Measurement m = measure("mod", "1");
+  const Bytes sealed = sealing.seal(m, common::to_bytes("payload"), rng);
+  for (std::size_t len : {0u, 5u, 27u}) {
+    const auto result = sealing.unseal(
+        m, common::BytesView(sealed.data(), std::min(len, sealed.size())));
+    EXPECT_FALSE(result.ok()) << "len " << len;
+  }
+}
+
+TEST(SealingTest, FreshNoncePerSeal) {
+  auto rng = test_rng(7);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x77});
+  const Measurement m = measure("mod", "1");
+  const Bytes a = sealing.seal(m, common::to_bytes("same"), rng);
+  const Bytes b = sealing.seal(m, common::to_bytes("same"), rng);
+  EXPECT_NE(a, b);  // different nonces -> different ciphertexts
+}
+
+TEST(SealingTest, EmptyPlaintextRoundTrip) {
+  auto rng = test_rng(8);
+  SealingService sealing(std::array<std::uint8_t, 32>{0x88});
+  const Measurement m = measure("mod", "1");
+  const Bytes sealed = sealing.seal(m, {}, rng);
+  const auto opened = sealing.unseal(m, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+TEST(SealingTest, RandomRootServicesAreIndependent) {
+  auto rng = test_rng(9);
+  SealingService a = SealingService::with_random_root(rng);
+  SealingService b = SealingService::with_random_root(rng);
+  const Measurement m = measure("mod", "1");
+  const Bytes sealed = a.seal(m, common::to_bytes("x"), rng);
+  EXPECT_TRUE(a.unseal(m, sealed).ok());
+  EXPECT_FALSE(b.unseal(m, sealed).ok());
+}
+
+}  // namespace
+}  // namespace gendpr::tee

@@ -1,0 +1,35 @@
+# Drives the CLI end to end: generate a cohort, assess it, write a release.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${CLI} gen ${WORKDIR} --cases 400 --controls 400 --snps 120 --gdos 3
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gendpr gen failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} assess ${WORKDIR} --gdos 3
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gendpr assess failed (${rc})")
+endif()
+if(NOT out MATCHES "SNPs safe")
+  message(FATAL_ERROR "assess output missing safe-SNP line: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} release ${WORKDIR} --gdos 3 --out ${WORKDIR}/release.tsv
+          --dp-epsilon 1.0
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gendpr release failed (${rc})")
+endif()
+if(NOT EXISTS ${WORKDIR}/release.tsv)
+  message(FATAL_ERROR "release.tsv was not written")
+endif()
+file(READ ${WORKDIR}/release.tsv tsv)
+if(NOT tsv MATCHES "snp\tmode\tcase_count")
+  message(FATAL_ERROR "release.tsv missing header")
+endif()
