@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lrtest.dir/bench_ablation_lrtest.cpp.o"
+  "CMakeFiles/bench_ablation_lrtest.dir/bench_ablation_lrtest.cpp.o.d"
+  "bench_ablation_lrtest"
+  "bench_ablation_lrtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lrtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

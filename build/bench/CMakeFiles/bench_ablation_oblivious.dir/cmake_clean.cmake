@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oblivious.dir/bench_ablation_oblivious.cpp.o"
+  "CMakeFiles/bench_ablation_oblivious.dir/bench_ablation_oblivious.cpp.o.d"
+  "bench_ablation_oblivious"
+  "bench_ablation_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

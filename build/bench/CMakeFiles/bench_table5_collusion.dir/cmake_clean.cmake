@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_collusion.dir/bench_table5_collusion.cpp.o"
+  "CMakeFiles/bench_table5_collusion.dir/bench_table5_collusion.cpp.o.d"
+  "bench_table5_collusion"
+  "bench_table5_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

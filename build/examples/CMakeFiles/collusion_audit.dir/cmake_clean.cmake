@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_audit.dir/collusion_audit.cpp.o"
+  "CMakeFiles/collusion_audit.dir/collusion_audit.cpp.o.d"
+  "collusion_audit"
+  "collusion_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

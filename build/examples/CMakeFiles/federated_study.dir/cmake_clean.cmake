@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_study.dir/federated_study.cpp.o"
+  "CMakeFiles/federated_study.dir/federated_study.cpp.o.d"
+  "federated_study"
+  "federated_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_dp_release.dir/hybrid_dp_release.cpp.o"
+  "CMakeFiles/hybrid_dp_release.dir/hybrid_dp_release.cpp.o.d"
+  "hybrid_dp_release"
+  "hybrid_dp_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_dp_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

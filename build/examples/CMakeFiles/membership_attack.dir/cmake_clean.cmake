@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_attack.dir/membership_attack.cpp.o"
+  "CMakeFiles/membership_attack.dir/membership_attack.cpp.o.d"
+  "membership_attack"
+  "membership_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_common.dir/bytes.cpp.o"
+  "CMakeFiles/gendpr_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/gendpr_common.dir/combinatorics.cpp.o"
+  "CMakeFiles/gendpr_common.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/gendpr_common.dir/error.cpp.o"
+  "CMakeFiles/gendpr_common.dir/error.cpp.o.d"
+  "CMakeFiles/gendpr_common.dir/log.cpp.o"
+  "CMakeFiles/gendpr_common.dir/log.cpp.o.d"
+  "CMakeFiles/gendpr_common.dir/rng.cpp.o"
+  "CMakeFiles/gendpr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gendpr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gendpr_common.dir/thread_pool.cpp.o.d"
+  "libgendpr_common.a"
+  "libgendpr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_crypto.dir/aes256.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/aes256.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/csprng.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/csprng.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/gendpr_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/gendpr_crypto.dir/x25519.cpp.o.d"
+  "libgendpr_crypto.a"
+  "libgendpr_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gendpr/baselines.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/baselines.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/gendpr/federation.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/federation.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/federation.cpp.o.d"
+  "/root/repo/src/gendpr/messages.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/messages.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/messages.cpp.o.d"
+  "/root/repo/src/gendpr/node.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/node.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/node.cpp.o.d"
+  "/root/repo/src/gendpr/release.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/release.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/release.cpp.o.d"
+  "/root/repo/src/gendpr/trusted.cpp" "src/gendpr/CMakeFiles/gendpr_core.dir/trusted.cpp.o" "gcc" "src/gendpr/CMakeFiles/gendpr_core.dir/trusted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gendpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gendpr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gendpr_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gendpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/gendpr_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gendpr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gendpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

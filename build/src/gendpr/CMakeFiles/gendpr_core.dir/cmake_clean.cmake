@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_core.dir/baselines.cpp.o"
+  "CMakeFiles/gendpr_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/gendpr_core.dir/federation.cpp.o"
+  "CMakeFiles/gendpr_core.dir/federation.cpp.o.d"
+  "CMakeFiles/gendpr_core.dir/messages.cpp.o"
+  "CMakeFiles/gendpr_core.dir/messages.cpp.o.d"
+  "CMakeFiles/gendpr_core.dir/node.cpp.o"
+  "CMakeFiles/gendpr_core.dir/node.cpp.o.d"
+  "CMakeFiles/gendpr_core.dir/release.cpp.o"
+  "CMakeFiles/gendpr_core.dir/release.cpp.o.d"
+  "CMakeFiles/gendpr_core.dir/trusted.cpp.o"
+  "CMakeFiles/gendpr_core.dir/trusted.cpp.o.d"
+  "libgendpr_core.a"
+  "libgendpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_genome.dir/cohort.cpp.o"
+  "CMakeFiles/gendpr_genome.dir/cohort.cpp.o.d"
+  "CMakeFiles/gendpr_genome.dir/genotype.cpp.o"
+  "CMakeFiles/gendpr_genome.dir/genotype.cpp.o.d"
+  "CMakeFiles/gendpr_genome.dir/vcf_lite.cpp.o"
+  "CMakeFiles/gendpr_genome.dir/vcf_lite.cpp.o.d"
+  "libgendpr_genome.a"
+  "libgendpr_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_net.dir/network.cpp.o"
+  "CMakeFiles/gendpr_net.dir/network.cpp.o.d"
+  "CMakeFiles/gendpr_net.dir/tcp.cpp.o"
+  "CMakeFiles/gendpr_net.dir/tcp.cpp.o.d"
+  "libgendpr_net.a"
+  "libgendpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

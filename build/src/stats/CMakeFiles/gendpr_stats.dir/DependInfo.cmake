@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/association.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/association.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/association.cpp.o.d"
+  "/root/repo/src/stats/attacks.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/attacks.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/attacks.cpp.o.d"
+  "/root/repo/src/stats/contingency.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/contingency.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/contingency.cpp.o.d"
+  "/root/repo/src/stats/dp.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/dp.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/dp.cpp.o.d"
+  "/root/repo/src/stats/ld.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/ld.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/ld.cpp.o.d"
+  "/root/repo/src/stats/lr_test.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/lr_test.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/lr_test.cpp.o.d"
+  "/root/repo/src/stats/oblivious.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/oblivious.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/oblivious.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/gendpr_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/gendpr_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gendpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gendpr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gendpr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gendpr_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_stats.dir/association.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/association.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/attacks.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/attacks.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/contingency.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/contingency.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/dp.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/dp.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/ld.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/ld.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/lr_test.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/lr_test.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/oblivious.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/oblivious.cpp.o.d"
+  "CMakeFiles/gendpr_stats.dir/special.cpp.o"
+  "CMakeFiles/gendpr_stats.dir/special.cpp.o.d"
+  "libgendpr_stats.a"
+  "libgendpr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

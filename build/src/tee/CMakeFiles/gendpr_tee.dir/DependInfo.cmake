@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/attestation.cpp" "src/tee/CMakeFiles/gendpr_tee.dir/attestation.cpp.o" "gcc" "src/tee/CMakeFiles/gendpr_tee.dir/attestation.cpp.o.d"
+  "/root/repo/src/tee/epc_meter.cpp" "src/tee/CMakeFiles/gendpr_tee.dir/epc_meter.cpp.o" "gcc" "src/tee/CMakeFiles/gendpr_tee.dir/epc_meter.cpp.o.d"
+  "/root/repo/src/tee/identity.cpp" "src/tee/CMakeFiles/gendpr_tee.dir/identity.cpp.o" "gcc" "src/tee/CMakeFiles/gendpr_tee.dir/identity.cpp.o.d"
+  "/root/repo/src/tee/sealing.cpp" "src/tee/CMakeFiles/gendpr_tee.dir/sealing.cpp.o" "gcc" "src/tee/CMakeFiles/gendpr_tee.dir/sealing.cpp.o.d"
+  "/root/repo/src/tee/secure_channel.cpp" "src/tee/CMakeFiles/gendpr_tee.dir/secure_channel.cpp.o" "gcc" "src/tee/CMakeFiles/gendpr_tee.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gendpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gendpr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gendpr_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

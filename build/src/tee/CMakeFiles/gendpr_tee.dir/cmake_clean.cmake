@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_tee.dir/attestation.cpp.o"
+  "CMakeFiles/gendpr_tee.dir/attestation.cpp.o.d"
+  "CMakeFiles/gendpr_tee.dir/epc_meter.cpp.o"
+  "CMakeFiles/gendpr_tee.dir/epc_meter.cpp.o.d"
+  "CMakeFiles/gendpr_tee.dir/identity.cpp.o"
+  "CMakeFiles/gendpr_tee.dir/identity.cpp.o.d"
+  "CMakeFiles/gendpr_tee.dir/sealing.cpp.o"
+  "CMakeFiles/gendpr_tee.dir/sealing.cpp.o.d"
+  "CMakeFiles/gendpr_tee.dir/secure_channel.cpp.o"
+  "CMakeFiles/gendpr_tee.dir/secure_channel.cpp.o.d"
+  "libgendpr_tee.a"
+  "libgendpr_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

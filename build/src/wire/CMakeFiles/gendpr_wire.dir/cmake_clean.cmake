@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_wire.dir/serialize.cpp.o"
+  "CMakeFiles/gendpr_wire.dir/serialize.cpp.o.d"
+  "libgendpr_wire.a"
+  "libgendpr_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

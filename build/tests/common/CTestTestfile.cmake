@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/common/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/common/combinatorics_test[1]_include.cmake")
+include("/root/repo/build/tests/common/error_test[1]_include.cmake")

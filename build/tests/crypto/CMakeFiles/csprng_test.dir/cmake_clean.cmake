@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csprng_test.dir/csprng_test.cpp.o"
+  "CMakeFiles/csprng_test.dir/csprng_test.cpp.o.d"
+  "csprng_test"
+  "csprng_test.pdb"
+  "csprng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csprng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

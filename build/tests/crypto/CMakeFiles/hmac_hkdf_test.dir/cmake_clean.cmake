@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmac_hkdf_test.dir/hmac_hkdf_test.cpp.o"
+  "CMakeFiles/hmac_hkdf_test.dir/hmac_hkdf_test.cpp.o.d"
+  "hmac_hkdf_test"
+  "hmac_hkdf_test.pdb"
+  "hmac_hkdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmac_hkdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gendpr/collusion_test.cpp" "tests/gendpr/CMakeFiles/collusion_test.dir/collusion_test.cpp.o" "gcc" "tests/gendpr/CMakeFiles/collusion_test.dir/collusion_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gendpr/CMakeFiles/gendpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gendpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/gendpr_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gendpr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gendpr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gendpr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gendpr_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gendpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_test.dir/collusion_test.cpp.o"
+  "CMakeFiles/collusion_test.dir/collusion_test.cpp.o.d"
+  "collusion_test"
+  "collusion_test.pdb"
+  "collusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

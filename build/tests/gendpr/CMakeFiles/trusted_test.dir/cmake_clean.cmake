@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_test.dir/trusted_test.cpp.o"
+  "CMakeFiles/trusted_test.dir/trusted_test.cpp.o.d"
+  "trusted_test"
+  "trusted_test.pdb"
+  "trusted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

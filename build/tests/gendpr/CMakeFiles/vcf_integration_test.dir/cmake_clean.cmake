@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcf_integration_test.dir/vcf_integration_test.cpp.o"
+  "CMakeFiles/vcf_integration_test.dir/vcf_integration_test.cpp.o.d"
+  "vcf_integration_test"
+  "vcf_integration_test.pdb"
+  "vcf_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcf_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

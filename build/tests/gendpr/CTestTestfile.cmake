@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gendpr
+# Build directory: /root/repo/build/tests/gendpr
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gendpr/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/trusted_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/collusion_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/release_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/vcf_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/gendpr/tcp_federation_test[1]_include.cmake")

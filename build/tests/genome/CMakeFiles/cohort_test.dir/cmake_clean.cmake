@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohort_test.dir/cohort_test.cpp.o"
+  "CMakeFiles/cohort_test.dir/cohort_test.cpp.o.d"
+  "cohort_test"
+  "cohort_test.pdb"
+  "cohort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genotype_test.dir/genotype_test.cpp.o"
+  "CMakeFiles/genotype_test.dir/genotype_test.cpp.o.d"
+  "genotype_test"
+  "genotype_test.pdb"
+  "genotype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genotype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

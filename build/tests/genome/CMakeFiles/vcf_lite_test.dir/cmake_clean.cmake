@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcf_lite_test.dir/vcf_lite_test.cpp.o"
+  "CMakeFiles/vcf_lite_test.dir/vcf_lite_test.cpp.o.d"
+  "vcf_lite_test"
+  "vcf_lite_test.pdb"
+  "vcf_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcf_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

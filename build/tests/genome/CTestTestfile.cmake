@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/genome
+# Build directory: /root/repo/build/tests/genome
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/genome/genotype_test[1]_include.cmake")
+include("/root/repo/build/tests/genome/cohort_test[1]_include.cmake")
+include("/root/repo/build/tests/genome/vcf_lite_test[1]_include.cmake")

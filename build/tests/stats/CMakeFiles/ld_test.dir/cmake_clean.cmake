@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_test.dir/ld_test.cpp.o"
+  "CMakeFiles/ld_test.dir/ld_test.cpp.o.d"
+  "ld_test"
+  "ld_test.pdb"
+  "ld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

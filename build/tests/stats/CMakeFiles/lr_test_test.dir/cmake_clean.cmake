@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_test_test.dir/lr_test_test.cpp.o"
+  "CMakeFiles/lr_test_test.dir/lr_test_test.cpp.o.d"
+  "lr_test_test"
+  "lr_test_test.pdb"
+  "lr_test_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

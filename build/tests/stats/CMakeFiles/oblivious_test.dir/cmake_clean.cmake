@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblivious_test.dir/oblivious_test.cpp.o"
+  "CMakeFiles/oblivious_test.dir/oblivious_test.cpp.o.d"
+  "oblivious_test"
+  "oblivious_test.pdb"
+  "oblivious_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblivious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

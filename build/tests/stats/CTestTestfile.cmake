@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stats
+# Build directory: /root/repo/build/tests/stats
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats/special_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/association_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/ld_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/lr_test_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/contingency_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/oblivious_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealing_test.dir/sealing_test.cpp.o"
+  "CMakeFiles/sealing_test.dir/sealing_test.cpp.o.d"
+  "sealing_test"
+  "sealing_test.pdb"
+  "sealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tee
+# Build directory: /root/repo/build/tests/tee
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tee/identity_test[1]_include.cmake")
+include("/root/repo/build/tests/tee/epc_meter_test[1]_include.cmake")
+include("/root/repo/build/tests/tee/sealing_test[1]_include.cmake")
+include("/root/repo/build/tests/tee/attestation_test[1]_include.cmake")
+include("/root/repo/build/tests/tee/secure_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/tee/enclave_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendpr_cli.dir/gendpr_cli.cpp.o"
+  "CMakeFiles/gendpr_cli.dir/gendpr_cli.cpp.o.d"
+  "gendpr"
+  "gendpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendpr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
