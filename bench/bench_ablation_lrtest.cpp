@@ -13,6 +13,8 @@
 #include <numeric>
 
 #include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "genome/bitplanes.hpp"
 #include "stats/lr_test.hpp"
 
 namespace {
@@ -72,6 +74,78 @@ void BM_LrSelection_EmpiricalGreedy(benchmark::State& state) {
   state.counters["power"] = subset_power(inputs, result.safe_columns);
 }
 BENCHMARK(BM_LrSelection_EmpiricalGreedy)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LrSelection_EmpiricalGreedyPooled(benchmark::State& state) {
+  const LrInputs inputs = make_inputs(state.range(0));
+  common::ThreadPool pool;
+  stats::LrSelectionResult result;
+  for (auto _ : state) {
+    result = stats::select_safe_snps(inputs.case_lr, inputs.ref_lr,
+                                     stats::LrSelectionParams{}, &pool);
+    benchmark::DoNotOptimize(result.safe_columns);
+  }
+  state.counters["retained"] =
+      static_cast<double>(result.safe_columns.size());
+  state.counters["power"] = subset_power(inputs, result.safe_columns);
+}
+BENCHMARK(BM_LrSelection_EmpiricalGreedyPooled)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// Packed-vs-bitplane comparison for the LR-matrix fill (phase-3 input prep):
+// per-element get() against the word-at-a-time plane walk.
+void BM_LrBuild_PackedScalar(benchmark::State& state) {
+  const genome::Cohort& cohort = cohort_for(kPaperCasesHalf, 1000);
+  const std::size_t cols = state.range(0);
+  const auto case_counts = cohort.cases.allele_counts();
+  const auto ref_counts = cohort.controls.allele_counts();
+  std::vector<std::uint32_t> snps(cols);
+  std::iota(snps.begin(), snps.end(), 0u);
+  std::vector<double> case_freq(cols), ref_freq(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    case_freq[i] = static_cast<double>(case_counts[i]) /
+                   static_cast<double>(cohort.cases.num_individuals());
+    ref_freq[i] = static_cast<double>(ref_counts[i]) /
+                  static_cast<double>(cohort.controls.num_individuals());
+  }
+  const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
+  for (auto _ : state) {
+    const stats::LrMatrix lr =
+        stats::build_lr_matrix(cohort.cases, snps, weights);
+    benchmark::DoNotOptimize(lr);
+  }
+}
+BENCHMARK(BM_LrBuild_PackedScalar)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LrBuild_Bitplane(benchmark::State& state) {
+  const genome::Cohort& cohort = cohort_for(kPaperCasesHalf, 1000);
+  const std::size_t cols = state.range(0);
+  const genome::BitPlanes planes(cohort.cases);
+  const auto& case_counts = planes.allele_counts();
+  const auto ref_counts = cohort.controls.allele_counts();
+  std::vector<std::uint32_t> snps(cols);
+  std::iota(snps.begin(), snps.end(), 0u);
+  std::vector<double> case_freq(cols), ref_freq(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    case_freq[i] = static_cast<double>(case_counts[i]) /
+                   static_cast<double>(planes.num_individuals());
+    ref_freq[i] = static_cast<double>(ref_counts[i]) /
+                  static_cast<double>(cohort.controls.num_individuals());
+  }
+  const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
+  for (auto _ : state) {
+    const stats::LrMatrix lr = stats::build_lr_matrix(planes, snps, weights);
+    benchmark::DoNotOptimize(lr);
+  }
+}
+BENCHMARK(BM_LrBuild_Bitplane)
     ->Arg(100)
     ->Arg(400)
     ->Unit(benchmark::kMillisecond);

@@ -1,14 +1,18 @@
-// Ablation: bit-packed vs byte-per-genotype storage (DESIGN.md §4).
+// Ablation: bit-packed vs byte-per-genotype storage, and row-major packed
+// storage vs the SNP-major bit planes (DESIGN.md §4, §2.1).
 //
 // The enclave working set is the scarce resource under SGX1's ~128 MB EPC;
 // bit-packing is what keeps a GDO's slice of 14,860 x 10,000 genotypes at
 // ~2 MB (Table 3 scale). This bench quantifies the memory factor and the
 // compute cost/benefit on the two hot access patterns: per-SNP allele
-// counting (phase 1) and random get() (LD moments).
+// counting (phase 1) and LD-moment computation (phase 2), the latter both
+// through the bit-by-bit get() path and the word-parallel bit planes.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
+#include "stats/ld.hpp"
 
 namespace {
 
@@ -66,6 +70,64 @@ BENCHMARK(BM_Packing_UnpackedAlleleCounts)
     ->Arg(1000)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
+
+void BM_Packing_BitplaneBuild(benchmark::State& state) {
+  const auto m = make_packed(scaled(14860), state.range(0));
+  for (auto _ : state) {
+    genome::BitPlanes planes(m);
+    benchmark::DoNotOptimize(planes);
+  }
+  const genome::BitPlanes planes(m);
+  state.counters["storage_KB"] =
+      static_cast<double>(planes.storage_bytes()) / 1024.0;
+}
+BENCHMARK(BM_Packing_BitplaneBuild)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Packing_BitplaneAlleleCounts(benchmark::State& state) {
+  // Counts are precomputed at plane-build time; per-study lookups copy them.
+  const auto m = make_packed(scaled(14860), state.range(0));
+  const genome::BitPlanes planes(m);
+  for (auto _ : state) {
+    std::vector<std::uint32_t> counts = planes.allele_counts();
+    benchmark::DoNotOptimize(counts);
+  }
+  state.counters["storage_KB"] =
+      static_cast<double>(planes.storage_bytes()) / 1024.0;
+}
+BENCHMARK(BM_Packing_BitplaneAlleleCounts)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// The LD-moments kernel over adjacent SNP pairs - exactly the inner loop of
+// the phase-2 greedy walk. Scalar path: one get() per individual per SNP.
+// Bit-plane path: cached popcounts + one AND+popcount word sweep.
+void BM_Packing_LdMomentsScalar(benchmark::State& state) {
+  const auto m = make_packed(scaled(14860), 1000);
+  std::uint32_t a = 0;
+  for (auto _ : state) {
+    const stats::LdMoments moments = stats::compute_ld_moments(m, a, a + 1);
+    benchmark::DoNotOptimize(moments);
+    a = (a + 1) % static_cast<std::uint32_t>(m.num_snps() - 1);
+  }
+}
+BENCHMARK(BM_Packing_LdMomentsScalar);
+
+void BM_Packing_LdMomentsBitplane(benchmark::State& state) {
+  const auto m = make_packed(scaled(14860), 1000);
+  const genome::BitPlanes planes(m);
+  std::uint32_t a = 0;
+  for (auto _ : state) {
+    const stats::LdMoments moments =
+        stats::compute_ld_moments(planes, a, a + 1);
+    benchmark::DoNotOptimize(moments);
+    a = (a + 1) % static_cast<std::uint32_t>(planes.num_snps() - 1);
+  }
+}
+BENCHMARK(BM_Packing_LdMomentsBitplane);
 
 void BM_Packing_PackedRandomGet(benchmark::State& state) {
   const auto m = make_packed(scaled(14860), 1000);

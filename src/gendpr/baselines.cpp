@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.hpp"
 #include "gendpr/trusted.hpp"
+#include "genome/bitplanes.hpp"
 #include "stats/association.hpp"
 #include "stats/ld.hpp"
 #include "stats/lr_test.hpp"
@@ -46,10 +47,13 @@ BaselineResult run_centralized(const genome::Cohort& cohort,
   BaselineResult result;
   const Stopwatch total_watch;
 
-  // "Data Aggregation": the centralized enclave ingests every genome.
+  // "Data Aggregation": the centralized enclave ingests every genome and
+  // builds the SNP-major planes its statistical kernels run on.
   Stopwatch aggregation_watch;
   const genome::GenotypeMatrix cases = cohort.cases;        // full copy in
   const genome::GenotypeMatrix reference = cohort.controls; // full copy in
+  const genome::BitPlanes case_planes(cases);
+  const genome::BitPlanes ref_planes(reference);
   result.timings.aggregation_ms = aggregation_watch.elapsed_ms();
 
   const std::uint64_t n_case = cases.num_individuals();
@@ -57,8 +61,8 @@ BaselineResult run_centralized(const genome::Cohort& cohort,
 
   // "Indexing/Sorting/AlleleFreq.": counts, MAF filter, association ranking.
   Stopwatch indexing_watch;
-  const std::vector<std::uint32_t> case_counts = cases.allele_counts();
-  const std::vector<std::uint32_t> ref_counts = reference.allele_counts();
+  const std::vector<std::uint32_t> case_counts = case_planes.allele_counts();
+  const std::vector<std::uint32_t> ref_counts = ref_planes.allele_counts();
   std::vector<double> maf(case_counts.size(), 0.0);
   for (std::size_t l = 0; l < case_counts.size(); ++l) {
     maf[l] = stats::minor_allele_frequency(case_counts[l] + ref_counts[l],
@@ -72,8 +76,8 @@ BaselineResult run_centralized(const genome::Cohort& cohort,
   // "LD analysis": greedy pruning with pooled (case + reference) moments.
   Stopwatch ld_watch;
   auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
-    stats::LdMoments moments = stats::compute_ld_moments(cases, a, b);
-    moments += stats::compute_ld_moments(reference, a, b);
+    stats::LdMoments moments = stats::compute_ld_moments(case_planes, a, b);
+    moments += stats::compute_ld_moments(ref_planes, a, b);
     return stats::ld_p_value(moments);
   };
   result.outcome.l_double_prime = stats::greedy_ld_prune(
@@ -87,10 +91,10 @@ BaselineResult run_centralized(const genome::Cohort& cohort,
   const std::vector<double> ref_freq =
       freq_of(ref_counts, result.outcome.l_double_prime, n_ref);
   const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
-  const stats::LrMatrix case_lr =
-      stats::build_lr_matrix(cases, result.outcome.l_double_prime, weights);
+  const stats::LrMatrix case_lr = stats::build_lr_matrix(
+      case_planes, result.outcome.l_double_prime, weights);
   const stats::LrMatrix ref_lr = stats::build_lr_matrix(
-      reference, result.outcome.l_double_prime, weights);
+      ref_planes, result.outcome.l_double_prime, weights);
   stats::LrSelectionParams params;
   params.false_positive_rate = config.lr_false_positive_rate;
   params.power_threshold = config.lr_power_threshold;
@@ -114,8 +118,9 @@ BaselineResult run_naive_distributed(const genome::Cohort& cohort,
   const Stopwatch total_watch;
 
   const genome::GenotypeMatrix& reference = cohort.controls;
+  const genome::BitPlanes ref_planes(reference);
   const std::uint64_t n_ref = reference.num_individuals();
-  const std::vector<std::uint32_t> ref_counts = reference.allele_counts();
+  const std::vector<std::uint32_t> ref_counts = ref_planes.allele_counts();
 
   const auto ranges =
       genome::equal_partition(cohort.cases.num_individuals(), num_gdos);
@@ -124,6 +129,9 @@ BaselineResult run_naive_distributed(const genome::Cohort& cohort,
   for (const auto& [begin, end] : ranges) {
     locals.push_back(cohort.cases.slice_rows(begin, end));
   }
+  std::vector<genome::BitPlanes> local_planes;
+  local_planes.reserve(num_gdos);
+  for (const auto& local : locals) local_planes.emplace_back(local);
 
   // MAF is still computed over aggregated counts - the paper observes the
   // naive scheme "is able to retain the same SNPs during the MAF evaluation".
@@ -143,12 +151,12 @@ BaselineResult run_naive_distributed(const genome::Cohort& cohort,
   Stopwatch ld_watch;
   std::vector<std::vector<std::uint32_t>> local_ld_lists;
   local_ld_lists.reserve(num_gdos);
-  for (const auto& local : locals) {
+  for (const auto& local : local_planes) {
     const std::vector<double> local_p_values = association_p_values(
         local.allele_counts(), local.num_individuals(), ref_counts, n_ref);
     auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
       stats::LdMoments moments = stats::compute_ld_moments(local, a, b);
-      moments += stats::compute_ld_moments(reference, a, b);
+      moments += stats::compute_ld_moments(ref_planes, a, b);
       return stats::ld_p_value(moments);
     };
     local_ld_lists.push_back(stats::greedy_ld_prune(
@@ -165,7 +173,7 @@ BaselineResult run_naive_distributed(const genome::Cohort& cohort,
   std::vector<std::vector<std::uint32_t>> local_safe_lists;
   local_safe_lists.reserve(num_gdos);
   double worst_power = 0.0;
-  for (const auto& local : locals) {
+  for (const auto& local : local_planes) {
     const std::vector<double> local_freq =
         freq_of(local.allele_counts(), result.outcome.l_double_prime,
                 local.num_individuals());
@@ -173,7 +181,7 @@ BaselineResult run_naive_distributed(const genome::Cohort& cohort,
     const stats::LrMatrix local_lr = stats::build_lr_matrix(
         local, result.outcome.l_double_prime, weights);
     const stats::LrMatrix ref_lr = stats::build_lr_matrix(
-        reference, result.outcome.l_double_prime, weights);
+        ref_planes, result.outcome.l_double_prime, weights);
     stats::LrSelectionParams params;
     params.false_positive_rate = config.lr_false_positive_rate;
     params.power_threshold = config.lr_power_threshold;

@@ -29,8 +29,13 @@ GdoEnclave::GdoEnclave(tee::Platform& platform, std::uint32_t gdo_index)
 Status GdoEnclave::provision_dataset(genome::GenotypeMatrix cases) {
   auto allocation = reserve_epc(cases.storage_bytes());
   if (!allocation.ok()) return allocation.error();
+  genome::BitPlanes planes(cases);
+  auto plane_allocation = reserve_epc(planes.storage_bytes());
+  if (!plane_allocation.ok()) return plane_allocation.error();
   dataset_epc_ = std::move(allocation).take();
+  planes_epc_ = std::move(plane_allocation).take();
   cases_ = std::move(cases);
+  planes_ = std::move(planes);
   return Status::success();
 }
 
@@ -54,7 +59,7 @@ Status GdoEnclave::on_study_announce(const StudyAnnounce& announce) {
 
 SummaryStats GdoEnclave::make_summary_stats() const {
   SummaryStats stats;
-  stats.case_counts = cases_.allele_counts();
+  stats.case_counts = planes_.allele_counts();
   stats.n_case = static_cast<std::uint32_t>(cases_.num_individuals());
   return stats;
 }
@@ -85,7 +90,7 @@ Result<MomentsResponse> GdoEnclave::on_moments_request(
   MomentsResponse response;
   response.request_id = request.request_id;
   response.moments =
-      stats::compute_ld_moments(cases_, request.snp_a, request.snp_b);
+      stats::compute_ld_moments(planes_, request.snp_a, request.snp_b);
   return response;
 }
 
@@ -124,7 +129,7 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
         result.case_freq_per_combination[c], result.reference_freq);
     LrMatrices::Entry entry;
     entry.combination_id = static_cast<std::uint32_t>(c);
-    entry.matrix = stats::build_lr_matrix(cases_, result.retained, weights);
+    entry.matrix = stats::build_lr_matrix(planes_, result.retained, weights);
     response.entries.push_back(std::move(entry));
   }
   return response;
@@ -226,11 +231,12 @@ Coordinator::Coordinator(GdoEnclave& leader_enclave,
                          std::uint32_t num_gdos, StudyAnnounce announce)
     : leader_(&leader_enclave),
       reference_(std::move(reference)),
+      reference_planes_(reference_),
       num_gdos_(num_gdos),
       announce_(std::move(announce)),
       summaries_(num_gdos),
       lr_matrices_(announce_.combinations.size()) {
-  reference_counts_ = reference_.allele_counts();
+  reference_counts_ = reference_planes_.allele_counts();
 }
 
 Status Coordinator::add_summary(std::uint32_t gdo_index,
@@ -337,9 +343,9 @@ stats::LdMoments Coordinator::aggregate_pair(
     request.snp_b = b;
     std::vector<std::optional<stats::LdMoments>> fetched = fetch(request);
     fetched.resize(num_gdos_);
-    // The leader computes its own moments locally.
+    // The leader computes its own moments locally (word-parallel planes).
     fetched[leader_->gdo_index()] =
-        stats::compute_ld_moments(leader_->dataset(), a, b);
+        stats::compute_ld_moments(leader_->planes(), a, b);
     std::vector<stats::LdMoments> per_gdo(num_gdos_);
     for (std::uint32_t g = 0; g < num_gdos_; ++g) {
       if (!fetched[g].has_value()) {
@@ -352,7 +358,7 @@ stats::LdMoments Coordinator::aggregate_pair(
     }
     cached = moments_cache_.emplace(key, std::move(per_gdo)).first;
     reference_moments_cache_.emplace(
-        key, stats::compute_ld_moments(reference_, a, b));
+        key, stats::compute_ld_moments(reference_planes_, a, b));
   }
   stats::LdMoments total = reference_moments_cache_.at(key);
   for (std::uint32_t g : members) total += cached->second[g];
@@ -446,6 +452,12 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
   std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
   std::vector<double> per_combination_power(num_combinations, 0.0);
 
+  // With several combinations the pool fans out across them; with a single
+  // combination it is threaded into the selection kernel instead. Never
+  // both: a nested parallel_for from inside a pool worker could starve.
+  const bool parallel_combinations = pool != nullptr && num_combinations > 1;
+  common::ThreadPool* selection_pool = parallel_combinations ? nullptr : pool;
+
   auto evaluate = [&](std::size_t c) {
     const auto& members = announce_.combinations[c];
     // Leader's own local LR matrix for this combination, if it is a member.
@@ -454,19 +466,19 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     stats::LrMatrix merged;
     for (std::uint32_t g : members) {  // ascending GDO order by construction
       if (g == leader_->gdo_index()) {
-        merged.append_rows(stats::build_lr_matrix(leader_->dataset(),
+        merged.append_rows(stats::build_lr_matrix(leader_->planes(),
                                                   l_double_prime_, weights));
       } else {
         merged.append_rows(lr_matrices_[c].at(g));
       }
     }
     const stats::LrMatrix reference_lr =
-        stats::build_lr_matrix(reference_, l_double_prime_, weights);
+        stats::build_lr_matrix(reference_planes_, l_double_prime_, weights);
     stats::LrSelectionParams params;
     params.false_positive_rate = announce_.config.lr_false_positive_rate;
     params.power_threshold = announce_.config.lr_power_threshold;
     const stats::LrSelectionResult selection =
-        stats::select_safe_snps(merged, reference_lr, params);
+        stats::select_safe_snps(merged, reference_lr, params, selection_pool);
     std::vector<std::uint32_t> safe;
     safe.reserve(selection.safe_columns.size());
     for (std::uint32_t column : selection.safe_columns) {
@@ -476,7 +488,7 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     per_combination_power[c] = selection.final_power;
   };
 
-  if (pool != nullptr) {
+  if (parallel_combinations) {
     pool->parallel_for(num_combinations, evaluate);
   } else {
     for (std::size_t c = 0; c < num_combinations; ++c) evaluate(c);

@@ -23,6 +23,7 @@
 #include "common/thread_pool.hpp"
 #include "gendpr/config.hpp"
 #include "gendpr/messages.hpp"
+#include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
 #include "stats/ld.hpp"
 #include "stats/lr_test.hpp"
@@ -45,10 +46,13 @@ class GdoEnclave : public tee::Enclave {
   std::uint32_t gdo_index() const noexcept { return gdo_index_; }
 
   /// Loads the GDO's local case genotypes into the enclave (models decrypting
-  /// the sealed local dataset; accounted against the EPC meter).
+  /// the sealed local dataset; accounted against the EPC meter). Also builds
+  /// the SNP-major bit-plane transpose the statistical kernels run on; the
+  /// planes are charged against the EPC meter like the dataset itself.
   common::Status provision_dataset(genome::GenotypeMatrix cases);
 
   const genome::GenotypeMatrix& dataset() const noexcept { return cases_; }
+  const genome::BitPlanes& planes() const noexcept { return planes_; }
 
   /// --- protocol handlers (member role) ---
   common::Status on_study_announce(const StudyAnnounce& announce);
@@ -79,7 +83,9 @@ class GdoEnclave : public tee::Enclave {
  private:
   std::uint32_t gdo_index_;
   genome::GenotypeMatrix cases_;
+  genome::BitPlanes planes_;
   tee::EpcAllocation dataset_epc_;
+  tee::EpcAllocation planes_epc_;
 
   std::optional<StudyAnnounce> announce_;
   std::vector<std::uint32_t> l_prime_;
@@ -158,6 +164,7 @@ class Coordinator {
 
   GdoEnclave* leader_;
   genome::GenotypeMatrix reference_;
+  genome::BitPlanes reference_planes_;
   std::uint32_t num_gdos_;
   StudyAnnounce announce_;
 

@@ -1,0 +1,78 @@
+// SNP-major bit-plane view of a GenotypeMatrix.
+//
+// GenotypeMatrix is row-major (one individual's genotypes contiguous), which
+// suits per-individual scans but makes the per-SNP-column kernels - LD
+// moments, allele counts, LR-matrix fill - walk the matrix one bit at a time.
+// BitPlanes is the column-major transpose packed into 64-bit words: plane l
+// holds the genotype bit of every individual at SNP l, so a whole-population
+// column reduction is a short word sweep (popcount, AND+popcount) instead of
+// N accessor calls. Per-SNP popcounts are precomputed once at construction,
+// which makes the five binary-genotype LD moments (mu_x = mu_x2 = count_x,
+// mu_xy = popcount(plane_x & plane_y)) derivable without touching the words
+// at all for the marginal terms.
+//
+// Built once per provisioned dataset and kept alongside the row-major matrix;
+// both layouts are charged against the EPC meter (see DESIGN.md §2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/genotype.hpp"
+
+namespace gendpr::genome {
+
+/// Column-major, 64-bit-word-packed transpose of a GenotypeMatrix with
+/// cached per-SNP minor-allele popcounts. Tail bits (individual indices
+/// >= num_individuals in the last word of each plane) are always zero.
+class BitPlanes {
+ public:
+  BitPlanes() = default;
+  explicit BitPlanes(const GenotypeMatrix& genotypes);
+
+  std::size_t num_individuals() const noexcept { return num_individuals_; }
+  std::size_t num_snps() const noexcept { return num_snps_; }
+  std::size_t words_per_plane() const noexcept { return words_per_plane_; }
+
+  /// Words of SNP `snp`'s plane (bit n = individual n's genotype).
+  const std::uint64_t* plane(std::size_t snp) const noexcept {
+    return words_.data() + snp * words_per_plane_;
+  }
+
+  /// Cached minor-allele count at `snp` (popcount of its plane).
+  std::uint32_t allele_count(std::size_t snp) const noexcept {
+    return counts_[snp];
+  }
+
+  /// Minor-allele counts for every SNP (precomputed; no per-call sweep).
+  const std::vector<std::uint32_t>& allele_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Minor-allele counts restricted to the SNP subset `snps`.
+  std::vector<std::uint32_t> allele_counts(
+      const std::vector<std::uint32_t>& snps) const;
+
+  /// popcount(plane_a AND plane_b): individuals carrying the minor allele at
+  /// both SNPs - the only non-marginal term of the LD moment struct.
+  std::uint32_t pair_count(std::size_t snp_a, std::size_t snp_b) const noexcept;
+
+  bool get(std::size_t individual, std::size_t snp) const noexcept {
+    return (plane(snp)[individual / 64] >> (individual % 64)) & 1;
+  }
+
+  /// Heap bytes of the plane words + count cache (EPC accounting).
+  std::size_t storage_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t) +
+           counts_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t num_individuals_ = 0;
+  std::size_t num_snps_ = 0;
+  std::size_t words_per_plane_ = 0;
+  std::vector<std::uint64_t> words_;  // plane-contiguous: snp * words_per_plane
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace gendpr::genome

@@ -43,6 +43,13 @@ class GenotypeMatrix {
   /// Selects rows [begin, end) into a new matrix (GDO partitioning).
   GenotypeMatrix slice_rows(std::size_t begin, std::size_t end) const;
 
+  /// Raw packed-row access for word-parallel consumers (BitPlanes build).
+  /// Bits past num_snps() in the last byte of a row are always zero.
+  std::size_t row_stride() const noexcept { return row_stride_; }
+  const std::uint8_t* row_data(std::size_t individual) const noexcept {
+    return bits_.data() + individual * row_stride_;
+  }
+
   /// Heap bytes used by the packed storage (EPC accounting).
   std::size_t storage_bytes() const noexcept { return bits_.size(); }
 

@@ -32,6 +32,20 @@ LdMoments compute_ld_moments(const genome::GenotypeMatrix& genotypes,
   return m;
 }
 
+LdMoments compute_ld_moments(const genome::BitPlanes& planes,
+                             std::uint32_t snp_x, std::uint32_t snp_y) {
+  LdMoments m;
+  m.n = planes.num_individuals();
+  const double count_x = planes.allele_count(snp_x);
+  const double count_y = planes.allele_count(snp_y);
+  m.mu_x = count_x;
+  m.mu_x2 = count_x;
+  m.mu_y = count_y;
+  m.mu_y2 = count_y;
+  m.mu_xy = planes.pair_count(snp_x, snp_y);
+  return m;
+}
+
 double ld_r2(const LdMoments& m) {
   if (m.n == 0) return 0.0;
   const double n = static_cast<double>(m.n);

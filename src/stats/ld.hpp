@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
 
 namespace gendpr::stats {
@@ -34,6 +35,14 @@ struct LdMoments {
 
 /// Moments of the pair (snp_x, snp_y) over all individuals of `genotypes`.
 LdMoments compute_ld_moments(const genome::GenotypeMatrix& genotypes,
+                             std::uint32_t snp_x, std::uint32_t snp_y);
+
+/// Word-parallel moments from SNP-major bit planes. For binary genotypes
+/// x = x^2, so mu_x = mu_x2 = count_x (cached per plane) and the only term
+/// needing a sweep is mu_xy = popcount(plane_x & plane_y). Sums of 0/1
+/// values are exact in double, so the result is bit-identical to the scalar
+/// per-individual loop.
+LdMoments compute_ld_moments(const genome::BitPlanes& planes,
                              std::uint32_t snp_x, std::uint32_t snp_y);
 
 /// Squared Pearson correlation from aggregated moments; 0 for degenerate

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
 
 namespace gendpr::stats {
@@ -80,6 +82,19 @@ LrMatrix build_lr_matrix(const genome::GenotypeMatrix& genotypes,
                          const std::vector<std::uint32_t>& snps,
                          const LrWeights& weights);
 
+/// Word-parallel LR-matrix fill from SNP-major bit planes: reads one plane
+/// word per 64 individuals and writes rows contiguously, instead of one
+/// get() call per matrix cell. Output is bit-identical to the scalar build
+/// (each cell is one of the same two weight values).
+LrMatrix build_lr_matrix(const genome::BitPlanes& planes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights,
+                         const std::vector<std::uint32_t>& snp_to_weight_col);
+
+LrMatrix build_lr_matrix(const genome::BitPlanes& planes,
+                         const std::vector<std::uint32_t>& snps,
+                         const LrWeights& weights);
+
 struct LrSelectionParams {
   double false_positive_rate = 0.1;  // beta in §7
   double power_threshold = 0.9;      // identification-power limit in §7
@@ -97,9 +112,14 @@ struct LrSelectionResult {
 /// Empirical safe-subset search over merged case and reference LR matrices
 /// (they must have equal column counts). Deterministic: depends only on the
 /// multiset of rows, so any GDO concatenation order yields the same result.
+/// `pool` (optional) parallelises the per-column gap pass and the
+/// per-candidate score updates; every per-column and per-row accumulation
+/// keeps its serial order, so the selection is identical with or without a
+/// pool. Must not be the pool currently running this call (no nesting).
 LrSelectionResult select_safe_snps(const LrMatrix& case_lr,
                                    const LrMatrix& reference_lr,
-                                   const LrSelectionParams& params);
+                                   const LrSelectionParams& params,
+                                   common::ThreadPool* pool = nullptr);
 
 /// Detection power of the adversary for fixed per-individual LR scores:
 /// threshold = (1 - fpr) quantile of reference scores; power = fraction of
@@ -108,5 +128,13 @@ LrSelectionResult select_safe_snps(const LrMatrix& case_lr,
 double detection_power(const std::vector<double>& case_scores,
                        const std::vector<double>& reference_scores,
                        double false_positive_rate, double* threshold_out);
+
+/// Same, but reuses `scratch` for the quantile's partial sort instead of
+/// allocating a reference-sized vector per call - the allocation dominated
+/// the greedy selection loop, which calls this once per candidate SNP.
+double detection_power(const std::vector<double>& case_scores,
+                       const std::vector<double>& reference_scores,
+                       double false_positive_rate, double* threshold_out,
+                       std::vector<double>& scratch);
 
 }  // namespace gendpr::stats

@@ -84,7 +84,11 @@ TEST(GdoEnclaveTest, ProvisionAccountsEpc) {
   Fixture f;
   GdoEnclave enclave(f.platform, 0);
   ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
-  EXPECT_EQ(f.platform.epc().in_use(), f.cohort.cases.storage_bytes());
+  // Both genotype layouts are charged: the packed rows and the SNP-major
+  // bit planes built from them (DESIGN.md §2.1).
+  const genome::BitPlanes planes(f.cohort.cases);
+  EXPECT_EQ(f.platform.epc().in_use(),
+            f.cohort.cases.storage_bytes() + planes.storage_bytes());
 }
 
 TEST(GdoEnclaveTest, ProvisionRejectedOverEpcLimit) {

@@ -1,0 +1,183 @@
+#include "genome/bitplanes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "stats/ld.hpp"
+#include "stats/lr_test.hpp"
+
+namespace gendpr::genome {
+namespace {
+
+GenotypeMatrix random_matrix(common::Rng& rng, std::size_t n, std::size_t l,
+                             double density) {
+  GenotypeMatrix m(n, l);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j, true);
+    }
+  }
+  return m;
+}
+
+/// Population sizes around the 64-bit word boundary, plus degenerate ones:
+/// the tail-word masking has to hold at every alignment.
+const std::size_t kPopulationSizes[] = {0, 1, 7, 63, 64, 65, 128, 200};
+
+TEST(BitPlanesTest, GetMatchesMatrix) {
+  common::Rng rng(11);
+  for (std::size_t n : kPopulationSizes) {
+    const GenotypeMatrix m = random_matrix(rng, n, 17, 0.4);
+    const BitPlanes planes(m);
+    EXPECT_EQ(planes.num_individuals(), n);
+    EXPECT_EQ(planes.num_snps(), 17u);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t l = 0; l < 17; ++l) {
+        EXPECT_EQ(planes.get(i, l), m.get(i, l)) << "n=" << n << " i=" << i
+                                                 << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(BitPlanesTest, AlleleCountsBitIdenticalToScalar) {
+  common::Rng rng(12);
+  for (std::size_t n : kPopulationSizes) {
+    const GenotypeMatrix m = random_matrix(rng, n, 33, 0.3);
+    const BitPlanes planes(m);
+    EXPECT_EQ(planes.allele_counts(), m.allele_counts()) << "n=" << n;
+    for (std::size_t l = 0; l < 33; ++l) {
+      EXPECT_EQ(planes.allele_count(l), m.allele_count(l));
+    }
+  }
+}
+
+TEST(BitPlanesTest, SubsetAlleleCountsBitIdenticalToScalar) {
+  common::Rng rng(13);
+  const GenotypeMatrix m = random_matrix(rng, 130, 40, 0.25);
+  const BitPlanes planes(m);
+  const std::vector<std::uint32_t> subset = {0, 5, 39, 17, 5};
+  EXPECT_EQ(planes.allele_counts(subset), m.allele_counts(subset));
+  EXPECT_EQ(planes.allele_counts(std::vector<std::uint32_t>{}),
+            m.allele_counts(std::vector<std::uint32_t>{}));
+}
+
+TEST(BitPlanesTest, TailWordBitsStaySilent) {
+  // 65 individuals, all carriers: the second word of each plane holds exactly
+  // one live bit; anything more would corrupt every popcount-based kernel.
+  GenotypeMatrix m(65, 3);
+  for (std::size_t i = 0; i < 65; ++i) {
+    for (std::size_t l = 0; l < 3; ++l) m.set(i, l, true);
+  }
+  const BitPlanes planes(m);
+  ASSERT_EQ(planes.words_per_plane(), 2u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ(planes.allele_count(l), 65u);
+    EXPECT_EQ(planes.plane(l)[1], 1ull);
+  }
+}
+
+TEST(BitPlanesTest, PairCountMatchesBruteForce) {
+  common::Rng rng(14);
+  for (std::size_t n : kPopulationSizes) {
+    const GenotypeMatrix m = random_matrix(rng, n, 9, 0.5);
+    const BitPlanes planes(m);
+    for (std::size_t a = 0; a < 9; ++a) {
+      for (std::size_t b = 0; b < 9; ++b) {
+        std::uint32_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (m.get(i, a) && m.get(i, b)) ++expected;
+        }
+        EXPECT_EQ(planes.pair_count(a, b), expected)
+            << "n=" << n << " pair (" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+TEST(BitPlanesTest, LdMomentsBitIdenticalToScalar) {
+  common::Rng rng(15);
+  for (std::size_t n : kPopulationSizes) {
+    const GenotypeMatrix m = random_matrix(rng, n, 12, 0.35);
+    const BitPlanes planes(m);
+    for (std::uint32_t a = 0; a + 1 < 12; ++a) {
+      const stats::LdMoments scalar = stats::compute_ld_moments(m, a, a + 1);
+      const stats::LdMoments plane =
+          stats::compute_ld_moments(planes, a, a + 1);
+      EXPECT_EQ(scalar.n, plane.n);
+      // Sums of 0/1 are exact in double, so equality must be exact too.
+      EXPECT_EQ(scalar.mu_x, plane.mu_x) << "n=" << n << " a=" << a;
+      EXPECT_EQ(scalar.mu_y, plane.mu_y);
+      EXPECT_EQ(scalar.mu_xy, plane.mu_xy);
+      EXPECT_EQ(scalar.mu_x2, plane.mu_x2);
+      EXPECT_EQ(scalar.mu_y2, plane.mu_y2);
+    }
+  }
+}
+
+TEST(BitPlanesTest, LrMatrixBitIdenticalToScalar) {
+  common::Rng rng(16);
+  for (std::size_t n : kPopulationSizes) {
+    const GenotypeMatrix m = random_matrix(rng, n, 20, 0.3);
+    const BitPlanes planes(m);
+    std::vector<std::uint32_t> snps = {2, 19, 0, 7, 13};
+    std::vector<double> case_freq(snps.size()), ref_freq(snps.size());
+    for (std::size_t i = 0; i < snps.size(); ++i) {
+      case_freq[i] = rng.uniform();
+      ref_freq[i] = rng.uniform();
+    }
+    const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
+    EXPECT_EQ(stats::build_lr_matrix(planes, snps, weights),
+              stats::build_lr_matrix(m, snps, weights))
+        << "n=" << n;
+  }
+}
+
+TEST(BitPlanesTest, LrMatrixWithWeightColumnMapping) {
+  common::Rng rng(17);
+  const GenotypeMatrix m = random_matrix(rng, 77, 10, 0.4);
+  const BitPlanes planes(m);
+  const std::vector<std::uint32_t> snps = {4, 8, 1};
+  const std::vector<std::uint32_t> weight_cols = {2, 0, 3};
+  std::vector<double> case_freq(4), ref_freq(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    case_freq[i] = rng.uniform();
+    ref_freq[i] = rng.uniform();
+  }
+  const stats::LrWeights weights = stats::lr_weights(case_freq, ref_freq);
+  EXPECT_EQ(stats::build_lr_matrix(planes, snps, weights, weight_cols),
+            stats::build_lr_matrix(m, snps, weights, weight_cols));
+}
+
+TEST(BitPlanesTest, EmptyAndDegenerateInputs) {
+  const GenotypeMatrix empty_rows(0, 6);
+  const BitPlanes planes(empty_rows);
+  EXPECT_EQ(planes.words_per_plane(), 0u);
+  EXPECT_EQ(planes.allele_counts(), std::vector<std::uint32_t>(6, 0));
+  EXPECT_EQ(planes.pair_count(0, 5), 0u);
+  const stats::LdMoments moments = stats::compute_ld_moments(planes, 0, 1);
+  EXPECT_EQ(moments.n, 0u);
+  EXPECT_EQ(moments.mu_xy, 0.0);
+
+  const GenotypeMatrix no_snps(5, 0);
+  const BitPlanes empty_planes(no_snps);
+  EXPECT_TRUE(empty_planes.allele_counts().empty());
+
+  const BitPlanes default_planes;
+  EXPECT_EQ(default_planes.num_individuals(), 0u);
+  EXPECT_EQ(default_planes.num_snps(), 0u);
+}
+
+TEST(BitPlanesTest, StorageMatchesPackedMatrixScale) {
+  // The transpose costs about as much memory as the packed matrix itself
+  // (both are one bit per genotype, modulo tail padding + the count cache).
+  const GenotypeMatrix m(1000, 500);
+  const BitPlanes planes(m);
+  EXPECT_EQ(planes.storage_bytes(),
+            500u * ((1000u + 63u) / 64u) * 8u + 500u * 4u);
+}
+
+}  // namespace
+}  // namespace gendpr::genome

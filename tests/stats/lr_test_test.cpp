@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gendpr::stats {
 namespace {
@@ -113,6 +114,24 @@ TEST(DetectionPowerTest, EmptyInputsGiveZero) {
   EXPECT_DOUBLE_EQ(detection_power({1.0}, {}, 0.1, nullptr), 0.0);
 }
 
+TEST(DetectionPowerTest, ScratchOverloadBitIdentical) {
+  common::Rng rng(5);
+  std::vector<double> case_scores(777);
+  std::vector<double> ref_scores(1234);
+  for (auto& s : case_scores) s = rng.normal();
+  for (auto& s : ref_scores) s = rng.normal();
+  std::vector<double> scratch;
+  for (double fpr : {0.0, 0.05, 0.1, 0.5, 0.999}) {
+    double t_plain = 0.0, t_scratch = 0.0;
+    const double plain =
+        detection_power(case_scores, ref_scores, fpr, &t_plain);
+    const double reused =
+        detection_power(case_scores, ref_scores, fpr, &t_scratch, scratch);
+    EXPECT_DOUBLE_EQ(plain, reused) << "fpr " << fpr;
+    EXPECT_DOUBLE_EQ(t_plain, t_scratch) << "fpr " << fpr;
+  }
+}
+
 TEST(DetectionPowerTest, ThresholdQuantileEdges) {
   const std::vector<double> ref = {1.0, 2.0, 3.0, 4.0};
   double threshold = 0.0;
@@ -201,6 +220,22 @@ TEST_F(SelectSafeSnpsTest, RowOrderInvariance) {
   const auto b = select_safe_snps(reversed_case, ref_lr, LrSelectionParams{});
   EXPECT_EQ(a.safe_columns, b.safe_columns);
   EXPECT_DOUBLE_EQ(a.final_power, b.final_power);
+}
+
+TEST_F(SelectSafeSnpsTest, PooledSelectionBitIdenticalToSerial) {
+  // The pool splits the gap pass by column block and the candidate updates
+  // by row chunk; both preserve the serial accumulation order per element,
+  // so the selection must match exactly - the collusion tests rely on this.
+  common::ThreadPool pool(4);
+  for (std::uint64_t seed : {3ull, 19ull, 29ull}) {
+    const auto [case_lr, ref_lr] = synthetic(500, 500, 35, 8, 1.2, seed);
+    const auto serial = select_safe_snps(case_lr, ref_lr, LrSelectionParams{});
+    const auto pooled =
+        select_safe_snps(case_lr, ref_lr, LrSelectionParams{}, &pool);
+    EXPECT_EQ(serial.safe_columns, pooled.safe_columns) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(serial.final_power, pooled.final_power);
+    EXPECT_DOUBLE_EQ(serial.final_threshold, pooled.final_threshold);
+  }
 }
 
 TEST_F(SelectSafeSnpsTest, EmptyMatrixGivesEmptyResult) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the benchmark binaries in Release and runs a selection of them with
+# JSON output, writing BENCH_<name>.json at the repo root (gitignored).
+#
+# Usage:
+#   tools/run_bench.sh [bench_name ...]
+#
+# With no arguments, runs the ablation benches touched by the bit-plane work
+# plus the end-to-end runtime figure. GENDPR_BENCH_SCALE (e.g. 0.1) is
+# forwarded to the bench processes for quick smoke runs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+benches=("$@")
+if [[ ${#benches[@]} -eq 0 ]]; then
+  benches=(bench_ablation_packing bench_ablation_lrtest bench_fig6_runtime)
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target "${benches[@]}"
+
+for bench in "${benches[@]}"; do
+  out="${repo_root}/BENCH_${bench#bench_}.json"
+  echo "== ${bench} -> ${out}"
+  "${build_dir}/bench/${bench}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json
+done
