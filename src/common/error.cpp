@@ -22,6 +22,10 @@ const char* errc_name(Errc code) noexcept {
       return "invalid_argument";
     case Errc::io_error:
       return "io_error";
+    case Errc::timeout:
+      return "timeout";
+    case Errc::aborted:
+      return "aborted";
   }
   return "unknown";
 }

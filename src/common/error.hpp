@@ -23,6 +23,8 @@ enum class Errc {
   capacity_exceeded,     // simulated EPC limit exceeded
   invalid_argument,      // caller-supplied parameter out of domain
   io_error,              // file read/write failure
+  timeout,               // bounded wait expired (unresponsive peer)
+  aborted,               // operation cancelled by a peer's abort notice
 };
 
 /// Human-readable name for an error code.

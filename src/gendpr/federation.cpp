@@ -58,12 +58,14 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
       Coordinator::build_combinations(spec.num_gdos, spec.policy);
 
   net::Network network;
+  const std::chrono::milliseconds receive_timeout(spec.receive_timeout_ms);
 
   LeaderNode leader(network, *platforms[leader_gdo], leader_gdo,
                     spec.num_gdos,
                     cohort.cases.slice_rows(ranges[leader_gdo].first,
                                             ranges[leader_gdo].second),
                     cohort.controls, announce);
+  leader.set_receive_timeout(receive_timeout);
 
   std::vector<std::unique_ptr<MemberNode>> members;
   for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
@@ -71,6 +73,7 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
     members.push_back(std::make_unique<MemberNode>(
         network, *platforms[g], g, leader_gdo,
         cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+    members.back()->set_receive_timeout(receive_timeout);
   }
   // A member that failed at construction (EPC limit) would never handshake
   // and the leader would wait forever - surface the error up front.

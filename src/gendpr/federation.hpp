@@ -24,6 +24,12 @@ struct FederationSpec {
   /// Evaluate per-combination LR selections in parallel inside the leader
   /// enclave (§5.6: "efficiently conducted in parallel").
   bool parallel_combinations = true;
+  /// Deadline for every protocol wait on every node, in milliseconds.
+  /// 0 preserves the paper's original semantics (block forever). With a
+  /// deadline, an unresponsive GDO is declared dead: the study either
+  /// completes on the surviving combinations or aborts with Errc::timeout
+  /// naming the dead peer(s).
+  std::uint32_t receive_timeout_ms = 0;
 };
 
 /// Runs a full federated GenDPR study over `cohort`: case genomes are split

@@ -189,6 +189,7 @@ common::Bytes Phase2Result::serialize() const {
   for (const auto& freq : case_freq_per_combination) {
     w.vector_f64(freq);
   }
+  w.vector_u32(dead_gdos);
   return std::move(w).take();
 }
 
@@ -208,6 +209,9 @@ Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
     if (!freq.ok()) return freq.error();
     msg.case_freq_per_combination.push_back(std::move(freq).take());
   }
+  auto dead = r.vector_u32();
+  if (!dead.ok()) return dead.error();
+  msg.dead_gdos = std::move(dead).take();
   if (!r.exhausted()) return trailing();
   return msg;
 }
@@ -261,6 +265,26 @@ Result<Phase3Result> Phase3Result::deserialize(common::BytesView data) {
   return msg;
 }
 
+common::Bytes AbortNotice::serialize() const {
+  wire::Writer w;
+  w.u32(failed_gdo);
+  w.string(reason);
+  return std::move(w).take();
+}
+
+Result<AbortNotice> AbortNotice::deserialize(common::BytesView data) {
+  wire::Reader r(data);
+  AbortNotice msg;
+  auto failed = r.u32();
+  if (!failed.ok()) return failed.error();
+  msg.failed_gdo = failed.value();
+  auto reason = r.string();
+  if (!reason.ok()) return reason.error();
+  msg.reason = std::move(reason).take();
+  if (!r.exhausted()) return trailing();
+  return msg;
+}
+
 common::Bytes envelope(MsgType type, common::BytesView body) {
   common::Bytes out;
   out.reserve(1 + body.size());
@@ -276,7 +300,7 @@ Result<std::pair<MsgType, common::Bytes>> open_envelope(
   }
   const std::uint8_t tag = data[0];
   if (tag < static_cast<std::uint8_t>(MsgType::study_announce) ||
-      tag > static_cast<std::uint8_t>(MsgType::phase3_result)) {
+      tag > static_cast<std::uint8_t>(MsgType::abort_notice)) {
     return make_error(Errc::bad_message, "unknown message type");
   }
   return std::make_pair(static_cast<MsgType>(tag),

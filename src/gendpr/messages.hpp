@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -27,6 +28,7 @@ enum class MsgType : std::uint8_t {
   phase2_result = 6,
   lr_matrices = 7,
   phase3_result = 8,
+  abort_notice = 9,
 };
 
 /// Leader -> members: study parameters and the combination table for the
@@ -89,6 +91,10 @@ struct Phase2Result {
   std::vector<std::uint32_t> retained;  // L''
   std::vector<double> reference_freq;   // over L''
   std::vector<std::vector<double>> case_freq_per_combination;  // over L''
+  /// GDOs the leader declared unresponsive. Combinations containing any of
+  /// them carry an empty frequency vector and are skipped by members (§5.6
+  /// degraded mode: surviving combinations still complete).
+  std::vector<std::uint32_t> dead_gdos;
 
   common::Bytes serialize() const;
   static common::Result<Phase2Result> deserialize(common::BytesView data);
@@ -115,6 +121,19 @@ struct Phase3Result {
 
   common::Bytes serialize() const;
   static common::Result<Phase3Result> deserialize(common::BytesView data);
+};
+
+/// Leader -> members: the study cannot complete; stop waiting for further
+/// phase requests. `failed_gdo` names the unresponsive GDO that triggered
+/// the abort (kNoFailedGdo when the cause is not a specific peer).
+struct AbortNotice {
+  static constexpr std::uint32_t kNoFailedGdo = 0xffffffffu;
+
+  std::uint32_t failed_gdo = kNoFailedGdo;
+  std::string reason;
+
+  common::Bytes serialize() const;
+  static common::Result<AbortNotice> deserialize(common::BytesView data);
 };
 
 /// Frames a message with its type tag.

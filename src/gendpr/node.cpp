@@ -1,5 +1,8 @@
 #include "gendpr/node.hpp"
 
+#include <string>
+#include <utility>
+
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 
@@ -10,6 +13,16 @@ using common::make_error;
 using common::Result;
 using common::Status;
 using common::Stopwatch;
+
+namespace {
+
+/// True for failures that mean "this peer is gone", as opposed to protocol
+/// or crypto violations that must abort the study.
+bool is_peer_loss(const common::Error& error) {
+  return error.code == Errc::unknown_peer || error.code == Errc::io_error;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MemberNode
@@ -43,17 +56,32 @@ void MemberNode::join() {
 void MemberNode::run() {
   if (!status_.ok()) return;
 
+  // Translates a bounded-wait failure into the member's study status:
+  // expiry names the leader (the only peer this node waits on).
+  const auto wait_error = [this](const common::Error& error,
+                                 const char* where) -> common::Error {
+    if (error.code == Errc::timeout) {
+      return make_error(Errc::timeout,
+                        "gdo " + std::to_string(gdo_index_) +
+                            ": leader gdo " + std::to_string(leader_gdo_) +
+                            " unresponsive (" + where + " deadline expired)");
+    }
+    return make_error(Errc::state_violation,
+                      std::string("mailbox closed ") + where);
+  };
+
   // Attested handshake: member initiates toward the leader's enclave.
   channel_ = enclave_.channel_to(trusted_module_measurement(),
                                  /*initiator=*/true);
   network_->send(node_id_of(gdo_index_), node_id_of(leader_gdo_),
                  channel_->handshake_message());
-  const auto leader_handshake = mailbox_->receive();
-  if (!leader_handshake.has_value()) {
-    status_ = make_error(Errc::state_violation, "mailbox closed in handshake");
+  auto leader_handshake = mailbox_->receive_for(receive_timeout_);
+  if (!leader_handshake.ok()) {
+    status_ = wait_error(leader_handshake.error(), "in handshake");
     return;
   }
-  if (Status s = channel_->complete(leader_handshake->payload); !s.ok()) {
+  if (Status s = channel_->complete(leader_handshake.value().payload);
+      !s.ok()) {
     status_ = s;
     return;
   }
@@ -61,12 +89,12 @@ void MemberNode::run() {
 
   // Serve phase requests until the study completes.
   while (!enclave_.study_complete()) {
-    const auto envelope_msg = mailbox_->receive();
-    if (!envelope_msg.has_value()) {
-      status_ = make_error(Errc::state_violation, "mailbox closed mid-study");
+    auto envelope_msg = mailbox_->receive_for(receive_timeout_);
+    if (!envelope_msg.ok()) {
+      status_ = wait_error(envelope_msg.error(), "mid-study");
       return;
     }
-    auto plaintext = channel_->open(envelope_msg->payload);
+    auto plaintext = channel_->open(envelope_msg.value().payload);
     if (!plaintext.ok()) {
       status_ = plaintext.error();
       return;
@@ -173,6 +201,21 @@ void MemberNode::run() {
         }
         break;
       }
+      case MsgType::abort_notice: {
+        auto notice = AbortNotice::deserialize(body);
+        if (!notice.ok()) {
+          status_ = notice.error();
+          return;
+        }
+        std::string reason = "study aborted by leader";
+        if (notice.value().failed_gdo != AbortNotice::kNoFailedGdo) {
+          reason += " (gdo " + std::to_string(notice.value().failed_gdo) +
+                    " unresponsive)";
+        }
+        reason += ": " + notice.value().reason;
+        status_ = make_error(Errc::aborted, std::move(reason));
+        return;
+      }
       default:
         status_ = make_error(Errc::bad_message, "unexpected message type");
         return;
@@ -200,35 +243,125 @@ LeaderNode::LeaderNode(net::Transport& network, tee::Platform& platform,
   // Provisioning failures (EPC limit) surface from run_study, which checks
   // that the dataset is present before announcing.
   provision_status_ = enclave_.provision_dataset(std::move(cases));
+  network_->set_peer_lost_handler(
+      [this](net::NodeId node) { note_peer_lost(node); });
+}
+
+LeaderNode::~LeaderNode() {
+  network_->set_peer_lost_handler(nullptr);
+}
+
+void LeaderNode::note_peer_lost(net::NodeId node) {
+  if (node == net::kNoNode || node == node_id_of(gdo_index_)) return;
+  const std::uint32_t gdo = node - 1;
+  if (gdo >= num_gdos_) return;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook_dead_.insert(gdo);
+  }
+  // Wake the protocol thread if it is blocked in a gather: receive loops
+  // skip envelopes from kNoNode after syncing the dead set.
+  mailbox_->push(net::Envelope{net::kNoNode, node_id_of(gdo_index_), {}});
+}
+
+void LeaderNode::sync_dead_peers() {
+  std::set<std::uint32_t> lost;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    lost.swap(hook_dead_);
+  }
+  for (std::uint32_t gdo : lost) {
+    if (coordinator_.dead_gdos().count(gdo) != 0) continue;
+    common::log_warn("leader", "connection to gdo ", gdo,
+                     " lost; marking unresponsive");
+    (void)coordinator_.mark_gdo_dead(gdo);
+  }
+}
+
+void LeaderNode::mark_pending_dead(std::set<std::uint32_t>& pending,
+                                   const char* phase) {
+  for (std::uint32_t gdo : pending) {
+    common::log_warn("leader", phase, ": gdo ", gdo,
+                     " unresponsive (deadline expired); marking dead");
+    (void)coordinator_.mark_gdo_dead(gdo);
+  }
+  pending.clear();
+}
+
+common::Error LeaderNode::dead_peers_error(const char* phase) const {
+  std::string message(phase);
+  message += " timed out: unresponsive gdo(s):";
+  for (std::uint32_t gdo : coordinator_.dead_gdos()) {
+    message += ' ';
+    message += std::to_string(gdo);
+  }
+  return make_error(Errc::timeout, std::move(message));
+}
+
+std::set<std::uint32_t> LeaderNode::live_members() const {
+  std::set<std::uint32_t> members;
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (g == gdo_index_ || channels_[g] == nullptr) continue;
+    if (coordinator_.dead_gdos().count(g) != 0) continue;
+    members.insert(g);
+  }
+  return members;
 }
 
 Status LeaderNode::establish_channels() {
-  std::size_t pending = num_gdos_ - 1;
-  while (pending > 0) {
-    const auto handshake = mailbox_->receive();
-    if (!handshake.has_value()) {
+  std::set<std::uint32_t> pending;
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (g != gdo_index_) pending.insert(g);
+  }
+  for (;;) {
+    sync_dead_peers();
+    for (std::uint32_t gdo : coordinator_.dead_gdos()) pending.erase(gdo);
+    if (pending.empty()) break;
+    auto handshake = mailbox_->receive_for(receive_timeout_);
+    if (!handshake.ok()) {
+      if (handshake.error().code == Errc::timeout) {
+        mark_pending_dead(pending, "handshake");
+        break;
+      }
       return make_error(Errc::state_violation, "mailbox closed in handshake");
     }
-    const std::uint32_t member = handshake->from - 1;
+    const net::Envelope& env = handshake.value();
+    if (env.from == net::kNoNode) continue;  // peer-lost wake sentinel
+    const std::uint32_t member = env.from - 1;
     if (member >= num_gdos_ || member == gdo_index_) {
       return make_error(Errc::unknown_peer, "handshake from unknown node");
     }
+    if (coordinator_.dead_gdos().count(member) != 0) continue;
     auto channel = enclave_.channel_to(trusted_module_measurement(),
                                        /*initiator=*/false);
-    if (Status s = channel->complete(handshake->payload); !s.ok()) return s;
-    if (Status s = network_->send(node_id_of(gdo_index_), handshake->from,
+    if (Status s = channel->complete(env.payload); !s.ok()) return s;
+    if (Status s = network_->send(node_id_of(gdo_index_), env.from,
                                   channel->handshake_message());
         !s.ok()) {
-      return s;
+      if (!is_peer_loss(s.error())) return s;
+      // The member vanished between handshake halves.
+      (void)coordinator_.mark_gdo_dead(member);
+      pending.erase(member);
+      continue;
     }
     channels_[member] = std::move(channel);
-    --pending;
+    pending.erase(member);
+  }
+  // Any established channel is reachable for abort notices from here on,
+  // even if the handshake round itself ends in a timeout below.
+  channels_established_ = true;
+  if (coordinator_.live_combination_count() == 0) {
+    return dead_peers_error("handshake");
   }
   return Status::success();
 }
 
 Status LeaderNode::send_to(std::uint32_t gdo_index, MsgType type,
                            common::BytesView body) {
+  if (channels_[gdo_index] == nullptr) {
+    return make_error(Errc::unknown_peer,
+                      "no channel to gdo " + std::to_string(gdo_index));
+  }
   auto record = channels_[gdo_index]->seal(envelope(type, body));
   if (!record.ok()) return record.error();
   return network_->send(node_id_of(gdo_index_), node_id_of(gdo_index),
@@ -236,28 +369,77 @@ Status LeaderNode::send_to(std::uint32_t gdo_index, MsgType type,
 }
 
 Status LeaderNode::broadcast(MsgType type, common::BytesView body) {
-  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
-    if (g == gdo_index_) continue;
-    if (Status s = send_to(g, type, body); !s.ok()) return s;
+  sync_dead_peers();
+  for (std::uint32_t g : live_members()) {
+    Status s = send_to(g, type, body);
+    if (s.ok()) continue;
+    if (!is_peer_loss(s.error())) return s;
+    common::log_warn("leader", "send to gdo ", g,
+                     " failed: ", s.error().to_string());
+    (void)coordinator_.mark_gdo_dead(g);
+  }
+  if (coordinator_.live_combination_count() == 0) {
+    return dead_peers_error("broadcast");
   }
   return Status::success();
 }
 
-Result<std::pair<std::uint32_t, common::Bytes>> LeaderNode::receive_record() {
-  const auto envelope_msg = mailbox_->receive();
-  if (!envelope_msg.has_value()) {
-    return make_error(Errc::state_violation, "mailbox closed mid-study");
+void LeaderNode::broadcast_abort(const common::Error& error) {
+  AbortNotice notice;
+  const auto& dead = coordinator_.dead_gdos();
+  if (!dead.empty()) notice.failed_gdo = *dead.begin();
+  notice.reason = error.to_string();
+  const common::Bytes body = notice.serialize();
+  for (std::uint32_t g : live_members()) {
+    (void)send_to(g, MsgType::abort_notice, body);  // best effort
   }
-  const std::uint32_t member = envelope_msg->from - 1;
-  if (member >= num_gdos_ || channels_[member] == nullptr) {
-    return make_error(Errc::unknown_peer, "record from unknown node");
+}
+
+Result<LeaderNode::GatherStep> LeaderNode::next_record(
+    const char* phase, std::set<std::uint32_t>& pending) {
+  for (;;) {
+    sync_dead_peers();
+    for (std::uint32_t gdo : coordinator_.dead_gdos()) pending.erase(gdo);
+    if (pending.empty()) return GatherStep{};
+    auto envelope_msg = mailbox_->receive_for(receive_timeout_);
+    if (!envelope_msg.ok()) {
+      if (envelope_msg.error().code == Errc::timeout) {
+        mark_pending_dead(pending, phase);
+        return GatherStep{};
+      }
+      return make_error(Errc::state_violation, "mailbox closed mid-study");
+    }
+    const net::Envelope& env = envelope_msg.value();
+    if (env.from == net::kNoNode) continue;  // peer-lost wake sentinel
+    const std::uint32_t member = env.from - 1;
+    if (member >= num_gdos_) {
+      return make_error(Errc::unknown_peer, "record from unknown node");
+    }
+    // A record from a declared-dead member means it was slow, not gone;
+    // its combinations are already skipped, so drop the late arrival.
+    if (coordinator_.dead_gdos().count(member) != 0) continue;
+    if (channels_[member] == nullptr) {
+      return make_error(Errc::unknown_peer, "record from unknown node");
+    }
+    auto plaintext = channels_[member]->open(env.payload);
+    if (!plaintext.ok()) return plaintext.error();
+    GatherStep step;
+    step.got = true;
+    step.member = member;
+    step.plaintext = std::move(plaintext).take();
+    return step;
   }
-  auto plaintext = channels_[member]->open(envelope_msg->payload);
-  if (!plaintext.ok()) return plaintext.error();
-  return std::make_pair(member, std::move(plaintext).take());
 }
 
 Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
+  auto result = run_study_impl(pool);
+  if (!result.ok() && channels_established_) {
+    broadcast_abort(result.error());
+  }
+  return result;
+}
+
+Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   const Stopwatch total_watch;
   PhaseTimings timings;
 
@@ -271,23 +453,28 @@ Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
       !s.ok()) {
     return s.error();
   }
-  std::size_t summaries_pending = num_gdos_ - 1;
-  while (summaries_pending > 0) {
-    auto record = receive_record();
-    if (!record.ok()) return record.error();
-    auto opened = open_envelope(record.value().second);
+  std::set<std::uint32_t> pending = live_members();
+  for (;;) {
+    auto step = next_record("data aggregation", pending);
+    if (!step.ok()) return step.error();
+    if (!step.value().got) break;
+    auto opened = open_envelope(step.value().plaintext);
     if (!opened.ok()) return opened.error();
     if (opened.value().first != MsgType::summary_stats) {
       return make_error(Errc::state_violation, "expected summary stats");
     }
     auto stats = SummaryStats::deserialize(opened.value().second);
     if (!stats.ok()) return stats.error();
-    if (Status s = coordinator_.add_summary(record.value().first,
+    if (Status s = coordinator_.add_summary(step.value().member,
                                             stats.value());
         !s.ok()) {
       return s.error();
     }
-    --summaries_pending;
+    pending.erase(step.value().member);
+    if (pending.empty()) break;
+  }
+  if (coordinator_.live_combination_count() == 0) {
+    return dead_peers_error("data aggregation");
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
 
@@ -313,32 +500,52 @@ Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
     const Stopwatch fetch_watch;
     std::vector<std::optional<stats::LdMoments>> per_gdo(num_gdos_);
     const common::Bytes body = request.serialize();
-    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
-      if (g == gdo_index_) continue;
+    sync_dead_peers();
+    std::set<std::uint32_t> fetch_pending;
+    for (std::uint32_t g : live_members()) {
       const Status s = send_to(g, MsgType::moments_request, body);
       if (!s.ok()) {
-        common::log_error("leader", "moments request failed: ",
-                          s.error().to_string());
-        return per_gdo;
+        if (!is_peer_loss(s.error())) {
+          fetch_error_ = s.error();
+          break;
+        }
+        common::log_warn("leader", "moments request to gdo ", g,
+                         " failed: ", s.error().to_string());
+        (void)coordinator_.mark_gdo_dead(g);
+        continue;
       }
+      fetch_pending.insert(g);
     }
-    std::size_t pending = num_gdos_ - 1;
-    while (pending > 0) {
-      auto record = receive_record();
-      if (!record.ok()) return per_gdo;
-      auto opened = open_envelope(record.value().second);
-      if (!opened.ok() || opened.value().first != MsgType::moments_response) {
-        return per_gdo;
+    while (!fetch_error_.has_value() && !fetch_pending.empty()) {
+      auto step = next_record("LD moments fetch", fetch_pending);
+      if (!step.ok()) {
+        fetch_error_ = step.error();
+        break;
+      }
+      if (!step.value().got) break;
+      auto opened = open_envelope(step.value().plaintext);
+      if (!opened.ok()) {
+        fetch_error_ = opened.error();
+        break;
+      }
+      if (opened.value().first != MsgType::moments_response) {
+        fetch_error_ =
+            make_error(Errc::state_violation, "expected moments response");
+        break;
       }
       auto response = MomentsResponse::deserialize(opened.value().second);
-      if (!response.ok()) return per_gdo;
-      per_gdo[record.value().first] = response.value().moments;
-      --pending;
+      if (!response.ok()) {
+        fetch_error_ = response.error();
+        break;
+      }
+      per_gdo[step.value().member] = response.value().moments;
+      fetch_pending.erase(step.value().member);
     }
     fetch_wait_ms_ += fetch_watch.elapsed_ms();
     return per_gdo;
   };
   auto phase2 = coordinator_.run_ld_phase(fetch);
+  if (fetch_error_.has_value()) return *fetch_error_;
   if (!phase2.ok()) return phase2.error();
   timings.ld_ms += ld_watch.elapsed_ms() - fetch_wait_ms_;
   timings.aggregation_ms += fetch_wait_ms_;
@@ -351,23 +558,25 @@ Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
   }
 
   // --- Phase 3: gather LR matrices, select, broadcast. ---
-  std::size_t matrices_pending = num_gdos_ - 1;
-  while (matrices_pending > 0) {
-    auto record = receive_record();
-    if (!record.ok()) return record.error();
-    auto opened = open_envelope(record.value().second);
+  pending = live_members();
+  for (;;) {
+    auto step = next_record("LR gather", pending);
+    if (!step.ok()) return step.error();
+    if (!step.value().got) break;
+    auto opened = open_envelope(step.value().plaintext);
     if (!opened.ok()) return opened.error();
     if (opened.value().first != MsgType::lr_matrices) {
       return make_error(Errc::state_violation, "expected LR matrices");
     }
     auto matrices = LrMatrices::deserialize(opened.value().second);
     if (!matrices.ok()) return matrices.error();
-    if (Status s = coordinator_.add_lr_matrices(record.value().first,
+    if (Status s = coordinator_.add_lr_matrices(step.value().member,
                                                 matrices.value());
         !s.ok()) {
       return s.error();
     }
-    --matrices_pending;
+    pending.erase(step.value().member);
+    if (pending.empty()) break;
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
 
@@ -388,6 +597,8 @@ Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
   StudyResult result;
   result.outcome = coordinator_.outcome();
   result.timings = timings;
+  result.dead_gdos.assign(coordinator_.dead_gdos().begin(),
+                          coordinator_.dead_gdos().end());
   result.leader_gdo = gdo_index_;
   result.num_combinations = coordinator_.announce().combinations.size();
   result.ld_pairs_fetched = coordinator_.ld_pairs_fetched();

@@ -7,8 +7,13 @@
 // with the per-phase timing breakdown of the paper's Figures 5-6.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -25,6 +30,11 @@ inline net::NodeId node_id_of(std::uint32_t gdo_index) {
   return gdo_index + 1;
 }
 
+/// No deadline: every protocol wait blocks forever (the paper's original
+/// semantics — no liveness guarantee). Configure a positive timeout to get
+/// bounded waits that abort with Errc::timeout naming the silent peer.
+inline constexpr std::chrono::milliseconds kNoDeadline{0};
+
 /// Per-phase CPU/wall time breakdown, matching the stacked categories of the
 /// paper's Figures 5-6.
 struct PhaseTimings {
@@ -38,6 +48,10 @@ struct PhaseTimings {
 struct StudyResult {
   SelectionOutcome outcome;
   PhaseTimings timings;
+  /// GDOs declared unresponsive during the run. Empty for a clean study; a
+  /// non-empty list means the selection came from the surviving
+  /// combinations only (collusion policies with redundancy keep going).
+  std::vector<std::uint32_t> dead_gdos;
   /// Wall time modelled for a real multi-host deployment: members compute
   /// concurrently there, so serialized member compute collapses to the
   /// slowest member: total - sum(member compute) + max(member compute).
@@ -63,6 +77,12 @@ class MemberNode {
 
   MemberNode(const MemberNode&) = delete;
   MemberNode& operator=(const MemberNode&) = delete;
+
+  /// Bounds every protocol wait (kNoDeadline = block forever). A deadline
+  /// expiry surfaces as Errc::timeout naming the leader. Call before start().
+  void set_receive_timeout(std::chrono::milliseconds timeout) {
+    receive_timeout_ = timeout;
+  }
 
   /// Starts the service thread.
   void start();
@@ -90,6 +110,7 @@ class MemberNode {
   std::unique_ptr<tee::SecureChannel> channel_;
   std::thread thread_;
   common::Status status_;
+  std::chrono::milliseconds receive_timeout_{kNoDeadline};
   double compute_ms_ = 0;
 };
 
@@ -101,20 +122,57 @@ class LeaderNode {
              std::uint32_t gdo_index, std::uint32_t num_gdos,
              genome::GenotypeMatrix cases, genome::GenotypeMatrix reference,
              StudyAnnounce announce);
+  ~LeaderNode();
+
+  LeaderNode(const LeaderNode&) = delete;
+  LeaderNode& operator=(const LeaderNode&) = delete;
+
+  /// Bounds every protocol wait (kNoDeadline = block forever). With a
+  /// deadline set, an unresponsive member is declared dead when it expires:
+  /// combinations containing it are skipped, and the study aborts with
+  /// Errc::timeout naming the dead peers only when no combination survives.
+  void set_receive_timeout(std::chrono::milliseconds timeout) {
+    receive_timeout_ = timeout;
+  }
 
   /// Runs the full study. `pool` parallelizes per-combination evaluation in
-  /// the LR phase (nullptr = serial).
+  /// the LR phase (nullptr = serial). On failure after channel setup, a
+  /// best-effort abort notice is sent to the surviving members so they stop
+  /// waiting instead of running into their own deadlines.
   common::Result<StudyResult> run_study(common::ThreadPool* pool);
 
   const GdoEnclave& enclave() const noexcept { return enclave_; }
 
  private:
+  /// One arrival during a phase gather: either a decrypted record from a
+  /// live member (`got == true`) or the news that every still-pending
+  /// member has been declared dead (`got == false`, gather is over).
+  struct GatherStep {
+    bool got = false;
+    std::uint32_t member = 0;
+    common::Bytes plaintext;
+  };
+
+  common::Result<StudyResult> run_study_impl(common::ThreadPool* pool);
   common::Status establish_channels();
   common::Status send_to(std::uint32_t gdo_index, MsgType type,
                          common::BytesView body);
   common::Status broadcast(MsgType type, common::BytesView body);
-  /// Blocks for the next record from any member; returns (gdo_index, body).
-  common::Result<std::pair<std::uint32_t, common::Bytes>> receive_record();
+  void broadcast_abort(const common::Error& error);
+  /// Waits for the next record from any member in `pending`, with the
+  /// configured deadline. Deadline expiry (and transport-reported peer loss)
+  /// marks the silent members dead rather than failing the call; hard
+  /// protocol errors (closed mailbox, bad record) are returned.
+  common::Result<GatherStep> next_record(const char* phase,
+                                         std::set<std::uint32_t>& pending);
+  /// Members with an established channel that are not (yet) dead.
+  std::set<std::uint32_t> live_members() const;
+  /// Transport peer-lost hook; runs on a transport thread.
+  void note_peer_lost(net::NodeId node);
+  /// Folds hook-reported losses into the coordinator (protocol thread only).
+  void sync_dead_peers();
+  void mark_pending_dead(std::set<std::uint32_t>& pending, const char* phase);
+  common::Error dead_peers_error(const char* phase) const;
 
   net::Transport* network_;
   std::shared_ptr<net::Mailbox> mailbox_;
@@ -124,6 +182,15 @@ class LeaderNode {
   Coordinator coordinator_;
   std::vector<std::unique_ptr<tee::SecureChannel>> channels_;  // per GDO
   common::Status provision_status_;
+  std::chrono::milliseconds receive_timeout_{kNoDeadline};
+  bool channels_established_ = false;
+  /// Fatal error detected inside the phase-2 fetch callback (its signature
+  /// cannot return one); checked after run_ld_phase returns.
+  std::optional<common::Error> fetch_error_;
+  /// Peers reported lost by the transport, pending sync_dead_peers(). The
+  /// hook runs on transport threads; the coordinator is not thread-safe.
+  std::mutex hook_mutex_;
+  std::set<std::uint32_t> hook_dead_;
   double fetch_wait_ms_ = 0;  // time spent gathering member responses
 };
 

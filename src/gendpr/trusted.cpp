@@ -111,6 +111,12 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
   if (result.reference_freq.size() != result.retained.size()) {
     return make_error(Errc::bad_message, "reference frequency size mismatch");
   }
+  for (std::uint32_t dead : result.dead_gdos) {
+    if (dead == gdo_index_) {
+      return make_error(Errc::state_violation,
+                        "leader declared this GDO dead yet keeps talking");
+    }
+  }
   l_double_prime_ = result.retained;
 
   LrMatrices response;
@@ -119,6 +125,15 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
     if (std::find(members.begin(), members.end(), gdo_index_) ==
         members.end()) {
       continue;  // this GDO's data is not part of combination c
+    }
+    const bool combination_dead = std::any_of(
+        result.dead_gdos.begin(), result.dead_gdos.end(),
+        [&members](std::uint32_t dead) {
+          return std::find(members.begin(), members.end(), dead) !=
+                 members.end();
+        });
+    if (combination_dead) {
+      continue;  // unresponsive member: the leader dropped this combination
     }
     if (result.case_freq_per_combination[c].size() !=
         result.retained.size()) {
@@ -239,6 +254,42 @@ Coordinator::Coordinator(GdoEnclave& leader_enclave,
   reference_counts_ = reference_planes_.allele_counts();
 }
 
+Status Coordinator::mark_gdo_dead(std::uint32_t gdo_index) {
+  if (gdo_index >= num_gdos_) {
+    return make_error(Errc::unknown_peer, "cannot mark unknown GDO dead");
+  }
+  if (gdo_index == leader_->gdo_index()) {
+    return make_error(Errc::invalid_argument,
+                      "the coordinating leader cannot be marked dead");
+  }
+  dead_gdos_.insert(gdo_index);
+  return Status::success();
+}
+
+bool Coordinator::combination_live(std::size_t combination_id) const {
+  for (std::uint32_t g : announce_.combinations[combination_id]) {
+    if (dead_gdos_.count(g) > 0) return false;
+  }
+  return true;
+}
+
+std::size_t Coordinator::live_combination_count() const {
+  std::size_t live = 0;
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (combination_live(c)) ++live;
+  }
+  return live;
+}
+
+common::Error Coordinator::no_live_combination_error(
+    const std::string& phase) const {
+  std::string message =
+      phase + " aborted: every combination contains an unresponsive GDO;"
+              " dead gdo(s):";
+  for (std::uint32_t g : dead_gdos_) message += " " + std::to_string(g);
+  return make_error(Errc::timeout, message);
+}
+
 Status Coordinator::add_summary(std::uint32_t gdo_index,
                                 const SummaryStats& stats) {
   if (gdo_index >= num_gdos_) {
@@ -260,6 +311,7 @@ Status Coordinator::add_summary(std::uint32_t gdo_index,
 bool Coordinator::phase1_ready() const noexcept {
   for (std::uint32_t g = 0; g < num_gdos_; ++g) {
     if (g == leader_->gdo_index()) continue;  // leader's summary is local
+    if (dead_gdos_.count(g) > 0) continue;    // dead GDOs never report
     if (!summaries_[g].has_value()) return false;
   }
   return true;
@@ -278,7 +330,9 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
   std::vector<std::vector<std::uint32_t>> per_combination;
   per_combination.reserve(announce_.combinations.size());
 
-  for (const auto& members : announce_.combinations) {
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (!combination_live(c)) continue;  // skip combos with dead members
+    const auto& members = announce_.combinations[c];
     std::uint64_t n_total = reference_.num_individuals();
     for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
     std::vector<double> maf(announce_.num_snps, 0.0);
@@ -288,6 +342,9 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
       maf[l] = stats::minor_allele_frequency(count, n_total);
     }
     per_combination.push_back(stats::maf_filter(maf, cutoff));
+  }
+  if (per_combination.empty()) {
+    return no_live_combination_error("MAF phase");
   }
 
   l_prime_ = intersect_sorted(per_combination);
@@ -346,45 +403,60 @@ stats::LdMoments Coordinator::aggregate_pair(
     // The leader computes its own moments locally (word-parallel planes).
     fetched[leader_->gdo_index()] =
         stats::compute_ld_moments(leader_->planes(), a, b);
-    std::vector<stats::LdMoments> per_gdo(num_gdos_);
-    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
-      if (!fetched[g].has_value()) {
-        // A missing member response must abort the phase (converted to a
-        // protocol error in run_ld_phase), never silently skew the
-        // aggregate with zero moments.
-        throw MissingMomentsError{g};
-      }
-      per_gdo[g] = *fetched[g];
-    }
-    cached = moments_cache_.emplace(key, std::move(per_gdo)).first;
+    cached = moments_cache_.emplace(key, std::move(fetched)).first;
     reference_moments_cache_.emplace(
         key, stats::compute_ld_moments(reference_planes_, a, b));
   }
   stats::LdMoments total = reference_moments_cache_.at(key);
-  for (std::uint32_t g : members) total += cached->second[g];
+  for (std::uint32_t g : members) {
+    if (!cached->second[g].has_value()) {
+      // A missing response from a combination member must never silently
+      // skew the aggregate with zero moments: the walk for this combination
+      // aborts (run_ld_phase marks the GDO dead and drops the combination).
+      throw MissingMomentsError{g};
+    }
+    total += *cached->second[g];
+  }
   return total;
 }
 
 Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
-  std::vector<std::vector<std::uint32_t>> per_combination;
-  per_combination.reserve(announce_.combinations.size());
+  const std::size_t num_combinations = announce_.combinations.size();
+  std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
+  std::vector<bool> computed(num_combinations, false);
 
-  try {
-    for (const auto& members : announce_.combinations) {
+  for (std::size_t c = 0; c < num_combinations; ++c) {
+    if (!combination_live(c)) continue;
+    const auto& members = announce_.combinations[c];
+    try {
       const std::vector<double> p_values = combination_chi2_p_values(members);
       auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
         return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
       };
-      per_combination.push_back(stats::greedy_ld_prune(
-          l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value));
+      per_combination[c] = stats::greedy_ld_prune(
+          l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value);
+      computed[c] = true;
+    } catch (const MissingMomentsError& missing) {
+      // The GDO went silent mid-walk: declare it dead and keep going with
+      // the combinations that do not need its data.
+      dead_gdos_.insert(missing.gdo_index);
     }
-  } catch (const MissingMomentsError& missing) {
-    return make_error(Errc::state_violation,
-                      "LD phase aborted: no moments from GDO " +
-                          std::to_string(missing.gdo_index));
   }
 
-  l_double_prime_ = intersect_sorted(per_combination);
+  // A death discovered mid-phase invalidates every combination containing
+  // the dead GDO, including ones whose walk had already finished (their LR
+  // matrices could never be gathered in phase 3).
+  std::vector<std::vector<std::uint32_t>> live_lists;
+  for (std::size_t c = 0; c < num_combinations; ++c) {
+    if (computed[c] && combination_live(c)) {
+      live_lists.push_back(std::move(per_combination[c]));
+    }
+  }
+  if (live_lists.empty()) {
+    return no_live_combination_error("LD phase");
+  }
+
+  l_double_prime_ = intersect_sorted(live_lists);
   outcome_.l_double_prime = l_double_prime_;
 
   Phase2Result result;
@@ -398,10 +470,16 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
                          reference_counts_[l_double_prime_[i]]) /
                          static_cast<double>(n_ref);
   }
-  for (const auto& members : announce_.combinations) {
+  for (std::size_t c = 0; c < num_combinations; ++c) {
+    // Dead combinations keep their slot (indices stay stable on the wire)
+    // but carry no frequencies; members skip them via dead_gdos.
     result.case_freq_per_combination.push_back(
-        combination_case_freq(members, l_double_prime_));
+        combination_live(c)
+            ? combination_case_freq(announce_.combinations[c],
+                                    l_double_prime_)
+            : std::vector<double>{});
   }
+  result.dead_gdos.assign(dead_gdos_.begin(), dead_gdos_.end());
   case_freq_per_combination_ = result.case_freq_per_combination;
   reference_freq_ = result.reference_freq;
   return result;
@@ -435,6 +513,7 @@ Status Coordinator::add_lr_matrices(std::uint32_t gdo_index,
 
 bool Coordinator::phase3_ready() const noexcept {
   for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (!combination_live(c)) continue;  // dead combos gather nothing
     for (std::uint32_t g : announce_.combinations[c]) {
       if (g == leader_->gdo_index()) continue;  // computed locally
       if (lr_matrices_[c].find(g) == lr_matrices_[c].end()) return false;
@@ -449,13 +528,21 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
                       "LR phase before all matrices arrived");
   }
   const std::size_t num_combinations = announce_.combinations.size();
+  std::vector<std::size_t> live;
+  live.reserve(num_combinations);
+  for (std::size_t c = 0; c < num_combinations; ++c) {
+    if (combination_live(c)) live.push_back(c);
+  }
+  if (live.empty()) {
+    return no_live_combination_error("LR phase");
+  }
   std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
   std::vector<double> per_combination_power(num_combinations, 0.0);
 
   // With several combinations the pool fans out across them; with a single
   // combination it is threaded into the selection kernel instead. Never
   // both: a nested parallel_for from inside a pool worker could starve.
-  const bool parallel_combinations = pool != nullptr && num_combinations > 1;
+  const bool parallel_combinations = pool != nullptr && live.size() > 1;
   common::ThreadPool* selection_pool = parallel_combinations ? nullptr : pool;
 
   auto evaluate = [&](std::size_t c) {
@@ -489,16 +576,23 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
   };
 
   if (parallel_combinations) {
-    pool->parallel_for(num_combinations, evaluate);
+    pool->parallel_for(live.size(), [&](std::size_t i) { evaluate(live[i]); });
   } else {
-    for (std::size_t c = 0; c < num_combinations; ++c) evaluate(c);
+    for (std::size_t c : live) evaluate(c);
   }
 
-  outcome_.l_safe = intersect_sorted(per_combination);
-  outcome_.final_power = per_combination_power.empty()
-                             ? 0.0
-                             : *std::max_element(per_combination_power.begin(),
-                                                 per_combination_power.end());
+  std::vector<std::vector<std::uint32_t>> live_lists;
+  std::vector<double> live_powers;
+  live_lists.reserve(live.size());
+  for (std::size_t c : live) {
+    live_lists.push_back(std::move(per_combination[c]));
+    live_powers.push_back(per_combination_power[c]);
+  }
+  outcome_.l_safe = intersect_sorted(live_lists);
+  outcome_.final_power =
+      live_powers.empty()
+          ? 0.0
+          : *std::max_element(live_powers.begin(), live_powers.end());
   Phase3Result result;
   result.safe = outcome_.l_safe;
   result.final_power = outcome_.final_power;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -118,6 +119,19 @@ class Coordinator {
 
   const StudyAnnounce& announce() const noexcept { return announce_; }
 
+  /// --- Liveness (degraded mode) ---
+  /// Marks a GDO as unresponsive: every later phase skips combinations
+  /// containing it instead of stalling on its missing contributions. The
+  /// leader itself cannot be marked dead. Not thread-safe; call from the
+  /// protocol thread only.
+  common::Status mark_gdo_dead(std::uint32_t gdo_index);
+  const std::set<std::uint32_t>& dead_gdos() const noexcept {
+    return dead_gdos_;
+  }
+  /// True when no member of combination `combination_id` is marked dead.
+  bool combination_live(std::size_t combination_id) const;
+  std::size_t live_combination_count() const;
+
   /// Builds the combination table for a policy (shared by runner and tests).
   static std::vector<std::vector<std::uint32_t>> build_combinations(
       std::uint32_t num_gdos, const CollusionPolicy& policy);
@@ -156,6 +170,7 @@ class Coordinator {
   stats::LdMoments aggregate_pair(const std::vector<std::uint32_t>& members,
                                   std::uint32_t a, std::uint32_t b,
                                   const FetchMoments& fetch);
+  common::Error no_live_combination_error(const std::string& phase) const;
   std::vector<double> combination_case_freq(
       const std::vector<std::uint32_t>& members,
       const std::vector<std::uint32_t>& snps) const;
@@ -168,6 +183,9 @@ class Coordinator {
   std::uint32_t num_gdos_;
   StudyAnnounce announce_;
 
+  // Liveness state: GDOs declared unresponsive by the host protocol layer.
+  std::set<std::uint32_t> dead_gdos_;
+
   // Phase 1 state.
   std::vector<std::optional<SummaryStats>> summaries_;  // per GDO
   std::vector<std::uint32_t> reference_counts_;
@@ -175,8 +193,8 @@ class Coordinator {
   // Phase 2 state.
   std::vector<std::uint32_t> l_prime_;
   std::map<std::pair<std::uint32_t, std::uint32_t>,
-           std::vector<stats::LdMoments>>
-      moments_cache_;  // per pair: per-GDO moments
+           std::vector<std::optional<stats::LdMoments>>>
+      moments_cache_;  // per pair: per-GDO moments (absent for dead GDOs)
   std::map<std::pair<std::uint32_t, std::uint32_t>, stats::LdMoments>
       reference_moments_cache_;
 

@@ -4,13 +4,14 @@
 
 namespace gendpr::net {
 
-void Mailbox::push(Envelope envelope) {
+bool Mailbox::push(Envelope envelope) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return;
+    if (closed_) return false;
     queue_.push_back(std::move(envelope));
   }
   cv_.notify_one();
+  return true;
 }
 
 std::optional<Envelope> Mailbox::receive() {
@@ -20,6 +21,31 @@ std::optional<Envelope> Mailbox::receive() {
   Envelope envelope = std::move(queue_.front());
   queue_.pop_front();
   return envelope;
+}
+
+common::Result<Envelope> Mailbox::receive_for(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [this] { return closed_ || !queue_.empty(); };
+  if (timeout.count() <= 0) {
+    cv_.wait(lock, ready);
+  } else {
+    // wait_until re-checks the predicate after the deadline, so a message
+    // racing the expiry is still delivered below.
+    cv_.wait_until(lock, std::chrono::steady_clock::now() + timeout, ready);
+  }
+  if (!queue_.empty()) {
+    Envelope envelope = std::move(queue_.front());
+    queue_.pop_front();
+    return envelope;
+  }
+  if (closed_) {
+    return common::make_error(common::Errc::state_violation,
+                              "mailbox closed");
+  }
+  return common::make_error(common::Errc::timeout,
+                            "mailbox receive timed out after " +
+                                std::to_string(timeout.count()) + " ms");
 }
 
 std::optional<Envelope> Mailbox::try_receive() {
@@ -36,6 +62,11 @@ void Mailbox::close() {
     closed_ = true;
   }
   cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
 }
 
 std::size_t Mailbox::pending() const {
@@ -96,14 +127,22 @@ std::shared_ptr<Mailbox> Network::attach(NodeId node) {
 
 void Network::detach(NodeId node) {
   std::shared_ptr<Mailbox> mailbox;
+  PeerLostHandler handler;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = mailboxes_.find(node);
     if (it == mailboxes_.end()) return;
     mailbox = it->second;
     mailboxes_.erase(it);
+    handler = peer_lost_handler_;
   }
   mailbox->close();
+  if (handler) handler(node);
+}
+
+void Network::set_peer_lost_handler(PeerLostHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_lost_handler_ = std::move(handler);
 }
 
 common::Status Network::send(NodeId from, NodeId to, common::Bytes payload) {
@@ -118,8 +157,12 @@ common::Status Network::send(NodeId from, NodeId to, common::Bytes payload) {
     }
     mailbox = it->second;
   }
-  meter_.record(from, to, payload.size());
-  mailbox->push(Envelope{from, to, std::move(payload)});
+  // Meter only delivered bytes: a push onto a closed mailbox is a drop, and
+  // the §7.1 accounting must match what actually reached the receiver.
+  const std::size_t bytes = payload.size();
+  if (mailbox->push(Envelope{from, to, std::move(payload)})) {
+    meter_.record(from, to, bytes);
+  }
   return common::Status::success();
 }
 
@@ -133,8 +176,9 @@ void Network::broadcast(NodeId from, const common::Bytes& payload) {
     }
   }
   for (auto& [node, mailbox] : targets) {
-    meter_.record(from, node, payload.size());
-    mailbox->push(Envelope{from, node, payload});
+    if (mailbox->push(Envelope{from, node, payload})) {
+      meter_.record(from, node, payload.size());
+    }
   }
 }
 

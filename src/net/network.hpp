@@ -8,9 +8,11 @@
 // meter records per-link volumes for the §7.1 bandwidth accounting.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,11 +37,20 @@ struct Envelope {
 /// Blocking MPSC queue of envelopes owned by one node.
 class Mailbox {
  public:
-  void push(Envelope envelope);
+  /// Enqueues the envelope. Returns false (message dropped) if the mailbox
+  /// is already closed — callers metering delivered bytes must check.
+  bool push(Envelope envelope);
 
   /// Blocks until a message arrives. Returns std::nullopt if the mailbox was
   /// closed and drained.
   std::optional<Envelope> receive();
+
+  /// Bounded-wait variant: blocks at most `timeout` (<= 0 means forever).
+  /// Messages already queued are drained even after close(); afterwards a
+  /// closed mailbox yields Errc::state_violation and an expired wait yields
+  /// Errc::timeout. A message that arrives in the same instant the deadline
+  /// expires is delivered, never dropped.
+  common::Result<Envelope> receive_for(std::chrono::milliseconds timeout);
 
   /// Non-blocking variant.
   std::optional<Envelope> try_receive();
@@ -47,6 +58,7 @@ class Mailbox {
   /// Wakes all waiters; subsequent receive() calls drain then end.
   void close();
 
+  bool closed() const;
   std::size_t pending() const;
 
  private:
@@ -97,6 +109,15 @@ class Transport {
 
   /// Byte accounting, when the implementation provides it.
   virtual TrafficMeter* meter_or_null() noexcept { return nullptr; }
+
+  /// Invoked when the transport learns a peer is gone (connection torn down,
+  /// node detached). May fire from an internal transport thread; handlers
+  /// must be cheap and thread-safe. nullptr clears the handler. Transports
+  /// that cannot detect peer loss ignore it (callers still need deadlines).
+  using PeerLostHandler = std::function<void(NodeId)>;
+  virtual void set_peer_lost_handler(PeerLostHandler handler) {
+    (void)handler;
+  }
 };
 
 /// The in-process fabric: node registry + routing. Nodes register to obtain
@@ -111,6 +132,10 @@ class Network : public Transport {
 
   TrafficMeter* meter_or_null() noexcept override { return &meter_; }
 
+  /// detach() reports the node as lost to the registered handler (the
+  /// in-process analogue of a dropped connection).
+  void set_peer_lost_handler(PeerLostHandler handler) override;
+
   /// Sends a copy of the payload to every attached node except `from`.
   void broadcast(NodeId from, const common::Bytes& payload);
 
@@ -124,6 +149,7 @@ class Network : public Transport {
   mutable std::mutex mutex_;
   std::map<NodeId, std::shared_ptr<Mailbox>> mailboxes_;
   TrafficMeter meter_;
+  PeerLostHandler peer_lost_handler_;
 };
 
 }  // namespace gendpr::net

@@ -61,6 +61,8 @@ std::uint32_t load_u32(const std::uint8_t* p) {
 }
 
 /// Sends one frame: [u32 len][u32 from][payload]; len covers from+payload.
+/// Callers must hold the connection's write mutex: interleaved write_all
+/// calls from two senders would corrupt the framing for every later message.
 Status send_frame(int fd, NodeId from, common::BytesView payload) {
   std::uint8_t header[8];
   store_u32(header, static_cast<std::uint32_t>(payload.size() + 4));
@@ -114,23 +116,25 @@ TcpHub::TcpHub(NodeId self, int listen_fd, std::uint16_t port)
 }
 
 TcpHub::~TcpHub() {
+  std::vector<std::shared_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closing_ = true;
+    for (auto& [peer, connection] : peers_) connections.push_back(connection);
+    peers_.clear();
   }
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [peer, fd] : peer_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
-    peer_fds_.clear();
+  for (auto& connection : connections) {
+    // Shut down (do not close): each reader may still be blocked in recv on
+    // its fd and owns the close. Closing here would race the recv and let the
+    // fd number be reused under the reader.
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& thread : reader_threads_) {
-    if (thread.joinable()) thread.join();
+  for (auto& slot : reader_slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
   }
   mailbox_->close();
 }
@@ -143,14 +147,55 @@ common::Status TcpHub::register_connection(NodeId peer, int fd) {
     ::close(fd);
     return make_error(Errc::state_violation, "hub is closing");
   }
-  if (peer_fds_.count(peer) > 0) {
+  if (peers_.count(peer) > 0) {
     ::close(fd);
     return make_error(Errc::invalid_argument,
                       "duplicate connection for peer " + std::to_string(peer));
   }
-  peer_fds_[peer] = fd;
-  reader_threads_.emplace_back([this, peer, fd] { reader_loop(peer, fd); });
+  reap_finished_readers_locked();
+  auto connection = std::make_shared<Connection>();
+  connection->fd = fd;
+  peers_[peer] = connection;
+  lost_peers_.erase(peer);  // a reconnect clears the lost mark
+  reader_slots_.emplace_back();
+  ReaderSlot* slot = &reader_slots_.back();
+  slot->thread = std::thread([this, peer, connection, slot] {
+    reader_loop(peer, connection);
+    slot->done.store(true, std::memory_order_release);
+  });
   return Status::success();
+}
+
+void TcpHub::reap_finished_readers_locked() {
+  for (auto it = reader_slots_.begin(); it != reader_slots_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = reader_slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpHub::drop_connection(NodeId peer,
+                             const std::shared_ptr<Connection>& connection) {
+  PeerLostHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) return;  // destructor owns the fds now
+    auto it = peers_.find(peer);
+    if (it == peers_.end() || it->second != connection) return;
+    peers_.erase(it);
+    lost_peers_.insert(peer);
+    handler = peer_lost_handler_;
+  }
+  {
+    // Wake the reader (and fail in-flight writes); the reader closes the fd.
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  common::log_warn("tcp", "hub ", self_, " lost connection to peer ", peer);
+  if (handler) handler(peer);
 }
 
 void TcpHub::accept_loop() {
@@ -180,50 +225,90 @@ void TcpHub::accept_loop() {
   }
 }
 
-void TcpHub::reader_loop(NodeId peer, int fd) {
+void TcpHub::reader_loop(NodeId peer,
+                         std::shared_ptr<Connection> connection) {
+  // fd is written once before this thread starts and only mutated again by
+  // this thread (at the close below); teardown paths shutdown() it but never
+  // close it, so a plain read is safe for the whole loop.
+  const int fd = connection->fd;
+  if (fd < 0) return;
   for (;;) {
     std::uint8_t header[8];
-    if (!read_all(fd, header, 8).ok()) return;
+    if (!read_all(fd, header, 8).ok()) break;
     const std::uint32_t frame_len = load_u32(header);
     const NodeId from = load_u32(header + 4);
     if (frame_len < 4 || frame_len - 4 > kMaxFrameBytes) {
       common::log_warn("tcp", "oversized/undersized frame from peer ", peer);
-      return;
+      break;
     }
     common::Bytes payload(frame_len - 4);
     if (!payload.empty() && !read_all(fd, payload.data(), payload.size()).ok()) {
-      return;
+      break;
     }
     meter_.record(from, self_, payload.size());
     mailbox_->push(Envelope{from, self_, std::move(payload)});
   }
+  drop_connection(peer, connection);
+  {
+    // The reader owns the close. The write mutex excludes any sender that is
+    // mid-frame; once fd flips to -1, send() reports the connection as lost.
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    ::close(connection->fd);
+    connection->fd = -1;
+  }
 }
 
 common::Status TcpHub::connect_peer(NodeId peer, const std::string& host,
-                                    std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return make_error(Errc::io_error,
-                      std::string("socket: ") + std::strerror(errno));
-  }
+                                    std::uint16_t port, DialOptions options) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
     return make_error(Errc::invalid_argument, "bad host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return make_error(Errc::io_error,
-                      std::string("connect: ") + std::strerror(errno));
+  if (options.max_attempts < 1) options.max_attempts = 1;
+
+  Status last = make_error(Errc::io_error, "connect: no attempt made");
+  std::chrono::milliseconds backoff = options.initial_backoff;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closing_) return make_error(Errc::state_violation, "hub is closing");
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return make_error(Errc::io_error,
+                        std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      last = make_error(Errc::io_error,
+                        std::string("connect: ") + std::strerror(errno));
+      ::close(fd);
+      continue;  // likely a startup race: the peer has not bound yet
+    }
+    // Hello: announce who we are.
+    if (Status s = send_frame(fd, self_, {}); !s.ok()) {
+      ::close(fd);
+      last = s;
+      continue;
+    }
+    return register_connection(peer, fd);
   }
-  // Hello: announce who we are.
-  if (Status s = send_frame(fd, self_, {}); !s.ok()) {
-    ::close(fd);
-    return s;
-  }
-  return register_connection(peer, fd);
+  return last;
+}
+
+bool TcpHub::is_connected(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_.count(peer) > 0;
+}
+
+std::vector<NodeId> TcpHub::lost_peers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lost_peers_.begin(), lost_peers_.end()};
 }
 
 std::shared_ptr<Mailbox> TcpHub::attach(NodeId node) {
@@ -239,19 +324,43 @@ void TcpHub::detach(NodeId node) {
   if (node == self_) mailbox_->close();
 }
 
+void TcpHub::set_peer_lost_handler(PeerLostHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_lost_handler_ = std::move(handler);
+}
+
 common::Status TcpHub::send(NodeId from, NodeId to, common::Bytes payload) {
-  int fd = -1;
+  std::shared_ptr<Connection> connection;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = peer_fds_.find(to);
-    if (it == peer_fds_.end()) {
+    auto it = peers_.find(to);
+    if (it == peers_.end()) {
+      const bool lost = lost_peers_.count(to) > 0;
       return make_error(Errc::unknown_peer,
-                        "no connection to node " + std::to_string(to));
+                        (lost ? "connection to node " : "no connection to node ") +
+                            std::to_string(to) + (lost ? " was lost" : ""));
     }
-    fd = it->second;
+    connection = it->second;
   }
-  meter_.record(from, to, payload.size());
-  return send_frame(fd, from, payload);
+  Status sent;
+  {
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    if (connection->fd < 0) {
+      sent = make_error(Errc::unknown_peer,
+                        "connection to node " + std::to_string(to) +
+                            " was lost");
+    } else {
+      sent = send_frame(connection->fd, from, payload);
+    }
+  }
+  if (sent.ok()) {
+    // Meter only after the frame hit the socket: failed writes must not
+    // inflate the §7.1 bandwidth accounting.
+    meter_.record(from, to, payload.size());
+  } else if (sent.error().code == Errc::io_error) {
+    drop_connection(to, connection);  // a failed write means a dead socket
+  }
+  return sent;
 }
 
 }  // namespace gendpr::net

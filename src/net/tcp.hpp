@@ -8,15 +8,27 @@
 // crosses this layer (SecureChannel records and attestation handshakes), so
 // TCP's lack of confidentiality is irrelevant by construction.
 //
+// Liveness: frames from concurrent senders are serialized per connection (a
+// write mutex per fd keeps frames atomic on the byte stream); a connection
+// whose reader or writer fails is torn down — fd closed, peer evicted, the
+// peer-lost handler notified — so later sends fail fast with unknown_peer
+// instead of writing into a dead socket. connect_peer retries with
+// exponential backoff to absorb startup races where the peer's hub is not
+// listening yet.
+//
 // Scope: blocking sockets with one reader thread per peer connection -
 // appropriate for federation sizes (G <= dozens), not a general-purpose
 // high-connection-count server.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +39,14 @@ namespace gendpr::net {
 
 class TcpHub : public Transport {
  public:
+  /// Dial behaviour for connect_peer. Attempts are spaced by an exponential
+  /// backoff starting at `initial_backoff` (doubling per retry), absorbing
+  /// the startup race where the peer's hub has not bound its port yet.
+  struct DialOptions {
+    int max_attempts = 5;
+    std::chrono::milliseconds initial_backoff{25};
+  };
+
   /// Binds a listening socket on 127.0.0.1:port (port 0 = ephemeral; see
   /// port()) for node `self` and starts accepting peer connections.
   static common::Result<std::unique_ptr<TcpHub>> create(NodeId self,
@@ -41,9 +61,21 @@ class TcpHub : public Transport {
   std::uint16_t port() const noexcept { return port_; }
   NodeId self() const noexcept { return self_; }
 
-  /// Dials a peer hub and registers the connection under `peer`.
+  /// Dials a peer hub and registers the connection under `peer`, retrying
+  /// per `options` when the connection attempt fails.
   common::Status connect_peer(NodeId peer, const std::string& host,
-                              std::uint16_t port);
+                              std::uint16_t port, DialOptions options);
+  common::Status connect_peer(NodeId peer, const std::string& host,
+                              std::uint16_t port) {
+    return connect_peer(peer, host, port, DialOptions{});
+  }
+
+  /// True while a live connection to `peer` is registered.
+  bool is_connected(NodeId peer) const;
+
+  /// Peers whose connection was torn down (read/write failure) and has not
+  /// reconnected since.
+  std::vector<NodeId> lost_peers() const;
 
   // Transport interface. attach() must be called with this hub's own node
   // id; send() routes to a connected peer (dialed by us or accepted).
@@ -51,13 +83,35 @@ class TcpHub : public Transport {
   void detach(NodeId node) override;
   common::Status send(NodeId from, NodeId to, common::Bytes payload) override;
   TrafficMeter* meter_or_null() noexcept override { return &meter_; }
+  void set_peer_lost_handler(PeerLostHandler handler) override;
 
  private:
+  /// One live peer connection. The write mutex serializes whole frames onto
+  /// the fd; fd becomes -1 once the connection is torn down (checked under
+  /// that same mutex, so a sender can never write into a recycled fd).
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+
+  /// A reader thread plus its completion flag; finished slots are reaped
+  /// (joined and erased) on the next register_connection instead of growing
+  /// without bound. std::list keeps slot addresses stable for the thread.
+  struct ReaderSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   TcpHub(NodeId self, int listen_fd, std::uint16_t port);
 
   void accept_loop();
-  void reader_loop(NodeId peer, int fd);
+  void reader_loop(NodeId peer, std::shared_ptr<Connection> connection);
   common::Status register_connection(NodeId peer, int fd);
+  /// Evicts `connection` (if still current for `peer`), closes its fd, and
+  /// notifies the peer-lost handler. Safe to call from any thread; no-op
+  /// while the hub is shutting down (the destructor owns the fds then).
+  void drop_connection(NodeId peer, const std::shared_ptr<Connection>& connection);
+  void reap_finished_readers_locked();
 
   NodeId self_;
   int listen_fd_;
@@ -65,9 +119,11 @@ class TcpHub : public Transport {
   std::shared_ptr<Mailbox> mailbox_ = std::make_shared<Mailbox>();
   TrafficMeter meter_;
 
-  std::mutex mutex_;
-  std::map<NodeId, int> peer_fds_;
-  std::vector<std::thread> reader_threads_;
+  mutable std::mutex mutex_;
+  std::map<NodeId, std::shared_ptr<Connection>> peers_;
+  std::set<NodeId> lost_peers_;
+  PeerLostHandler peer_lost_handler_;
+  std::list<ReaderSlot> reader_slots_;
   std::thread accept_thread_;
   bool closing_ = false;
 };

@@ -13,6 +13,8 @@ TEST(ErrorTest, ErrcNamesAreStable) {
   EXPECT_STREQ(errc_name(Errc::attestation_rejected), "attestation_rejected");
   EXPECT_STREQ(errc_name(Errc::bad_message), "bad_message");
   EXPECT_STREQ(errc_name(Errc::capacity_exceeded), "capacity_exceeded");
+  EXPECT_STREQ(errc_name(Errc::timeout), "timeout");
+  EXPECT_STREQ(errc_name(Errc::aborted), "aborted");
 }
 
 TEST(ErrorTest, ErrorToString) {

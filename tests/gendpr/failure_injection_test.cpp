@@ -4,7 +4,9 @@
 // error at the leader, never as a wrong selection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "gendpr/node.hpp"
@@ -206,8 +208,9 @@ TEST(FailureInjectionTest, OversizedSummaryRejected) {
 }
 
 TEST(FailureInjectionTest, MissingMomentsAbortLdPhase) {
-  // A member that stops answering moments requests must abort the phase
-  // with a protocol error - never let zero moments skew the aggregate.
+  // A member that stops answering moments requests must never let zero
+  // moments skew the aggregate: it is declared dead, and with no other
+  // combination to fall back on the phase aborts with a timeout naming it.
   LeaderFixture f;
   GdoEnclave leader_enclave(f.leader_platform, 0);
   ASSERT_TRUE(
@@ -225,7 +228,10 @@ TEST(FailureInjectionTest, MissingMomentsAbortLdPhase) {
   };
   const auto result = coordinator.run_ld_phase(silent_fetch);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.error().code, common::Errc::state_violation);
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_NE(result.error().message.find("1"), std::string::npos)
+      << result.error().to_string();
+  EXPECT_EQ(coordinator.dead_gdos(), (std::set<std::uint32_t>{1}));
 }
 
 TEST(CheckpointTest, SealRestoreRoundTrip) {
@@ -264,6 +270,168 @@ TEST(CheckpointTest, TamperedCheckpointRejected) {
   const auto status = enclave.restore_study_checkpoint(checkpoint);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, common::Errc::decrypt_failed);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: deadlines, dead-GDO degraded mode, abort notices. A GDO that
+// stops responding mid-phase must terminate the study within the configured
+// deadline (Errc::timeout naming the peer) - or, when the collusion policy
+// leaves a combination without it, let the survivors finish.
+// ---------------------------------------------------------------------------
+
+/// Handshakes with the leader from `gdo` and answers the study announce with
+/// honest summary stats, then goes silent: a GDO crash right after phase 1
+/// input submission. Runs on the calling thread.
+void run_member_until_summary(net::Network& network, GdoEnclave& enclave,
+                              std::shared_ptr<net::Mailbox> mailbox,
+                              std::uint32_t gdo, std::uint32_t leader) {
+  auto channel = enclave.channel_to(trusted_module_measurement(),
+                                    /*initiator=*/true);
+  network.send(node_id_of(gdo), node_id_of(leader),
+               channel->handshake_message());
+  const auto leader_handshake = mailbox->receive();
+  ASSERT_TRUE(leader_handshake.has_value());
+  ASSERT_TRUE(channel->complete(leader_handshake->payload).ok());
+  const auto announce_record = mailbox->receive();
+  ASSERT_TRUE(announce_record.has_value());
+  auto plaintext = channel->open(announce_record->payload);
+  ASSERT_TRUE(plaintext.ok());
+  auto opened = open_envelope(plaintext.value());
+  ASSERT_TRUE(opened.ok());
+  auto announce = StudyAnnounce::deserialize(opened.value().second);
+  ASSERT_TRUE(announce.ok());
+  ASSERT_TRUE(enclave.on_study_announce(announce.value()).ok());
+  auto record = channel->seal(envelope(
+      MsgType::summary_stats, enclave.make_summary_stats().serialize()));
+  ASSERT_TRUE(record.ok());
+  network.send(node_id_of(gdo), node_id_of(leader), std::move(record).take());
+}
+
+TEST(LivenessTest, MissingMemberTimesOutHandshake) {
+  LeaderFixture f;
+  f.leader().set_receive_timeout(std::chrono::milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = f.run_leader();  // member 1 never shows up
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_NE(result.error().message.find("1"), std::string::npos)
+      << result.error().to_string();
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(LivenessTest, SilentMemberAfterSummaryTimesOutStudy) {
+  LeaderFixture f;
+  f.leader().set_receive_timeout(std::chrono::milliseconds(250));
+  auto member_mailbox = f.network.attach(node_id_of(1));
+  GdoEnclave member_enclave(f.member_platform, 1);
+  ASSERT_TRUE(
+      member_enclave.provision_dataset(f.cohort.cases.slice_rows(100, 200))
+          .ok());
+  std::thread member([&] {
+    run_member_until_summary(f.network, member_enclave, member_mailbox, 1, 0);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = f.run_leader();
+  member.join();
+  ASSERT_FALSE(result.ok());
+  // The sole combination needs GDO 1's moments: its silence kills the study.
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_NE(result.error().message.find("1"), std::string::npos)
+      << result.error().to_string();
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+/// Three-GDO federation with leader GDO 0, one honest MemberNode (GDO 1) and
+/// one member that crashes after submitting its summary (GDO 2).
+struct ThreeGdoFixture {
+  genome::Cohort cohort;
+  tee::QuotingAuthority authority{std::array<std::uint8_t, 32>{0x52}};
+  tee::Platform platform0{1, authority,
+                          crypto::Csprng(std::array<std::uint8_t, 32>{1})};
+  tee::Platform platform1{2, authority,
+                          crypto::Csprng(std::array<std::uint8_t, 32>{2})};
+  tee::Platform platform2{3, authority,
+                          crypto::Csprng(std::array<std::uint8_t, 32>{3})};
+  net::Network network;
+
+  ThreeGdoFixture() {
+    genome::CohortSpec spec;
+    spec.num_case = 300;
+    spec.num_control = 200;
+    spec.num_snps = 60;
+    spec.seed = 31;
+    cohort = genome::generate_cohort(spec);
+  }
+
+  StudyAnnounce announce(const CollusionPolicy& policy) const {
+    StudyAnnounce a;
+    a.study_id = 1;
+    a.num_snps = static_cast<std::uint32_t>(cohort.cases.num_snps());
+    a.combinations = Coordinator::build_combinations(3, policy);
+    return a;
+  }
+};
+
+TEST(LivenessTest, RedundantCombinationSurvivesDeadGdo) {
+  ThreeGdoFixture f;
+  // f = 1: combinations {0,1}, {0,2}, {1,2} - losing GDO 2 leaves {0,1}.
+  LeaderNode leader(f.network, f.platform0, 0, 3,
+                    f.cohort.cases.slice_rows(0, 100), f.cohort.controls,
+                    f.announce(CollusionPolicy::fixed(1)));
+  leader.set_receive_timeout(std::chrono::milliseconds(250));
+  MemberNode honest(f.network, f.platform1, 1, 0,
+                    f.cohort.cases.slice_rows(100, 200));
+  honest.set_receive_timeout(std::chrono::milliseconds(5000));
+  auto mailbox2 = f.network.attach(node_id_of(2));
+  GdoEnclave enclave2(f.platform2, 2);
+  ASSERT_TRUE(
+      enclave2.provision_dataset(f.cohort.cases.slice_rows(200, 300)).ok());
+  honest.start();
+  std::thread crashing([&] {
+    run_member_until_summary(f.network, enclave2, mailbox2, 2, 0);
+  });
+
+  const auto result = leader.run_study(nullptr);
+  crashing.join();
+  honest.join();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().dead_gdos, (std::vector<std::uint32_t>{2}));
+  ASSERT_TRUE(honest.status().ok()) << honest.status().error().to_string();
+  // The surviving member converges on the same safe set as the leader.
+  EXPECT_TRUE(honest.enclave().study_complete());
+  EXPECT_EQ(honest.enclave().safe_snps(), result.value().outcome.l_safe);
+}
+
+TEST(LivenessTest, SurvivingMemberReceivesAbortNotice) {
+  ThreeGdoFixture f;
+  // No redundancy: the single combination {0,1,2} dies with GDO 2, and the
+  // leader must tell the surviving member instead of leaving it waiting.
+  LeaderNode leader(f.network, f.platform0, 0, 3,
+                    f.cohort.cases.slice_rows(0, 100), f.cohort.controls,
+                    f.announce(CollusionPolicy::none()));
+  leader.set_receive_timeout(std::chrono::milliseconds(250));
+  MemberNode honest(f.network, f.platform1, 1, 0,
+                    f.cohort.cases.slice_rows(100, 200));
+  honest.set_receive_timeout(std::chrono::milliseconds(10000));
+  auto mailbox2 = f.network.attach(node_id_of(2));
+  GdoEnclave enclave2(f.platform2, 2);
+  ASSERT_TRUE(
+      enclave2.provision_dataset(f.cohort.cases.slice_rows(200, 300)).ok());
+  honest.start();
+  std::thread crashing([&] {
+    run_member_until_summary(f.network, enclave2, mailbox2, 2, 0);
+  });
+
+  const auto result = leader.run_study(nullptr);
+  crashing.join();
+  honest.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_NE(result.error().message.find("2"), std::string::npos)
+      << result.error().to_string();
+  ASSERT_FALSE(honest.status().ok());
+  EXPECT_EQ(honest.status().error().code, common::Errc::aborted)
+      << honest.status().error().to_string();
 }
 
 }  // namespace

@@ -70,6 +70,53 @@ TEST(MessagesTest, Phase2ResultRoundTrip) {
             msg.case_freq_per_combination);
 }
 
+TEST(MessagesTest, Phase2ResultDeadGdosRoundTrip) {
+  Phase2Result msg;
+  msg.retained = {3};
+  msg.reference_freq = {0.125};
+  msg.case_freq_per_combination = {{0.25}};
+  msg.dead_gdos = {1, 4};
+  const auto restored = Phase2Result::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().dead_gdos, msg.dead_gdos);
+  // An empty dead set round-trips too (the common, all-alive case).
+  Phase2Result healthy;
+  healthy.retained = {3};
+  healthy.reference_freq = {0.125};
+  healthy.case_freq_per_combination = {{0.25}};
+  const auto restored_healthy = Phase2Result::deserialize(healthy.serialize());
+  ASSERT_TRUE(restored_healthy.ok());
+  EXPECT_TRUE(restored_healthy.value().dead_gdos.empty());
+}
+
+TEST(MessagesTest, AbortNoticeRoundTrip) {
+  AbortNotice msg;
+  msg.failed_gdo = 2;
+  msg.reason = "LR gather timed out: unresponsive gdo(s): 2";
+  const auto restored = AbortNotice::deserialize(msg.serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().failed_gdo, 2u);
+  EXPECT_EQ(restored.value().reason, msg.reason);
+
+  AbortNotice anonymous;  // no peer to blame
+  const auto restored_anon = AbortNotice::deserialize(anonymous.serialize());
+  ASSERT_TRUE(restored_anon.ok());
+  EXPECT_EQ(restored_anon.value().failed_gdo, AbortNotice::kNoFailedGdo);
+  EXPECT_TRUE(restored_anon.value().reason.empty());
+}
+
+TEST(MessagesTest, AbortNoticeTruncationRejected) {
+  AbortNotice msg;
+  msg.failed_gdo = 1;
+  msg.reason = "gone";
+  const common::Bytes full = msg.serialize();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        AbortNotice::deserialize(common::BytesView(full.data(), len)).ok())
+        << "truncation to " << len << " accepted";
+  }
+}
+
 TEST(MessagesTest, LrMatricesRoundTrip) {
   LrMatrices msg;
   LrMatrices::Entry entry;

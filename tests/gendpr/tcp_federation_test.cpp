@@ -4,6 +4,9 @@
 // The selection must equal an in-process run over the same cohort.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "gendpr/federation.hpp"
 #include "gendpr/node.hpp"
 #include "net/tcp.hpp"
@@ -129,6 +132,89 @@ TEST(TcpFederationTest, MemberSafeSetsMatchLeader) {
   ASSERT_TRUE(result.ok());
   // The member's broadcast-received safe set equals the leader's outcome.
   EXPECT_EQ(member.enclave().safe_snps(), result.value().outcome.l_safe);
+}
+
+TEST(TcpFederationTest, KilledMemberAbortsStudyPromptly) {
+  // Three GDOs over real sockets; GDO 2's whole hub dies right after the
+  // attested handshake (machine crash). The leader's transport notices the
+  // dropped connection and aborts well before the 10 s deadline, with a
+  // timeout naming the dead peer; the surviving member gets an abort notice
+  // instead of hanging.
+  genome::CohortSpec cohort_spec;
+  cohort_spec.num_case = 300;
+  cohort_spec.num_control = 200;
+  cohort_spec.num_snps = 50;
+  cohort_spec.seed = 77;
+  const genome::Cohort cohort = genome::generate_cohort(cohort_spec);
+
+  tee::QuotingAuthority authority(std::array<std::uint8_t, 32>{0x73});
+  std::vector<std::unique_ptr<tee::Platform>> platforms;
+  for (std::uint32_t g = 0; g < 3; ++g) {
+    platforms.push_back(std::make_unique<tee::Platform>(
+        g + 1, authority,
+        crypto::Csprng(std::array<std::uint8_t, 32>{
+            static_cast<std::uint8_t>(g + 1)})));
+  }
+
+  auto leader_hub = net::TcpHub::create(node_id_of(0), 0);
+  auto member_hub = net::TcpHub::create(node_id_of(1), 0);
+  ASSERT_TRUE(leader_hub.ok());
+  ASSERT_TRUE(member_hub.ok());
+  ASSERT_TRUE(member_hub.value()
+                  ->connect_peer(node_id_of(0), "127.0.0.1",
+                                 leader_hub.value()->port())
+                  .ok());
+
+  StudyAnnounce announce;
+  announce.num_snps = 50;
+  announce.combinations =
+      Coordinator::build_combinations(3, CollusionPolicy::none());
+
+  LeaderNode leader(*leader_hub.value(), *platforms[0], 0, 3,
+                    cohort.cases.slice_rows(0, 100), cohort.controls,
+                    announce);
+  leader.set_receive_timeout(std::chrono::milliseconds(10000));
+  MemberNode survivor(*member_hub.value(), *platforms[1], 1, 0,
+                      cohort.cases.slice_rows(100, 200));
+  survivor.set_receive_timeout(std::chrono::milliseconds(10000));
+  survivor.start();
+
+  std::thread doomed([&] {
+    auto hub = net::TcpHub::create(node_id_of(2), 0);
+    ASSERT_TRUE(hub.ok());
+    ASSERT_TRUE(hub.value()
+                    ->connect_peer(node_id_of(0), "127.0.0.1",
+                                   leader_hub.value()->port())
+                    .ok());
+    auto mailbox = hub.value()->attach(node_id_of(2));
+    GdoEnclave enclave(*platforms[2], 2);
+    ASSERT_TRUE(
+        enclave.provision_dataset(cohort.cases.slice_rows(200, 300)).ok());
+    auto channel = enclave.channel_to(trusted_module_measurement(),
+                                      /*initiator=*/true);
+    hub.value()->send(node_id_of(2), node_id_of(0),
+                      channel->handshake_message());
+    const auto leader_handshake = mailbox->receive();
+    ASSERT_TRUE(leader_handshake.has_value());
+    ASSERT_TRUE(channel->complete(leader_handshake->payload).ok());
+    // The hub goes out of scope here: the "machine" is gone mid-study.
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = leader.run_study(nullptr);
+  doomed.join();
+  survivor.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_NE(result.error().message.find("2"), std::string::npos)
+      << result.error().to_string();
+  // Peer-loss detection beats the deadline by a wide margin.
+  EXPECT_LT(elapsed, std::chrono::seconds(8));
+  ASSERT_FALSE(survivor.status().ok());
+  EXPECT_EQ(survivor.status().error().code, common::Errc::aborted)
+      << survivor.status().error().to_string();
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -65,8 +67,110 @@ TEST(MailboxTest, ReceiveBlocksUntilPush) {
 TEST(MailboxTest, PushAfterCloseDropped) {
   Mailbox mailbox;
   mailbox.close();
-  mailbox.push(Envelope{1, 2, Bytes{1}});
+  EXPECT_FALSE(mailbox.push(Envelope{1, 2, Bytes{1}}));
   EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(MailboxTest, ReceiveForDeliversQueuedMessage) {
+  Mailbox mailbox;
+  ASSERT_TRUE(mailbox.push(Envelope{1, 2, Bytes{0x0f}}));
+  const auto result = mailbox.receive_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().payload, (Bytes{0x0f}));
+}
+
+TEST(MailboxTest, ReceiveForExpiresWithTimeoutCode) {
+  Mailbox mailbox;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = mailbox.receive_for(std::chrono::milliseconds(30));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(30));
+}
+
+TEST(MailboxTest, ReceiveForZeroBlocksUntilPush) {
+  Mailbox mailbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.push(Envelope{1, 2, Bytes{0x42}});
+  });
+  const auto result = mailbox.receive_for(std::chrono::milliseconds(0));
+  producer.join();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().payload, (Bytes{0x42}));
+}
+
+TEST(MailboxTest, CloseWakesBlockedReceiveFor) {
+  Mailbox mailbox;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.close();
+  });
+  const auto result = mailbox.receive_for(std::chrono::seconds(30));
+  closer.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::Errc::state_violation);
+}
+
+TEST(MailboxTest, ReceiveForDrainsQueueAfterClose) {
+  Mailbox mailbox;
+  ASSERT_TRUE(mailbox.push(Envelope{1, 2, Bytes{0x01}}));
+  ASSERT_TRUE(mailbox.push(Envelope{1, 2, Bytes{0x02}}));
+  mailbox.close();
+  // Messages queued before close() must still come out, in order...
+  auto first = mailbox.receive_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().payload, (Bytes{0x01}));
+  auto second = mailbox.receive_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().payload, (Bytes{0x02}));
+  // ...and only then does the closed state surface (not as a timeout).
+  auto drained = mailbox.receive_for(std::chrono::milliseconds(10));
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.error().code, common::Errc::state_violation);
+}
+
+TEST(MailboxTest, ReceiveForNeverDropsOnExpiryRace) {
+  // A message racing the deadline is either delivered by this receive_for
+  // or still queued for the next one - it must never vanish.
+  for (int i = 0; i < 100; ++i) {
+    Mailbox mailbox;
+    std::thread pusher([&] { mailbox.push(Envelope{1, 2, Bytes{0x07}}); });
+    const auto result = mailbox.receive_for(std::chrono::milliseconds(1));
+    pusher.join();
+    if (result.ok()) {
+      EXPECT_EQ(result.value().payload, (Bytes{0x07}));
+    } else {
+      EXPECT_EQ(result.error().code, common::Errc::timeout);
+      EXPECT_EQ(mailbox.pending(), 1u);
+    }
+  }
+}
+
+TEST(MailboxTest, PerSenderFifoUnderConcurrentPushers) {
+  Mailbox mailbox;
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 500;
+  std::vector<std::thread> pushers;
+  for (int s = 0; s < kSenders; ++s) {
+    pushers.emplace_back([&mailbox, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Bytes payload{static_cast<std::uint8_t>(i & 0xff),
+                      static_cast<std::uint8_t>(i >> 8)};
+        ASSERT_TRUE(mailbox.push(
+            Envelope{static_cast<NodeId>(s + 1), 9, std::move(payload)}));
+      }
+    });
+  }
+  for (auto& pusher : pushers) pusher.join();
+  std::map<NodeId, int> next_per_sender;
+  for (int n = 0; n < kSenders * kPerSender; ++n) {
+    const auto received = mailbox.try_receive();
+    ASSERT_TRUE(received.has_value());
+    const int value = received->payload[0] | (received->payload[1] << 8);
+    EXPECT_EQ(value, next_per_sender[received->from]++);
+  }
 }
 
 TEST(NetworkTest, SendBetweenAttachedNodes) {
@@ -105,6 +209,26 @@ TEST(NetworkTest, DetachClosesMailbox) {
   network.detach(5);
   EXPECT_FALSE(network.is_attached(5));
   EXPECT_FALSE(mailbox->receive().has_value());
+}
+
+TEST(NetworkTest, PeerLostHandlerFiresOnDetach) {
+  Network network;
+  network.attach(3);
+  NodeId lost = kNoNode;
+  network.set_peer_lost_handler([&](NodeId node) { lost = node; });
+  network.detach(99);  // unknown node: no spurious callback
+  EXPECT_EQ(lost, kNoNode);
+  network.detach(3);
+  EXPECT_EQ(lost, 3u);
+}
+
+TEST(NetworkTest, DroppedSendNotMetered) {
+  Network network;
+  network.attach(1);
+  auto mailbox = network.attach(2);
+  mailbox->close();  // receiver gone, node still attached
+  ASSERT_TRUE(network.send(1, 2, Bytes(64)).ok());
+  EXPECT_EQ(network.meter().total_bytes(), 0u);
 }
 
 TEST(NetworkTest, NodeCount) {

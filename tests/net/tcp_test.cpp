@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/rng.hpp"
 
 namespace gendpr::net {
@@ -164,6 +168,96 @@ TEST(TcpHubTest, ThreeHubStar) {
   ASSERT_TRUE(leader.value()->send(1, 3, Bytes{0x02}).ok());
   EXPECT_TRUE(m1.value()->attach(2)->receive().has_value());
   EXPECT_TRUE(m2.value()->attach(3)->receive().has_value());
+}
+
+TEST(TcpHubTest, ConcurrentSendersDoNotInterleaveFrames) {
+  // Two threads hammer the same connection with variable-size frames. Every
+  // payload byte carries its sender's tag, so any interleaving of the two
+  // write streams shows up as a mixed (or framing-corrupted) message.
+  auto a = TcpHub::create(1, 0);
+  auto b = TcpHub::create(2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+  auto mailbox_b = b.value()->attach(2);
+
+  constexpr int kPerThread = 300;
+  auto sender = [&a](std::uint8_t tag) {
+    common::Rng rng(tag);
+    for (int i = 0; i < kPerThread; ++i) {
+      Bytes payload(1 + rng.next() % 4096, tag);
+      ASSERT_TRUE(a.value()->send(1, 2, std::move(payload)).ok());
+    }
+  };
+  std::thread first(sender, std::uint8_t{0xaa});
+  std::thread second(sender, std::uint8_t{0xbb});
+  first.join();
+  second.join();
+
+  for (int i = 0; i < 2 * kPerThread; ++i) {
+    const auto received = mailbox_b->receive();
+    ASSERT_TRUE(received.has_value());
+    ASSERT_FALSE(received->payload.empty());
+    const std::uint8_t tag = received->payload[0];
+    ASSERT_TRUE(tag == 0xaa || tag == 0xbb);
+    for (const std::uint8_t byte : received->payload) ASSERT_EQ(byte, tag);
+  }
+}
+
+TEST(TcpHubTest, PeerDisconnectEvictsAndReportsLoss) {
+  auto a = TcpHub::create(1, 0);
+  ASSERT_TRUE(a.ok());
+  std::atomic<NodeId> lost{kNoNode};
+  a.value()->set_peer_lost_handler([&](NodeId peer) { lost = peer; });
+  {
+    auto b = TcpHub::create(2, 0);
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(
+        a.value()->connect_peer(2, "127.0.0.1", b.value()->port()).ok());
+    ASSERT_TRUE(a.value()->is_connected(2));
+  }  // peer hub destroyed: its side of the connection closes
+
+  // a's reader notices EOF and tears the connection down.
+  for (int i = 0; i < 400 && a.value()->is_connected(2); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(a.value()->is_connected(2));
+  EXPECT_EQ(a.value()->lost_peers(), std::vector<NodeId>{2});
+  EXPECT_EQ(lost.load(), 2u);
+
+  // Sends to the lost peer fail fast and stay out of the bandwidth meter.
+  const auto sent_before = a.value()->meter_or_null()->bytes_sent_by(1);
+  const auto status = a.value()->send(1, 2, Bytes{1, 2, 3});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::Errc::unknown_peer);
+  EXPECT_EQ(a.value()->meter_or_null()->bytes_sent_by(1), sent_before);
+}
+
+TEST(TcpHubTest, ConnectRetriesUntilListenerAppears) {
+  auto a = TcpHub::create(1, 0);
+  ASSERT_TRUE(a.ok());
+  std::uint16_t port = 0;
+  {
+    auto scratch = TcpHub::create(9, 0);
+    ASSERT_TRUE(scratch.ok());
+    port = scratch.value()->port();
+  }  // the port is free again; nothing is listening on it yet
+
+  std::unique_ptr<TcpHub> b;
+  std::thread late_listener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    auto hub = TcpHub::create(2, port);
+    ASSERT_TRUE(hub.ok()) << hub.error().to_string();
+    b = std::move(hub).take();
+  });
+  TcpHub::DialOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff = std::chrono::milliseconds(20);
+  const auto status = a.value()->connect_peer(2, "127.0.0.1", port, options);
+  late_listener.join();
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  EXPECT_TRUE(a.value()->is_connected(2));
 }
 
 }  // namespace
