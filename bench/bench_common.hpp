@@ -10,12 +10,15 @@
 // quick smoke runs; results keep their shape but not their magnitudes.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 
 #include "gendpr/federation.hpp"
+#include "gendpr/report.hpp"
 #include "genome/cohort.hpp"
+#include "obs/observability.hpp"
 
 namespace gendpr::bench {
 
@@ -56,6 +59,36 @@ inline const genome::Cohort& cohort_for(std::size_t num_case,
     it = cache.emplace(key, genome::generate_cohort(spec)).first;
   }
   return it->second;
+}
+
+/// Directory the runtime benches drop per-run reports into, or nullptr when
+/// reporting is off. Set GENDPR_REPORT_DIR=<dir> (the CI bench-smoke job
+/// does) to get one gendpr.run_report.v1 document per federated bench run
+/// alongside the google-benchmark JSON.
+inline const char* report_dir() {
+  static const char* dir = [] {
+    const char* env = std::getenv("GENDPR_REPORT_DIR");
+    return (env != nullptr && *env != '\0') ? env : nullptr;
+  }();
+  return dir;
+}
+
+/// Serializes `result` to $GENDPR_REPORT_DIR/<name>.json via the same
+/// RunReport path the CLI's --report uses. No-op when reporting is off;
+/// a write failure is reported but does not fail the bench.
+inline void write_bench_report(const std::string& name,
+                               const core::StudyResult& result,
+                               const obs::Observability* obs = nullptr) {
+  if (report_dir() == nullptr) return;
+  core::ReportContext context;
+  context.obs = obs;
+  const std::string path = std::string(report_dir()) + "/" + name + ".json";
+  const auto status =
+      core::write_run_report(path, core::make_run_report(result, context));
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench report: %s\n",
+                 status.error().to_string().c_str());
+  }
 }
 
 }  // namespace gendpr::bench

@@ -40,8 +40,10 @@ void BM_Fig6_GenDPR(benchmark::State& state) {
   const std::size_t num_case = state.range(0);
   const std::uint32_t num_gdos = static_cast<std::uint32_t>(state.range(1));
   const genome::Cohort& cohort = cohort_for(num_case, 10000);
+  obs::Observability observability;
   core::FederationSpec spec;
   spec.num_gdos = num_gdos;
+  spec.obs = report_dir() != nullptr ? &observability : nullptr;
   core::StudyResult result;
   for (auto _ : state) {
     auto run = core::run_federated_study(cohort, spec);
@@ -54,6 +56,9 @@ void BM_Fig6_GenDPR(benchmark::State& state) {
   }
   report(state, result.timings, result.outcome.l_safe.size());
   state.counters["ModelledDistributed_ms"] = result.modelled_distributed_ms;
+  write_bench_report("fig6_gendpr_" + std::to_string(num_case) + "cases_" +
+                         std::to_string(num_gdos) + "gdos",
+                     result, &observability);
 }
 BENCHMARK(BM_Fig6_GenDPR)
     ->ArgsProduct({{kPaperCasesHalf, kPaperCasesFull}, {2, 3, 5, 7}})

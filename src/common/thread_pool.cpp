@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace gendpr::common {
@@ -39,7 +40,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    task_nanos_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

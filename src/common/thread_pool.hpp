@@ -6,8 +6,10 @@
 // ablation bench that compares serial vs parallel combination evaluation.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -49,6 +51,19 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// --- Task accounting (observability) ---
+  /// Tasks that finished executing (including ones that threw).
+  std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative wall time spent inside task bodies, in milliseconds. Workers
+  /// run concurrently, so this can exceed the pool's lifetime wall clock.
+  double task_wall_ms() const noexcept {
+    return static_cast<double>(
+               task_nanos_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+
  private:
   void worker_loop();
 
@@ -57,6 +72,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<std::uint64_t> task_nanos_{0};
 };
 
 }  // namespace gendpr::common

@@ -84,6 +84,7 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(common::BytesView data) noexcept {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -20,6 +20,9 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
     return common::make_error(common::Errc::invalid_argument,
                               "federation needs at least one GDO");
   }
+  obs::ScopedSpan study_span(obs::recorder_of(spec.obs), "study");
+  obs::ScopedSpan setup_span(obs::recorder_of(spec.obs), "step.setup",
+                             study_span.id());
   common::Rng sim_rng(spec.seed);
 
   // Deployment-wide attestation root and per-GDO platforms.
@@ -66,6 +69,7 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
                                             ranges[leader_gdo].second),
                     cohort.controls, announce);
   leader.set_receive_timeout(receive_timeout);
+  leader.set_observability(spec.obs, study_span.id());
 
   std::vector<std::unique_ptr<MemberNode>> members;
   for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
@@ -74,12 +78,14 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
         network, *platforms[g], g, leader_gdo,
         cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
     members.back()->set_receive_timeout(receive_timeout);
+    members.back()->set_observability(spec.obs);
   }
   // A member that failed at construction (EPC limit) would never handshake
   // and the leader would wait forever - surface the error up front.
   for (const auto& member : members) {
     if (!member->status().ok()) return member->status().error();
   }
+  setup_span.end();
   for (auto& member : members) member->start();
 
   std::unique_ptr<common::ThreadPool> pool;
@@ -87,6 +93,13 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
     pool = std::make_unique<common::ThreadPool>();
   }
   auto result = leader.run_study(pool.get());
+  if (spec.obs != nullptr && pool != nullptr) {
+    spec.obs->metrics.add_counter("pool.tasks_completed",
+                                  pool->tasks_completed());
+    spec.obs->metrics.set_gauge("pool.task_wall_ms", pool->task_wall_ms());
+    spec.obs->metrics.set_gauge("pool.threads",
+                                static_cast<double>(pool->size()));
+  }
 
   if (!result.ok()) {
     // Unblock members still waiting on their mailboxes before joining.
@@ -113,14 +126,37 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   study.modelled_distributed_ms =
       study.timings.total_ms - member_compute_sum + member_compute_max;
   std::uint64_t member_peak = 0;
+  study.epc_peak_per_gdo.assign(spec.num_gdos, 0);
+  study.epc_limit_bytes = spec.epc_limit;
   for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    const std::uint64_t peak = platforms[g]->epc().peak();
+    study.epc_peak_per_gdo[g] = peak;
     if (g == leader_gdo) {
-      study.epc_peak_leader = platforms[g]->epc().peak();
+      study.epc_peak_leader = peak;
     } else {
-      member_peak = std::max(member_peak, platforms[g]->epc().peak());
+      member_peak = std::max(member_peak, peak);
     }
   }
   study.epc_peak_members_max = member_peak;
+  if (spec.obs != nullptr) {
+    // Per-GDO EPC high-water marks and per-link traffic outlive the
+    // platforms/fabric via the registry (and via StudyResult for reports).
+    for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+      spec.obs->metrics.max_gauge(
+          "epc.gdo" + std::to_string(g) + ".peak_bytes",
+          static_cast<double>(study.epc_peak_per_gdo[g]));
+    }
+    for (const auto& link : network.meter().snapshot()) {
+      spec.obs->metrics.add_counter("net.link." + std::to_string(link.from) +
+                                        "to" + std::to_string(link.to) +
+                                        ".bytes",
+                                    link.bytes);
+    }
+    spec.obs->metrics.add_counter("net.total_bytes",
+                                  network.meter().total_bytes());
+    spec.obs->metrics.add_counter("net.total_messages",
+                                  network.meter().total_messages());
+  }
   return study;
 }
 

@@ -10,6 +10,7 @@
 #include "gendpr/config.hpp"
 #include "gendpr/node.hpp"
 #include "genome/cohort.hpp"
+#include "obs/observability.hpp"
 
 namespace gendpr::core {
 
@@ -30,6 +31,13 @@ struct FederationSpec {
   /// completes on the surviving combinations or aborts with Errc::timeout
   /// naming the dead peer(s).
   std::uint32_t receive_timeout_ms = 0;
+  /// Run-wide observability bundle (nullptr = unobserved). When set, the
+  /// runner opens the root "study" span, every node and the coordinator
+  /// record spans/metrics into it, and the teardown path exports per-link
+  /// traffic, per-GDO EPC peaks, and thread-pool statistics into the
+  /// registry so a RunReport can be serialized after the call returns. The
+  /// bundle must outlive the call; the caller owns it.
+  obs::Observability* obs = nullptr;
 };
 
 /// Runs a full federated GenDPR study over `cohort`: case genomes are split

@@ -105,6 +105,8 @@ void MemberNode::run() {
       return;
     }
     const auto& [type, body] = opened.value();
+    obs::add_counter(obs_,
+                     "member." + std::to_string(gdo_index_) + ".requests");
 
     auto reply = [&](MsgType reply_type,
                      common::BytesView reply_body) -> Status {
@@ -221,6 +223,7 @@ void MemberNode::run() {
         return;
     }
   }
+  obs::observe(obs_, "member.compute_ms", compute_ms_);
 }
 
 // ---------------------------------------------------------------------------
@@ -444,9 +447,15 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   PhaseTimings timings;
 
   if (!provision_status_.ok()) return provision_status_.error();
-  if (Status s = establish_channels(); !s.ok()) return s.error();
+  {
+    const obs::ScopedSpan handshake_span(obs::recorder_of(obs_),
+                                         "step.handshake", study_span_);
+    if (Status s = establish_channels(); !s.ok()) return s.error();
+  }
 
   // --- Announce + Phase 1 input gathering ("Data Aggregation"). ---
+  obs::ScopedSpan gather_span(obs::recorder_of(obs_), "step.gather_summaries",
+                              study_span_);
   Stopwatch aggregation_watch;
   if (Status s = broadcast(MsgType::study_announce,
                            coordinator_.announce().serialize());
@@ -477,6 +486,7 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
     return dead_peers_error("data aggregation");
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
+  gather_span.end();
 
   // --- Phase 1: MAF analysis ("Indexing/Sorting/AlleleFreq."). ---
   Stopwatch indexing_watch;
@@ -485,10 +495,14 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   timings.indexing_ms += indexing_watch.elapsed_ms();
 
   aggregation_watch.restart();
-  if (Status s = broadcast(MsgType::phase1_result,
-                           phase1.value().serialize());
-      !s.ok()) {
-    return s.error();
+  {
+    const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
+                                         "step.broadcast_phase1", study_span_);
+    if (Status s = broadcast(MsgType::phase1_result,
+                             phase1.value().serialize());
+        !s.ok()) {
+      return s.error();
+    }
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
 
@@ -549,8 +563,11 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   if (!phase2.ok()) return phase2.error();
   timings.ld_ms += ld_watch.elapsed_ms() - fetch_wait_ms_;
   timings.aggregation_ms += fetch_wait_ms_;
+  obs::observe(obs_, "leader.ld_fetch_wait_ms", fetch_wait_ms_);
 
   aggregation_watch.restart();
+  obs::ScopedSpan lr_gather_span(obs::recorder_of(obs_),
+                                 "step.gather_lr_matrices", study_span_);
   if (Status s = broadcast(MsgType::phase2_result,
                            phase2.value().serialize());
       !s.ok()) {
@@ -579,6 +596,7 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
     if (pending.empty()) break;
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
+  lr_gather_span.end();
 
   Stopwatch lr_watch;
   auto phase3 = coordinator_.run_lr_phase(pool);
@@ -586,10 +604,14 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   timings.lr_ms += lr_watch.elapsed_ms();
 
   aggregation_watch.restart();
-  if (Status s = broadcast(MsgType::phase3_result,
-                           phase3.value().serialize());
-      !s.ok()) {
-    return s.error();
+  {
+    const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
+                                         "step.broadcast_phase3", study_span_);
+    if (Status s = broadcast(MsgType::phase3_result,
+                             phase3.value().serialize());
+        !s.ok()) {
+      return s.error();
+    }
   }
   timings.aggregation_ms += aggregation_watch.elapsed_ms();
   timings.total_ms = total_watch.elapsed_ms();
@@ -606,6 +628,19 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
     result.network_bytes_total = meter->total_bytes();
     result.leader_bytes_received =
         meter->bytes_received_by(node_id_of(gdo_index_));
+    result.network_links = meter->snapshot();
+  }
+  const tee::EpcMeter& epc = enclave_.platform().epc();
+  result.epc_peak_per_gdo.assign(num_gdos_, 0);
+  result.epc_peak_per_gdo[gdo_index_] = epc.peak();
+  result.epc_limit_bytes = epc.limit();
+  result.epc_peak_leader = epc.peak();
+  if (obs_ != nullptr) {
+    obs_->metrics.observe("leader.phase.aggregation_ms",
+                          timings.aggregation_ms);
+    obs_->metrics.observe("leader.phase.indexing_ms", timings.indexing_ms);
+    obs_->metrics.observe("leader.phase.ld_ms", timings.ld_ms);
+    obs_->metrics.observe("leader.phase.lr_ms", timings.lr_ms);
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include "common/thread_pool.hpp"
 #include "gendpr/trusted.hpp"
 #include "net/network.hpp"
+#include "obs/observability.hpp"
 #include "tee/enclave.hpp"
 
 namespace gendpr::core {
@@ -64,6 +65,17 @@ struct StudyResult {
   std::uint64_t leader_bytes_received = 0;
   std::uint64_t epc_peak_leader = 0;
   std::uint64_t epc_peak_members_max = 0;
+  /// Per-link traffic snapshot from the leader's transport meter, taken
+  /// before teardown. The in-process fabric's meter sees every link; a TCP
+  /// hub's meter sees both directions of every link the leader terminates,
+  /// which in the star topology is likewise all protocol traffic.
+  std::vector<net::TrafficMeter::Link> network_links;
+  /// EPC peak per GDO, indexed by GDO. The leader fills its own entry; the
+  /// single-host runner fills every entry before tearing platforms down.
+  /// Entries for GDOs whose platform was unobservable stay 0.
+  std::vector<std::uint64_t> epc_peak_per_gdo;
+  /// The per-platform EPC limit the run was configured with (0 = unknown).
+  std::uint64_t epc_limit_bytes = 0;
 };
 
 /// Non-leader GDO host: handshakes with the leader, then answers phase
@@ -83,6 +95,11 @@ class MemberNode {
   void set_receive_timeout(std::chrono::milliseconds timeout) {
     receive_timeout_ = timeout;
   }
+
+  /// Attaches the run's observability bundle (nullptr = unobserved). The
+  /// service loop counts requests served per GDO and records its compute
+  /// time. Call before start(); the registry is thread-safe.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
 
   /// Starts the service thread.
   void start();
@@ -112,6 +129,7 @@ class MemberNode {
   common::Status status_;
   std::chrono::milliseconds receive_timeout_{kNoDeadline};
   double compute_ms_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// Leader GDO host: establishes channels to all members, then drives the
@@ -133,6 +151,17 @@ class LeaderNode {
   /// Errc::timeout naming the dead peers only when no combination survives.
   void set_receive_timeout(std::chrono::milliseconds timeout) {
     receive_timeout_ = timeout;
+  }
+
+  /// Attaches the run's observability bundle (nullptr = unobserved): the
+  /// protocol steps open spans under `study_span`, and the coordinator opens
+  /// per-combination spans inside each analysis phase. Call before
+  /// run_study().
+  void set_observability(obs::Observability* obs,
+                         obs::SpanId study_span = obs::kNoSpan) noexcept {
+    obs_ = obs;
+    study_span_ = study_span;
+    coordinator_.set_observability(obs, study_span);
   }
 
   /// Runs the full study. `pool` parallelizes per-combination evaluation in
@@ -192,6 +221,8 @@ class LeaderNode {
   std::mutex hook_mutex_;
   std::set<std::uint32_t> hook_dead_;
   double fetch_wait_ms_ = 0;  // time spent gathering member responses
+  obs::Observability* obs_ = nullptr;
+  obs::SpanId study_span_ = obs::kNoSpan;
 };
 
 }  // namespace gendpr::core

@@ -326,12 +326,18 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
     return make_error(Errc::state_violation,
                       "MAF phase before all summaries arrived");
   }
+  const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.maf",
+                                   study_span_);
   const double cutoff = announce_.config.maf_cutoff;
   std::vector<std::vector<std::uint32_t>> per_combination;
   per_combination.reserve(announce_.combinations.size());
 
   for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
     if (!combination_live(c)) continue;  // skip combos with dead members
+    const obs::ScopedSpan combination_span(
+        obs::recorder_of(obs_), "maf.combination." + std::to_string(c),
+        phase_span.id());
+    obs::add_counter(obs_, "coordinator.maf_combinations");
     const auto& members = announce_.combinations[c];
     std::uint64_t n_total = reference_.num_individuals();
     for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
@@ -421,12 +427,18 @@ stats::LdMoments Coordinator::aggregate_pair(
 }
 
 Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
+  const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.ld",
+                                   study_span_);
   const std::size_t num_combinations = announce_.combinations.size();
   std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
   std::vector<bool> computed(num_combinations, false);
 
   for (std::size_t c = 0; c < num_combinations; ++c) {
     if (!combination_live(c)) continue;
+    const obs::ScopedSpan combination_span(
+        obs::recorder_of(obs_), "ld.combination." + std::to_string(c),
+        phase_span.id());
+    obs::add_counter(obs_, "coordinator.ld_combinations");
     const auto& members = announce_.combinations[c];
     try {
       const std::vector<double> p_values = combination_chi2_p_values(members);
@@ -458,6 +470,8 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
 
   l_double_prime_ = intersect_sorted(live_lists);
   outcome_.l_double_prime = l_double_prime_;
+  obs::add_counter(obs_, "coordinator.ld_pairs_fetched",
+                   moments_cache_.size());
 
   Phase2Result result;
   result.retained = l_double_prime_;
@@ -523,6 +537,8 @@ bool Coordinator::phase3_ready() const noexcept {
 }
 
 Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
+  const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.lr",
+                                   study_span_);
   if (!phase3_ready()) {
     return make_error(Errc::state_violation,
                       "LR phase before all matrices arrived");
@@ -546,6 +562,12 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
   common::ThreadPool* selection_pool = parallel_combinations ? nullptr : pool;
 
   auto evaluate = [&](std::size_t c) {
+    // Combination spans may open concurrently on pool workers; the recorder
+    // is thread-safe and parents are explicit, so nesting stays correct.
+    const obs::ScopedSpan combination_span(
+        obs::recorder_of(obs_), "lr.combination." + std::to_string(c),
+        phase_span.id());
+    obs::add_counter(obs_, "coordinator.lr_combinations");
     const auto& members = announce_.combinations[c];
     // Leader's own local LR matrix for this combination, if it is a member.
     const stats::LrWeights weights = stats::lr_weights(

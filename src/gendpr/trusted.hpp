@@ -26,6 +26,7 @@
 #include "gendpr/messages.hpp"
 #include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
+#include "obs/observability.hpp"
 #include "stats/ld.hpp"
 #include "stats/lr_test.hpp"
 #include "tee/enclave.hpp"
@@ -119,6 +120,16 @@ class Coordinator {
 
   const StudyAnnounce& announce() const noexcept { return announce_; }
 
+  /// Attaches the run's observability bundle. Each analysis phase then opens
+  /// a span under `study_span` with one child span per evaluated combination
+  /// ("<phase>.combination.<id>"), and records evaluation counters. Pass
+  /// nullptr (the default state) to run unobserved.
+  void set_observability(obs::Observability* obs,
+                         obs::SpanId study_span = obs::kNoSpan) noexcept {
+    obs_ = obs;
+    study_span_ = study_span;
+  }
+
   /// --- Liveness (degraded mode) ---
   /// Marks a GDO as unresponsive: every later phase skips combinations
   /// containing it instead of stalling on its missing contributions. The
@@ -182,6 +193,10 @@ class Coordinator {
   genome::BitPlanes reference_planes_;
   std::uint32_t num_gdos_;
   StudyAnnounce announce_;
+
+  // Observability (may be null: unobserved run).
+  obs::Observability* obs_ = nullptr;
+  obs::SpanId study_span_ = obs::kNoSpan;
 
   // Liveness state: GDOs declared unresponsive by the host protocol layer.
   std::set<std::uint32_t> dead_gdos_;

@@ -113,6 +113,16 @@ std::uint64_t TrafficMeter::bytes_received_by(NodeId node) const {
   return total;
 }
 
+std::vector<TrafficMeter::Link> TrafficMeter::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Link> links;
+  links.reserve(links_.size());
+  for (const auto& [link, stats] : links_) {
+    links.push_back(Link{link.first, link.second, stats.bytes, stats.messages});
+  }
+  return links;
+}
+
 void TrafficMeter::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   links_.clear();

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -77,6 +78,19 @@ class TrafficMeter {
   std::uint64_t total_messages() const;
   std::uint64_t bytes_sent_by(NodeId node) const;
   std::uint64_t bytes_received_by(NodeId node) const;
+
+  /// One directed link's accumulated volume.
+  struct Link {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+  };
+
+  /// Point-in-time copy of every link, ordered by (from, to). This is how
+  /// per-link accounting outlives the meter's owner: run reports snapshot
+  /// the links before the transport is torn down.
+  std::vector<Link> snapshot() const;
 
   void reset();
 

@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace gendpr::obs {
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::max_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), std::vector<double>{value});
+  } else {
+    it->second.push_back(value);
+  }
+}
+
+MetricsRegistry::HistogramStats MetricsRegistry::summarize(
+    const std::vector<double>& samples) {
+  HistogramStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  for (double v : sorted) stats.sum += v;
+  // Nearest-rank percentile: p-th percentile is the sample at
+  // ceil(p/100 * count), 1-indexed.
+  const auto rank = [&sorted](double p) {
+    const std::size_t n = sorted.size();
+    std::size_t k = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(n) + 0.9999999);
+    if (k == 0) k = 1;
+    if (k > n) k = n;
+    return sorted[k - 1];
+  };
+  stats.p50 = rank(50.0);
+  stats.p90 = rank(90.0);
+  stats.p99 = rank(99.0);
+  return stats;
+}
+
+std::optional<MetricsRegistry::HistogramStats> MetricsRegistry::histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return std::nullopt;
+  return summarize(it->second);
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, samples] : histograms_) {
+    const HistogramStats stats = summarize(samples);
+    JsonValue entry = JsonValue::object();
+    entry.set("count", stats.count);
+    entry.set("sum", stats.sum);
+    entry.set("min", stats.min);
+    entry.set("max", stats.max);
+    entry.set("p50", stats.p50);
+    entry.set("p90", stats.p90);
+    entry.set("p99", stats.p99);
+    histograms.set(name, std::move(entry));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace gendpr::obs

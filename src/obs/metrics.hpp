@@ -1,0 +1,67 @@
+// Process-local metrics registry: named counters, gauges, and histograms.
+//
+// The federation accumulates its per-run resource accounting here — request
+// counts, per-link byte totals exported from the traffic meters, EPC
+// high-water marks, thread-pool task statistics — so a finished study can be
+// serialized into one run report instead of scraping numbers from the owners
+// of a dozen short-lived meters. Thread-safe: protocol threads, transport
+// reader threads, and pool workers all record concurrently. Zero external
+// dependencies by design (the paper's evaluation must be reproducible from a
+// bare toolchain).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace gendpr::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter: adds `delta` (creating the counter at zero first).
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  /// Current counter value; 0 for a counter never touched.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Last-write-wins gauge.
+  void set_gauge(std::string_view name, double value);
+  /// Keeps the maximum of the current and new value (high-water marks).
+  void max_gauge(std::string_view name, double value);
+  std::optional<double> gauge(std::string_view name) const;
+
+  /// Records one sample into a histogram (creating it on first use).
+  void observe(std::string_view name, double value);
+
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+  };
+  std::optional<HistogramStats> histogram(std::string_view name) const;
+
+  /// Snapshot of every instrument:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: stats}}.
+  JsonValue to_json() const;
+
+  void clear();
+
+ private:
+  static HistogramStats summarize(const std::vector<double>& samples);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::vector<double>, std::less<>> histograms_;
+};
+
+}  // namespace gendpr::obs

@@ -1,0 +1,45 @@
+// The per-run observability bundle handed through the stack.
+//
+// One Observability instance lives for the duration of a federation run (or a
+// bench iteration): every layer that records telemetry — nodes, coordinator,
+// transports, enclaves, pools — receives a pointer to the same bundle. A null
+// pointer everywhere means "observability off" and costs nothing on the hot
+// paths; the helpers below keep call sites unconditional.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gendpr::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+};
+
+/// Null-tolerant accessors: recorder_of(nullptr) == nullptr feeds straight
+/// into ScopedSpan's null-recorder tolerance.
+inline TraceRecorder* recorder_of(Observability* obs) noexcept {
+  return obs == nullptr ? nullptr : &obs->trace;
+}
+
+inline void add_counter(Observability* obs, std::string_view name,
+                        std::uint64_t delta = 1) {
+  if (obs != nullptr) obs->metrics.add_counter(name, delta);
+}
+
+inline void set_gauge(Observability* obs, std::string_view name,
+                      double value) {
+  if (obs != nullptr) obs->metrics.set_gauge(name, value);
+}
+
+inline void max_gauge(Observability* obs, std::string_view name,
+                      double value) {
+  if (obs != nullptr) obs->metrics.max_gauge(name, value);
+}
+
+inline void observe(Observability* obs, std::string_view name, double value) {
+  if (obs != nullptr) obs->metrics.observe(name, value);
+}
+
+}  // namespace gendpr::obs

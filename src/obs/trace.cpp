@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+namespace gendpr::obs {
+
+using common::Errc;
+using common::make_error;
+using common::Result;
+
+SpanId TraceRecorder::begin_span(std::string name, SpanId parent) {
+  const double start = since_epoch_ms();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span span;
+  span.id = spans_.size();
+  span.parent = parent < spans_.size() ? parent : kNoSpan;
+  span.name = std::move(name);
+  span.start_ms = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::end_span(SpanId id) {
+  const double now = since_epoch_ms();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= spans_.size()) return;
+  Span& span = spans_[id];
+  if (span.duration_ms >= 0) return;  // already closed
+  span.duration_ms = now - span.start_ms;
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+JsonValue TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::array();
+  for (const Span& span : spans_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("id", static_cast<std::uint64_t>(span.id));
+    entry.set("parent", span.parent == kNoSpan
+                            ? JsonValue(nullptr)
+                            : JsonValue(static_cast<std::uint64_t>(span.parent)));
+    entry.set("name", span.name);
+    entry.set("start_ms", span.start_ms);
+    entry.set("duration_ms", span.duration_ms < 0 ? JsonValue(nullptr)
+                                                  : JsonValue(span.duration_ms));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<std::vector<Span>> TraceRecorder::spans_from_json(
+    const JsonValue& json) {
+  if (!json.is_array()) {
+    return make_error(Errc::bad_message, "trace: expected a span array");
+  }
+  std::vector<Span> spans;
+  spans.reserve(json.as_array().size());
+  for (const JsonValue& entry : json.as_array()) {
+    const JsonValue* id = entry.find("id");
+    const JsonValue* parent = entry.find("parent");
+    const JsonValue* name = entry.find("name");
+    const JsonValue* start = entry.find("start_ms");
+    const JsonValue* duration = entry.find("duration_ms");
+    if (id == nullptr || !id->is_number() || parent == nullptr ||
+        name == nullptr || !name->is_string() || start == nullptr ||
+        !start->is_number() || duration == nullptr) {
+      return make_error(Errc::bad_message, "trace: malformed span entry");
+    }
+    Span span;
+    span.id = static_cast<SpanId>(id->as_number());
+    span.parent = parent->is_number() ? static_cast<SpanId>(parent->as_number())
+                                      : kNoSpan;
+    span.name = name->as_string();
+    span.start_ms = start->as_number();
+    span.duration_ms = duration->is_number() ? duration->as_number() : -1;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace gendpr::obs

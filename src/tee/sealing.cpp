@@ -29,9 +29,8 @@ common::Bytes SealingService::seal(const Measurement& measurement,
   const common::Bytes sealed = crypto::gcm_seal(
       key, nonce, common::BytesView(measurement.data(), measurement.size()),
       plaintext);
-  common::Bytes out;
-  out.reserve(nonce.size() + sealed.size());
-  out.insert(out.end(), nonce.begin(), nonce.end());
+  common::Bytes out(nonce.begin(), nonce.end());
+  out.reserve(out.size() + sealed.size());
   common::append(out, sealed);
   return out;
 }

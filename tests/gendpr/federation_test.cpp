@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+
+#include "gendpr/report.hpp"
+#include "obs/observability.hpp"
 
 namespace gendpr::core {
 namespace {
@@ -146,6 +150,75 @@ TEST(FederationTest, TimingsPopulated) {
   EXPECT_GE(t.lr_ms, 0.0);
   EXPECT_LE(t.aggregation_ms + t.indexing_ms + t.ld_ms + t.lr_ms,
             t.total_ms * 1.05 + 1.0);
+}
+
+TEST(FederationTest, RunReportTracesEveryPhaseOncePerCombination) {
+  const genome::Cohort cohort = test_cohort();
+  obs::Observability observability;
+  FederationSpec spec;
+  spec.num_gdos = 3;
+  spec.policy = CollusionPolicy::fixed(1);  // C(3,2) = 3 combinations
+  spec.obs = &observability;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_EQ(result.value().num_combinations, 3u);
+
+  ReportContext context;
+  context.obs = &observability;
+  const obs::JsonValue report = make_run_report(result.value(), context);
+  // Assert on the serialized document, exactly what check_report.py consumes.
+  const auto parsed = obs::JsonValue::parse(report.dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().find("schema")->as_string(), kRunReportSchema);
+
+  const obs::JsonValue* phases = parsed.value().find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_GT(phases->find("total_ms")->as_number(), 0.0);
+
+  const obs::JsonValue* network = parsed.value().find("network");
+  ASSERT_NE(network, nullptr);
+  EXPECT_GT(network->find("total_bytes")->as_number(), 0.0);
+  EXPECT_FALSE(network->find("links")->as_array().empty());
+
+  const obs::JsonValue* epc = parsed.value().find("epc");
+  ASSERT_NE(epc, nullptr);
+  ASSERT_EQ(epc->find("per_gdo")->as_array().size(), 3u);
+  for (const auto& entry : epc->find("per_gdo")->as_array()) {
+    EXPECT_GT(entry.find("peak_bytes")->as_number(), 0.0);
+  }
+
+  const obs::JsonValue* trace = parsed.value().find("trace");
+  ASSERT_NE(trace, nullptr);
+  const auto spans = obs::TraceRecorder::spans_from_json(*trace);
+  ASSERT_TRUE(spans.ok()) << spans.error().to_string();
+  std::map<std::string, int> name_counts;
+  for (const auto& span : spans.value()) {
+    ++name_counts[span.name];
+    EXPECT_GE(span.duration_ms, 0.0) << span.name << " left open";
+  }
+  EXPECT_EQ(name_counts["study"], 1);
+  for (const std::string phase : {"maf", "ld", "lr"}) {
+    EXPECT_EQ(name_counts["phase." + phase], 1);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(name_counts[phase + ".combination." + std::to_string(c)], 1)
+          << phase << " combination " << c;
+    }
+  }
+}
+
+TEST(FederationTest, UnobservedRunRecordsNothing) {
+  // spec.obs == nullptr must stay the zero-cost default: same outcome, no
+  // crash anywhere a span or counter would have been recorded.
+  const genome::Cohort cohort = test_cohort(200, 200, 60);
+  FederationSpec spec;
+  spec.num_gdos = 2;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok());
+  // The report still serializes from the StudyResult alone.
+  const obs::JsonValue report = make_run_report(result.value());
+  EXPECT_EQ(report.find("trace"), nullptr);
+  EXPECT_EQ(report.find("metrics"), nullptr);
+  EXPECT_NE(report.find("phases"), nullptr);
 }
 
 TEST(FederationTest, TinyEpcLimitFailsCleanly) {

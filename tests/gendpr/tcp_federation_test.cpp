@@ -4,12 +4,15 @@
 // The selection must equal an in-process run over the same cohort.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "gendpr/federation.hpp"
 #include "gendpr/node.hpp"
+#include "gendpr/report.hpp"
 #include "net/tcp.hpp"
+#include "obs/observability.hpp"
 
 namespace gendpr::core {
 namespace {
@@ -55,16 +58,19 @@ TEST(TcpFederationTest, StudyOverRealSocketsMatchesInProcess) {
   announce.combinations =
       Coordinator::build_combinations(kGdos, CollusionPolicy::none());
 
+  obs::Observability observability;
   LeaderNode leader(*hubs[kLeaderGdo], *platforms[kLeaderGdo], kLeaderGdo,
                     kGdos,
                     cohort.cases.slice_rows(ranges[kLeaderGdo].first,
                                             ranges[kLeaderGdo].second),
                     cohort.controls, announce);
+  leader.set_observability(&observability);
   std::vector<std::unique_ptr<MemberNode>> members;
   for (std::uint32_t g = 1; g < kGdos; ++g) {
     members.push_back(std::make_unique<MemberNode>(
         *hubs[g], *platforms[g], g, kLeaderGdo,
         cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+    members.back()->set_observability(&observability);
     members.back()->start();
   }
 
@@ -91,6 +97,43 @@ TEST(TcpFederationTest, StudyOverRealSocketsMatchesInProcess) {
 
   // Traffic was actually metered on the leader's hub.
   EXPECT_GT(tcp_result.value().network_bytes_total, 0u);
+
+  // The run report works over real sockets too: per-link byte counts from
+  // the leader's hub meter, the leader's EPC peak, and a trace with every
+  // protocol phase. (Member EPC entries stay 0 here: their platforms live on
+  // other "machines" and only the single-host runner can read them all.)
+  ReportContext context;
+  context.obs = &observability;
+  context.transport = "tcp";
+  const obs::JsonValue report = make_run_report(tcp_result.value(), context);
+  const auto parsed = obs::JsonValue::parse(report.dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().find("transport")->as_string(), "tcp");
+  const obs::JsonValue* network_section = parsed.value().find("network");
+  ASSERT_NE(network_section, nullptr);
+  ASSERT_FALSE(network_section->find("links")->as_array().empty());
+  for (const auto& link : network_section->find("links")->as_array()) {
+    EXPECT_GT(link.find("bytes")->as_number(), 0.0);
+  }
+  const obs::JsonValue* epc_section = parsed.value().find("epc");
+  ASSERT_NE(epc_section, nullptr);
+  ASSERT_EQ(epc_section->find("per_gdo")->as_array().size(), kGdos);
+  EXPECT_GT(epc_section->find("per_gdo")
+                ->as_array()[kLeaderGdo]
+                .find("peak_bytes")
+                ->as_number(),
+            0.0);
+  const auto spans =
+      obs::TraceRecorder::spans_from_json(*parsed.value().find("trace"));
+  ASSERT_TRUE(spans.ok());
+  for (const char* phase : {"phase.maf", "phase.ld", "phase.lr"}) {
+    EXPECT_EQ(std::count_if(spans.value().begin(), spans.value().end(),
+                            [phase](const obs::Span& span) {
+                              return span.name == phase;
+                            }),
+              1)
+        << phase;
+  }
 }
 
 TEST(TcpFederationTest, MemberSafeSetsMatchLeader) {

@@ -218,8 +218,11 @@ TEST(TcpHubTest, PeerDisconnectEvictsAndReportsLoss) {
     ASSERT_TRUE(a.value()->is_connected(2));
   }  // peer hub destroyed: its side of the connection closes
 
-  // a's reader notices EOF and tears the connection down.
-  for (int i = 0; i < 400 && a.value()->is_connected(2); ++i) {
+  // a's reader notices EOF and tears the connection down. The hub evicts the
+  // peer before invoking the handler, so wait for the handler too.
+  for (int i = 0;
+       i < 400 && (a.value()->is_connected(2) || lost.load() == kNoNode);
+       ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_FALSE(a.value()->is_connected(2));

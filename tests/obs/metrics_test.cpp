@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gendpr::obs {
+namespace {
+
+TEST(ObsMetricsTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("never.touched"), 0u);
+  registry.add_counter("requests");
+  registry.add_counter("requests", 4);
+  EXPECT_EQ(registry.counter("requests"), 5u);
+}
+
+TEST(ObsMetricsTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.add_counter("shared");
+        registry.max_gauge("high_water", static_cast<double>(i));
+        registry.observe("samples", 1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.gauge("high_water"), kIncrements - 1.0);
+  ASSERT_TRUE(registry.histogram("samples").has_value());
+  EXPECT_EQ(registry.histogram("samples")->count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsMetricsTest, GaugeSemantics) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.gauge("absent").has_value());
+  registry.set_gauge("threads", 4);
+  registry.set_gauge("threads", 2);  // last write wins
+  EXPECT_EQ(registry.gauge("threads"), 2.0);
+  registry.max_gauge("peak", 10);
+  registry.max_gauge("peak", 3);  // high-water mark keeps the max
+  EXPECT_EQ(registry.gauge("peak"), 10.0);
+}
+
+TEST(ObsMetricsTest, HistogramPercentiles) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.histogram("absent").has_value());
+  // 1..100 in scrambled order: percentiles are order-independent.
+  for (int i = 0; i < 100; ++i) {
+    registry.observe("latency", static_cast<double>((i * 37) % 100 + 1));
+  }
+  const auto stats = registry.histogram("latency");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 100u);
+  EXPECT_EQ(stats->min, 1.0);
+  EXPECT_EQ(stats->max, 100.0);
+  EXPECT_EQ(stats->sum, 5050.0);
+  // Nearest-rank percentiles over 1..100 hit the rank exactly.
+  EXPECT_EQ(stats->p50, 50.0);
+  EXPECT_EQ(stats->p90, 90.0);
+  EXPECT_EQ(stats->p99, 99.0);
+}
+
+TEST(ObsMetricsTest, SingleSampleHistogram) {
+  MetricsRegistry registry;
+  registry.observe("once", 7.0);
+  const auto stats = registry.histogram("once");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 1u);
+  EXPECT_EQ(stats->p50, 7.0);
+  EXPECT_EQ(stats->p99, 7.0);
+}
+
+TEST(ObsMetricsTest, ToJsonSnapshotsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.add_counter("net.total_bytes", 1024);
+  registry.set_gauge("pool.threads", 4);
+  registry.observe("member.compute_ms", 12.5);
+  const JsonValue snapshot = registry.to_json();
+  const JsonValue* counters = snapshot.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("net.total_bytes"), nullptr);
+  EXPECT_EQ(counters->find("net.total_bytes")->as_number(), 1024.0);
+  const JsonValue* gauges = snapshot.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("pool.threads"), nullptr);
+  const JsonValue* histograms = snapshot.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* latency = histograms->find("member.compute_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_number(), 1.0);
+  EXPECT_EQ(latency->find("sum")->as_number(), 12.5);
+}
+
+TEST(ObsMetricsTest, ClearResetsEverything) {
+  MetricsRegistry registry;
+  registry.add_counter("c");
+  registry.set_gauge("g", 1);
+  registry.observe("h", 1);
+  registry.clear();
+  EXPECT_EQ(registry.counter("c"), 0u);
+  EXPECT_FALSE(registry.gauge("g").has_value());
+  EXPECT_FALSE(registry.histogram("h").has_value());
+}
+
+}  // namespace
+}  // namespace gendpr::obs

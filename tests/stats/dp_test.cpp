@@ -52,8 +52,8 @@ TEST(DpPerturbTest, NoiseMagnitudeScalesWithEpsilon) {
     loose_err += std::abs(loose[i] - 100.0);
     tight_err += std::abs(tight[i] - 100.0);
   }
-  loose_err /= counts.size();
-  tight_err /= counts.size();
+  loose_err /= static_cast<double>(counts.size());
+  tight_err /= static_cast<double>(counts.size());
   // Expected |noise| = 1/epsilon: 10 vs 0.1.
   EXPECT_NEAR(loose_err, 10.0, 1.5);
   EXPECT_NEAR(tight_err, 0.1, 0.02);

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validates gendpr.run_report.v1 documents (and BENCH_*.json smoke output).
+
+Usage:
+    tools/check_report.py report.json [more.json ...]
+
+Files whose top-level object carries ``"schema": "gendpr.run_report.v1"``
+are validated structurally: required sections, per-phase wall times, per-link
+byte counts, per-GDO EPC peaks, and — when a trace is embedded — that every
+analysis phase appears exactly once and carries one combination span per
+combination. Google-benchmark JSON (``"benchmarks"`` array) gets a shallow
+sanity check. Anything else is an error. Exits non-zero on the first
+invalid file; stdlib only, so it runs anywhere CI has python3.
+"""
+import json
+import sys
+
+SCHEMA = "gendpr.run_report.v1"
+PHASES = ("phase.maf", "phase.ld", "phase.lr")
+PHASE_TIMINGS = ("aggregation_ms", "indexing_ms", "ld_ms", "lr_ms", "total_ms")
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(condition, message):
+    if not condition:
+        raise Invalid(message)
+
+
+def check_run_report(doc):
+    require(doc.get("schema") == SCHEMA, f"schema is not {SCHEMA}")
+    require(isinstance(doc.get("transport"), str), "missing transport label")
+
+    study = doc.get("study")
+    require(isinstance(study, dict), "missing study section")
+    require(study.get("num_combinations", 0) >= 1, "no combinations recorded")
+    selection = study.get("selection")
+    require(isinstance(selection, dict), "missing study.selection")
+    for key in ("l_prime", "l_double_prime", "l_safe"):
+        require(isinstance(selection.get(key), int), f"selection.{key} missing")
+    require(
+        selection["l_safe"] <= selection["l_double_prime"] <= selection["l_prime"],
+        "selection sets must shrink monotonically",
+    )
+
+    phases = doc.get("phases")
+    require(isinstance(phases, dict), "missing phases section")
+    for key in PHASE_TIMINGS:
+        value = phases.get(key)
+        require(
+            isinstance(value, (int, float)) and value >= 0,
+            f"phases.{key} missing or negative",
+        )
+
+    network = doc.get("network")
+    require(isinstance(network, dict), "missing network section")
+    require(network.get("total_bytes", 0) > 0, "no network traffic recorded")
+    links = network.get("links")
+    require(isinstance(links, list) and links, "missing per-link byte counts")
+    for link in links:
+        for key in ("from", "to", "bytes", "messages"):
+            require(key in link, f"link entry missing {key}")
+        require(link["bytes"] > 0, "per-link byte count is zero")
+
+    epc = doc.get("epc")
+    require(isinstance(epc, dict), "missing epc section")
+    per_gdo = epc.get("per_gdo")
+    require(isinstance(per_gdo, list) and per_gdo, "missing per-GDO EPC peaks")
+    for entry in per_gdo:
+        require("gdo" in entry and "peak_bytes" in entry, "bad per_gdo entry")
+        require(entry["peak_bytes"] > 0, f"GDO {entry.get('gdo')} EPC peak is zero")
+    limit = epc.get("limit_bytes", 0)
+    if limit:
+        for entry in per_gdo:
+            require(
+                entry["peak_bytes"] <= limit,
+                f"GDO {entry['gdo']} EPC peak exceeds the configured limit",
+            )
+
+    events = doc.get("events")
+    require(isinstance(events, dict), "missing events section")
+    require(isinstance(events.get("dead_gdos"), list), "missing events.dead_gdos")
+
+    trace = doc.get("trace")
+    if trace is not None:
+        check_trace(trace, study["num_combinations"], set(events["dead_gdos"]))
+
+
+def check_trace(trace, num_combinations, dead_gdos):
+    require(isinstance(trace, list) and trace, "trace section is empty")
+    by_name = {}
+    for span in trace:
+        for key in ("id", "name", "start_ms"):
+            require(key in span, f"trace span missing {key}")
+        require(span.get("duration_ms") is not None, f"span {span['name']} left open")
+        by_name.setdefault(span["name"], []).append(span)
+
+    require("study" in by_name, "trace has no root study span")
+    require(len(by_name["study"]) == 1, "more than one study span")
+
+    for phase in PHASES:
+        require(phase in by_name, f"trace missing {phase}")
+        require(len(by_name[phase]) == 1, f"{phase} recorded more than once")
+        prefix = phase.split(".", 1)[1] + ".combination."
+        combos = [name for name in by_name if name.startswith(prefix)]
+        # Combinations naming a dead GDO are skipped, so a degraded run may
+        # trace fewer than the announced count — never more.
+        if dead_gdos:
+            require(
+                0 < len(combos) <= num_combinations,
+                f"{phase}: {len(combos)} combination spans, "
+                f"expected at most {num_combinations}",
+            )
+        else:
+            require(
+                len(combos) == num_combinations,
+                f"{phase}: {len(combos)} combination spans, "
+                f"expected {num_combinations}",
+            )
+        for name in combos:
+            require(
+                len(by_name[name]) == 1,
+                f"{name} recorded {len(by_name[name])} times, expected once",
+            )
+            parent = by_name[name][0].get("parent")
+            require(
+                parent == by_name[phase][0]["id"],
+                f"{name} is not a child of {phase}",
+            )
+
+
+def check_google_benchmark(doc):
+    benchmarks = doc.get("benchmarks")
+    require(isinstance(benchmarks, list) and benchmarks, "no benchmarks recorded")
+    for bench in benchmarks:
+        require("name" in bench, "benchmark entry missing name")
+        require(
+            bench.get("error_occurred", False) is False,
+            f"benchmark {bench.get('name')} reported an error",
+        )
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    require(isinstance(doc, dict), "top-level JSON is not an object")
+    if doc.get("schema") == SCHEMA:
+        check_run_report(doc)
+        return "run report"
+    if "benchmarks" in doc:
+        check_google_benchmark(doc)
+        return "benchmark output"
+    raise Invalid("neither a run report nor google-benchmark output")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            kind = check_file(path)
+        except (OSError, json.JSONDecodeError, Invalid) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            return 1
+        print(f"ok   {path} ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,13 +10,23 @@ if(NOT rc EQUAL 0)
 endif()
 
 execute_process(
-  COMMAND ${CLI} assess ${WORKDIR} --gdos 3
+  COMMAND ${CLI} assess ${WORKDIR} --gdos 3 --report ${WORKDIR}/report.json
   RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "gendpr assess failed (${rc})")
 endif()
 if(NOT out MATCHES "SNPs safe")
   message(FATAL_ERROR "assess output missing safe-SNP line: ${out}")
+endif()
+if(NOT EXISTS ${WORKDIR}/report.json)
+  message(FATAL_ERROR "report.json was not written")
+endif()
+file(READ ${WORKDIR}/report.json report)
+if(NOT report MATCHES "gendpr.run_report.v1")
+  message(FATAL_ERROR "report.json missing schema marker")
+endif()
+if(NOT report MATCHES "phase.maf")
+  message(FATAL_ERROR "report.json missing MAF phase span")
 endif()
 
 execute_process(

@@ -23,7 +23,9 @@
 #include "gendpr/baselines.hpp"
 #include "gendpr/federation.hpp"
 #include "gendpr/release.hpp"
+#include "gendpr/report.hpp"
 #include "genome/vcf_lite.hpp"
+#include "obs/observability.hpp"
 
 namespace {
 
@@ -42,6 +44,7 @@ struct Args {
   core::StudyConfig config;
   std::optional<double> dp_epsilon;
   std::string out = "release.tsv";
+  std::string report;
 };
 
 void usage() {
@@ -49,7 +52,7 @@ void usage() {
                "usage: gendpr <gen|assess|release> <dir> [options]\n"
                "  gen:     --cases N --controls N --snps L --gdos G --seed S\n"
                "  assess:  --gdos G [--f F | --conservative] --maf C --ld C\n"
-               "           --fpr R --power P --seed S\n"
+               "           --fpr R --power P --seed S --report FILE\n"
                "  release: assess options plus --out FILE --dp-epsilon E\n");
 }
 
@@ -91,6 +94,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.dp_epsilon = std::atof(value);
     } else if (flag == "--out") {
       args.out = value;
+    } else if (flag == "--report") {
+      args.report = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -185,11 +190,13 @@ common::Result<genome::Cohort> load_cohort(const Args& args) {
 }
 
 common::Result<core::StudyResult> run_assessment(const Args& args,
-                                                 const genome::Cohort& cohort) {
+                                                 const genome::Cohort& cohort,
+                                                 obs::Observability* obs) {
   core::FederationSpec spec;
   spec.num_gdos = args.gdos;
   spec.config = args.config;
   spec.seed = args.seed;
+  spec.obs = obs;
   if (args.conservative) {
     spec.policy = core::CollusionPolicy::conservative();
   } else if (args.f.has_value()) {
@@ -198,13 +205,32 @@ common::Result<core::StudyResult> run_assessment(const Args& args,
   return core::run_federated_study(cohort, spec);
 }
 
+// Serializes the run report when --report was given; returns false on an
+// unwritable path so the command exits non-zero (CI depends on that).
+bool maybe_write_report(const Args& args, const core::StudyResult& result,
+                        const obs::Observability& obs) {
+  if (args.report.empty()) return true;
+  core::ReportContext context;
+  context.obs = &obs;
+  context.study_id = args.seed;
+  const auto status =
+      core::write_run_report(args.report, core::make_run_report(result, context));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+    return false;
+  }
+  std::printf("wrote run report %s\n", args.report.c_str());
+  return true;
+}
+
 int cmd_assess(const Args& args) {
   auto cohort = load_cohort(args);
   if (!cohort.ok()) {
     std::fprintf(stderr, "%s\n", cohort.error().to_string().c_str());
     return 1;
   }
-  auto result = run_assessment(args, cohort.value());
+  obs::Observability observability;
+  auto result = run_assessment(args, cohort.value(), &observability);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
     return 1;
@@ -224,6 +250,7 @@ int cmd_assess(const Args& args) {
   std::printf("time: %.1f ms (modelled multi-host: %.1f ms); network %.1f KB\n",
               r.timings.total_ms, r.modelled_distributed_ms,
               static_cast<double>(r.network_bytes_total) / 1024.0);
+  if (!maybe_write_report(args, r, observability)) return 1;
   return 0;
 }
 
@@ -233,7 +260,8 @@ int cmd_release(const Args& args) {
     std::fprintf(stderr, "%s\n", cohort.error().to_string().c_str());
     return 1;
   }
-  auto result = run_assessment(args, cohort.value());
+  obs::Observability observability;
+  auto result = run_assessment(args, cohort.value(), &observability);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
     return 1;
@@ -259,6 +287,7 @@ int cmd_release(const Args& args) {
                 *args.dp_epsilon);
   }
   std::printf("\n");
+  if (!maybe_write_report(args, result.value(), observability)) return 1;
   return 0;
 }
 
