@@ -38,6 +38,16 @@ inline std::size_t scaled(std::size_t n) {
   return s < 8 ? 8 : s;
 }
 
+/// SNP-count scaling with a higher floor: the MAF/LD cutoffs need a few
+/// dozen SNPs to leave a non-trivial survivor set, so smoke runs keep at
+/// least 64. Benches that sweep SNP counts (table 5) use this; population
+/// counts keep using `scaled`.
+inline std::size_t scaled_snps(std::size_t n) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) *
+                                          bench_scale());
+  return s < 64 ? 64 : s;
+}
+
 /// Paper cohort dimensions.
 inline constexpr std::size_t kPaperControls = 13035;
 inline constexpr std::size_t kPaperCasesFull = 14860;

@@ -46,14 +46,17 @@ const std::vector<std::uint32_t>& f0_safe_set(const genome::Cohort& cohort,
 void BM_Table5_Collusion(benchmark::State& state) {
   const std::uint32_t num_gdos = static_cast<std::uint32_t>(state.range(0));
   const std::int64_t f = state.range(1);
-  const genome::Cohort& cohort = cohort_for(kPaperCasesFull, 10000);
+  const genome::Cohort& cohort =
+      cohort_for(kPaperCasesFull, scaled_snps(10000));
   const auto& f0_safe = f0_safe_set(cohort, num_gdos);
 
+  obs::Observability observability;
   core::FederationSpec spec;
   spec.num_gdos = num_gdos;
   spec.policy = f < 0 ? core::CollusionPolicy::conservative()
                       : core::CollusionPolicy::fixed(
                             static_cast<unsigned>(f));
+  spec.obs = report_dir() != nullptr ? &observability : nullptr;
   core::StudyResult result;
   for (auto _ : state) {
     auto run = core::run_federated_study(cohort, spec);
@@ -77,6 +80,11 @@ void BM_Table5_Collusion(benchmark::State& state) {
   state.counters["Combinations"] =
       static_cast<double>(result.num_combinations);
   state.counters["Total_ms"] = result.timings.total_ms;
+  state.counters["Phase2Bytes"] =
+      static_cast<double>(result.phase2_body_bytes);
+  write_bench_report("table5_g" + std::to_string(num_gdos) + "_f" +
+                         (f < 0 ? std::string("cons") : std::to_string(f)),
+                     result, &observability);
 }
 BENCHMARK(BM_Table5_Collusion)
     // G = 3: f = 1, 2, {1,2}

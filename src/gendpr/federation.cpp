@@ -71,6 +71,14 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   leader.set_receive_timeout(receive_timeout);
   leader.set_observability(spec.obs, study_span.id());
 
+  // One pool shared by the leader's per-combination LR selection and every
+  // member's per-combination basis derivations (parallel_for is safe to
+  // call concurrently from distinct caller threads).
+  std::unique_ptr<common::ThreadPool> pool;
+  if (spec.parallel_combinations && announce.combinations.size() > 1) {
+    pool = std::make_unique<common::ThreadPool>();
+  }
+
   std::vector<std::unique_ptr<MemberNode>> members;
   for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
     if (g == leader_gdo) continue;
@@ -79,6 +87,7 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
         cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
     members.back()->set_receive_timeout(receive_timeout);
     members.back()->set_observability(spec.obs);
+    members.back()->set_pool(pool.get());
   }
   // A member that failed at construction (EPC limit) would never handshake
   // and the leader would wait forever - surface the error up front.
@@ -88,10 +97,6 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   setup_span.end();
   for (auto& member : members) member->start();
 
-  std::unique_ptr<common::ThreadPool> pool;
-  if (spec.parallel_combinations && announce.combinations.size() > 1) {
-    pool = std::make_unique<common::ThreadPool>();
-  }
   auto result = leader.run_study(pool.get());
   if (spec.obs != nullptr && pool != nullptr) {
     spec.obs->metrics.add_counter("pool.tasks_completed",

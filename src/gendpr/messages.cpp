@@ -181,14 +181,30 @@ Result<MomentsResponse> MomentsResponse::deserialize(common::BytesView data) {
   return msg;
 }
 
+std::vector<double> Phase2Result::combination_case_freq(
+    const std::vector<std::uint32_t>& members) const {
+  std::uint64_t n_total = 0;
+  for (std::uint32_t g : members) n_total += n_case_per_gdo[g];
+  std::vector<double> freq(retained.size(), 0.0);
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    std::uint64_t count = 0;
+    for (std::uint32_t g : members) count += case_counts_per_gdo[g][i];
+    freq[i] = n_total == 0
+                  ? 0.0
+                  : static_cast<double>(count) / static_cast<double>(n_total);
+  }
+  return freq;
+}
+
 common::Bytes Phase2Result::serialize() const {
   wire::Writer w;
   w.vector_u32(retained);
   w.vector_f64(reference_freq);
-  w.varint(case_freq_per_combination.size());
-  for (const auto& freq : case_freq_per_combination) {
-    w.vector_f64(freq);
+  w.varint(case_counts_per_gdo.size());
+  for (const auto& counts : case_counts_per_gdo) {
+    w.vector_u32(counts);
   }
+  w.vector_u32(n_case_per_gdo);
   w.vector_u32(dead_gdos);
   return std::move(w).take();
 }
@@ -205,9 +221,16 @@ Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
   auto count = r.varint();
   if (!count.ok()) return count.error();
   for (std::uint64_t i = 0; i < count.value(); ++i) {
-    auto freq = r.vector_f64();
-    if (!freq.ok()) return freq.error();
-    msg.case_freq_per_combination.push_back(std::move(freq).take());
+    auto counts = r.vector_u32();
+    if (!counts.ok()) return counts.error();
+    msg.case_counts_per_gdo.push_back(std::move(counts).take());
+  }
+  auto n_case = r.vector_u32();
+  if (!n_case.ok()) return n_case.error();
+  msg.n_case_per_gdo = std::move(n_case).take();
+  if (msg.n_case_per_gdo.size() != msg.case_counts_per_gdo.size()) {
+    return make_error(Errc::bad_message,
+                      "per-GDO population vector size mismatch");
   }
   auto dead = r.vector_u32();
   if (!dead.ok()) return dead.error();

@@ -84,17 +84,36 @@ struct MomentsResponse {
   static common::Result<MomentsResponse> deserialize(common::BytesView data);
 };
 
-/// Leader -> members: SNPs retained after LD pruning plus the global allele
-/// frequency vectors needed to build correct LR matrices (paper Fig. 4 step
-/// 1): one case-frequency vector per combination and the reference vector.
+/// Leader -> members: SNPs retained after LD pruning plus the inputs needed
+/// to build correct LR matrices (paper Fig. 4 step 1). Instead of one
+/// leader-derived case-frequency vector per combination (O(C·m) doubles),
+/// the leader ships each GDO's allele counts over L'' once (O(G·m)); every
+/// member derives any combination's frequency vector locally via
+/// `combination_case_freq`. Trust-equivalent: counts and frequencies travel
+/// only between mutually attested enclaves on encrypted channels, and the
+/// per-GDO counts already crossed the wire in phase 1. Strictly smaller
+/// whenever C(G, G-f) > G, i.e. every f >= 2 setting.
 struct Phase2Result {
   std::vector<std::uint32_t> retained;  // L''
   std::vector<double> reference_freq;   // over L''
-  std::vector<std::vector<double>> case_freq_per_combination;  // over L''
+  /// Per-GDO case allele counts over L'', indexed by GDO. Dead GDOs keep an
+  /// empty slot so indices stay stable on the wire.
+  std::vector<std::vector<std::uint32_t>> case_counts_per_gdo;
+  /// Per-GDO case population sizes (0 for dead GDOs).
+  std::vector<std::uint32_t> n_case_per_gdo;
   /// GDOs the leader declared unresponsive. Combinations containing any of
-  /// them carry an empty frequency vector and are skipped by members (§5.6
-  /// degraded mode: surviving combinations still complete).
+  /// them are skipped by members (§5.6 degraded mode: surviving
+  /// combinations still complete).
   std::vector<std::uint32_t> dead_gdos;
+
+  /// Case-frequency vector of the combination whose honest subset is
+  /// `members`: exact u64 count and population sums over the members
+  /// (in the given order) followed by one divide per SNP. Integer sums are
+  /// order-independent and the divide is a single rounding, so the leader
+  /// and every member derive bit-identical frequencies — and hence
+  /// bit-identical LR weights — from the same counts.
+  std::vector<double> combination_case_freq(
+      const std::vector<std::uint32_t>& members) const;
 
   common::Bytes serialize() const;
   static common::Result<Phase2Result> deserialize(common::BytesView data);

@@ -177,11 +177,18 @@ void MemberNode::run() {
           return;
         }
         const Stopwatch compute_watch;
-        auto matrices = enclave_.on_phase2(result.value());
+        auto matrices = enclave_.on_phase2(result.value(), pool_);
         compute_ms_ += compute_watch.elapsed_ms();
         if (!matrices.ok()) {
           status_ = matrices.error();
           return;
+        }
+        // One basis build iff this GDO sat in any live combination, plus
+        // one basis-times-weights derivation per entry.
+        if (!matrices.value().entries.empty()) {
+          obs::add_counter(obs_, "lr.basis_builds");
+          obs::add_counter(obs_, "lr.combination_matvecs",
+                           matrices.value().entries.size());
         }
         if (Status s = reply(MsgType::lr_matrices,
                              matrices.value().serialize());
@@ -568,9 +575,14 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   aggregation_watch.restart();
   obs::ScopedSpan lr_gather_span(obs::recorder_of(obs_),
                                  "step.gather_lr_matrices", study_span_);
-  if (Status s = broadcast(MsgType::phase2_result,
-                           phase2.value().serialize());
-      !s.ok()) {
+  const common::Bytes phase2_body = phase2.value().serialize();
+  // Per-member body size (O(G·m) with per-GDO counts) and the total the
+  // leader pushes out for phase 2.
+  obs::add_counter(obs_, "leader.phase2_body_bytes", phase2_body.size());
+  obs::add_counter(obs_, "leader.phase2_broadcast_bytes",
+                   phase2_body.size() * live_members().size());
+  const std::uint64_t phase2_body_bytes = phase2_body.size();
+  if (Status s = broadcast(MsgType::phase2_result, phase2_body); !s.ok()) {
     return s.error();
   }
 
@@ -622,7 +634,11 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   result.dead_gdos.assign(coordinator_.dead_gdos().begin(),
                           coordinator_.dead_gdos().end());
   result.leader_gdo = gdo_index_;
+  result.num_gdos = num_gdos_;
   result.num_combinations = coordinator_.announce().combinations.size();
+  result.live_combinations = coordinator_.live_combination_count();
+  result.combination_members_total = coordinator_.combination_members_total();
+  result.phase2_body_bytes = phase2_body_bytes;
   result.ld_pairs_fetched = coordinator_.ld_pairs_fetched();
   if (net::TrafficMeter* meter = network_->meter_or_null()) {
     result.network_bytes_total = meter->total_bytes();

@@ -59,7 +59,17 @@ struct StudyResult {
   /// On a single-core simulation host total_ms serializes everything.
   double modelled_distributed_ms = 0;
   std::uint32_t leader_gdo = 0;
+  std::uint32_t num_gdos = 0;
   std::size_t num_combinations = 0;
+  /// Combinations with no dead member (== num_combinations on clean runs).
+  std::size_t live_combinations = 0;
+  /// Sum of |members(c)| over live combinations: the expected number of
+  /// per-member LR basis derivations (`lr.combination_matvecs`).
+  std::size_t combination_members_total = 0;
+  /// Serialized size of the phase-2 result each member receives. With
+  /// per-GDO counts this is O(G·m) instead of the old O(C·m) frequency
+  /// vectors.
+  std::uint64_t phase2_body_bytes = 0;
   std::size_t ld_pairs_fetched = 0;
   std::uint64_t network_bytes_total = 0;
   std::uint64_t leader_bytes_received = 0;
@@ -101,6 +111,12 @@ class MemberNode {
   /// time. Call before start(); the registry is thread-safe.
   void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
 
+  /// Thread pool the phase-2 handler fans its per-combination LR
+  /// derivations out on (nullptr = serial). The pool may be shared across
+  /// members and with the leader: parallel_for is safe to call concurrently
+  /// from distinct caller threads. Call before start().
+  void set_pool(common::ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// Starts the service thread.
   void start();
   /// Waits for the service thread to finish (after phase 3 or close).
@@ -130,6 +146,7 @@ class MemberNode {
   std::chrono::milliseconds receive_timeout_{kNoDeadline};
   double compute_ms_ = 0;
   obs::Observability* obs_ = nullptr;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 /// Leader GDO host: establishes channels to all members, then drives the

@@ -15,8 +15,14 @@ obs::JsonValue make_run_report(const StudyResult& study,
   JsonValue study_section = JsonValue::object();
   study_section.set("study_id", context.study_id);
   study_section.set("leader_gdo", study.leader_gdo);
+  study_section.set("num_gdos", study.num_gdos);
   study_section.set("num_combinations",
                     static_cast<std::uint64_t>(study.num_combinations));
+  study_section.set("live_combinations",
+                    static_cast<std::uint64_t>(study.live_combinations));
+  study_section.set(
+      "combination_members_total",
+      static_cast<std::uint64_t>(study.combination_members_total));
   JsonValue selection = JsonValue::object();
   selection.set("l_prime",
                 static_cast<std::uint64_t>(study.outcome.l_prime.size()));
@@ -40,6 +46,7 @@ obs::JsonValue make_run_report(const StudyResult& study,
   JsonValue network = JsonValue::object();
   network.set("total_bytes", study.network_bytes_total);
   network.set("leader_bytes_received", study.leader_bytes_received);
+  network.set("phase2_body_bytes", study.phase2_body_bytes);
   network.set("ld_pairs_fetched",
               static_cast<std::uint64_t>(study.ld_pairs_fetched));
   JsonValue links = JsonValue::array();

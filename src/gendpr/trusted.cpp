@@ -94,14 +94,19 @@ Result<MomentsResponse> GdoEnclave::on_moments_request(
   return response;
 }
 
-Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
+Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result,
+                                         common::ThreadPool* pool) {
   if (!announce_.has_value()) {
     return make_error(Errc::state_violation, "phase2 before study announce");
   }
-  if (result.case_freq_per_combination.size() !=
-      announce_->combinations.size()) {
+  const std::size_t num_gdos = result.case_counts_per_gdo.size();
+  if (result.n_case_per_gdo.size() != num_gdos) {
     return make_error(Errc::bad_message,
-                      "combination frequency count mismatch");
+                      "per-GDO population vector size mismatch");
+  }
+  if (gdo_index_ >= num_gdos) {
+    return make_error(Errc::bad_message,
+                      "per-GDO counts do not cover this GDO");
   }
   for (std::uint32_t snp : result.retained) {
     if (snp >= cases_.num_snps()) {
@@ -117,9 +122,21 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
                         "leader declared this GDO dead yet keeps talking");
     }
   }
+  // The leader cannot misattribute this GDO's contribution: its slot must
+  // match the local dataset exactly (the counts it reported in phase 1,
+  // restricted to L'').
+  if (result.n_case_per_gdo[gdo_index_] != cases_.num_individuals() ||
+      result.case_counts_per_gdo[gdo_index_] !=
+          planes_.allele_counts(result.retained)) {
+    return make_error(Errc::bad_message,
+                      "per-GDO counts disagree with the local dataset");
+  }
   l_double_prime_ = result.retained;
 
-  LrMatrices response;
+  // Pass 1: validate every co-member's count slot and collect the live
+  // combinations containing this GDO (the only ones this GDO computes for).
+  std::vector<bool> slot_checked(num_gdos, false);
+  std::vector<std::size_t> own;
   for (std::size_t c = 0; c < announce_->combinations.size(); ++c) {
     const auto& members = announce_->combinations[c];
     if (std::find(members.begin(), members.end(), gdo_index_) ==
@@ -135,17 +152,48 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result) {
     if (combination_dead) {
       continue;  // unresponsive member: the leader dropped this combination
     }
-    if (result.case_freq_per_combination[c].size() !=
-        result.retained.size()) {
-      return make_error(Errc::bad_message,
-                        "combination frequency size mismatch");
+    for (std::uint32_t g : members) {
+      if (g >= num_gdos) {
+        return make_error(Errc::bad_message,
+                          "combination member outside the per-GDO counts");
+      }
+      if (slot_checked[g]) continue;
+      slot_checked[g] = true;
+      if (result.case_counts_per_gdo[g].size() != result.retained.size()) {
+        return make_error(Errc::bad_message,
+                          "per-GDO count vector size mismatch");
+      }
+      for (std::uint32_t count : result.case_counts_per_gdo[g]) {
+        if (count > result.n_case_per_gdo[g]) {
+          return make_error(Errc::bad_message,
+                            "allele count exceeds population size");
+        }
+      }
     }
+    own.push_back(c);
+  }
+
+  LrMatrices response;
+  if (own.empty()) return response;
+
+  // Pass 2: one genotype-fixed basis build, then one cheap derivation per
+  // combination. The basis is charged against the EPC meter while held.
+  const stats::LrBasis basis(planes_, result.retained);
+  auto basis_epc = reserve_epc(basis.storage_bytes());
+  if (!basis_epc.ok()) return basis_epc.error();
+  response.entries.resize(own.size());
+  auto derive_one = [&](std::size_t i) {
+    const std::size_t c = own[i];
     const stats::LrWeights weights = stats::lr_weights(
-        result.case_freq_per_combination[c], result.reference_freq);
-    LrMatrices::Entry entry;
-    entry.combination_id = static_cast<std::uint32_t>(c);
-    entry.matrix = stats::build_lr_matrix(planes_, result.retained, weights);
-    response.entries.push_back(std::move(entry));
+        result.combination_case_freq(announce_->combinations[c]),
+        result.reference_freq);
+    response.entries[i].combination_id = static_cast<std::uint32_t>(c);
+    response.entries[i].matrix = basis.derive(weights);
+  };
+  if (pool != nullptr && own.size() > 1) {
+    pool->parallel_for(own.size(), derive_one);
+  } else {
+    for (std::size_t i = 0; i < own.size(); ++i) derive_one(i);
   }
   return response;
 }
@@ -281,6 +329,14 @@ std::size_t Coordinator::live_combination_count() const {
   return live;
 }
 
+std::size_t Coordinator::combination_members_total() const {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (combination_live(c)) total += announce_.combinations[c].size();
+  }
+  return total;
+}
+
 common::Error Coordinator::no_live_combination_error(
     const std::string& phase) const {
   std::string message =
@@ -358,24 +414,6 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
   Phase1Result result;
   result.retained = l_prime_;
   return result;
-}
-
-std::vector<double> Coordinator::combination_case_freq(
-    const std::vector<std::uint32_t>& members,
-    const std::vector<std::uint32_t>& snps) const {
-  std::uint64_t n_total = 0;
-  for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
-  std::vector<double> freq(snps.size(), 0.0);
-  for (std::size_t i = 0; i < snps.size(); ++i) {
-    std::uint64_t count = 0;
-    for (std::uint32_t g : members) {
-      count += summaries_[g]->case_counts[snps[i]];
-    }
-    freq[i] = n_total == 0
-                  ? 0.0
-                  : static_cast<double>(count) / static_cast<double>(n_total);
-  }
-  return freq;
 }
 
 std::vector<double> Coordinator::combination_chi2_p_values(
@@ -484,17 +522,31 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
                          reference_counts_[l_double_prime_[i]]) /
                          static_cast<double>(n_ref);
   }
-  for (std::size_t c = 0; c < num_combinations; ++c) {
-    // Dead combinations keep their slot (indices stay stable on the wire)
-    // but carry no frequencies; members skip them via dead_gdos.
-    result.case_freq_per_combination.push_back(
-        combination_live(c)
-            ? combination_case_freq(announce_.combinations[c],
-                                    l_double_prime_)
-            : std::vector<double>{});
+  // Per-GDO counts over L'' instead of per-combination frequency vectors:
+  // O(G·m) on the wire instead of O(C·m); members derive any combination's
+  // frequencies locally. Dead GDOs keep an empty slot so indices stay
+  // stable.
+  result.case_counts_per_gdo.resize(num_gdos_);
+  result.n_case_per_gdo.assign(num_gdos_, 0);
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (dead_gdos_.count(g) > 0 || !summaries_[g].has_value()) continue;
+    auto& counts = result.case_counts_per_gdo[g];
+    counts.resize(l_double_prime_.size());
+    for (std::size_t i = 0; i < l_double_prime_.size(); ++i) {
+      counts[i] = summaries_[g]->case_counts[l_double_prime_[i]];
+    }
+    result.n_case_per_gdo[g] = summaries_[g]->n_case;
   }
   result.dead_gdos.assign(dead_gdos_.begin(), dead_gdos_.end());
-  case_freq_per_combination_ = result.case_freq_per_combination;
+  // The leader derives its own per-combination frequencies through the same
+  // helper the members use, so every party's LR weights are bit-identical.
+  case_freq_per_combination_.clear();
+  for (std::size_t c = 0; c < num_combinations; ++c) {
+    case_freq_per_combination_.push_back(
+        combination_live(c)
+            ? result.combination_case_freq(announce_.combinations[c])
+            : std::vector<double>{});
+  }
   reference_freq_ = result.reference_freq;
   return result;
 }
@@ -555,6 +607,29 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
   std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
   std::vector<double> per_combination_power(num_combinations, 0.0);
 
+  // Genotype-fixed LR bases, built once and shared by every combination:
+  // the leader's own (if it sits in any live combination; charged against
+  // its EPC meter while held) and the public reference panel's. Each
+  // combination then costs two cheap weight derivations instead of two full
+  // bit-plane rebuilds.
+  const bool leader_in_live = std::any_of(
+      live.begin(), live.end(), [this](std::size_t c) {
+        const auto& members = announce_.combinations[c];
+        return std::find(members.begin(), members.end(),
+                         leader_->gdo_index()) != members.end();
+      });
+  stats::LrBasis leader_basis;
+  tee::EpcAllocation leader_basis_epc;
+  if (leader_in_live) {
+    leader_basis = stats::LrBasis(leader_->planes(), l_double_prime_);
+    auto epc = leader_->reserve_epc(leader_basis.storage_bytes());
+    if (!epc.ok()) return epc.error();
+    leader_basis_epc = std::move(epc).take();
+    obs::add_counter(obs_, "lr.basis_builds");
+  }
+  const stats::LrBasis reference_basis(reference_planes_, l_double_prime_);
+  obs::add_counter(obs_, "lr.reference_basis_builds");
+
   // With several combinations the pool fans out across them; with a single
   // combination it is threaded into the selection kernel instead. Never
   // both: a nested parallel_for from inside a pool worker could starve.
@@ -575,14 +650,14 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     stats::LrMatrix merged;
     for (std::uint32_t g : members) {  // ascending GDO order by construction
       if (g == leader_->gdo_index()) {
-        merged.append_rows(stats::build_lr_matrix(leader_->planes(),
-                                                  l_double_prime_, weights));
+        merged.append_rows(leader_basis.derive(weights));
+        obs::add_counter(obs_, "lr.combination_matvecs");
       } else {
         merged.append_rows(lr_matrices_[c].at(g));
       }
     }
-    const stats::LrMatrix reference_lr =
-        stats::build_lr_matrix(reference_planes_, l_double_prime_, weights);
+    const stats::LrMatrix reference_lr = reference_basis.derive(weights);
+    obs::add_counter(obs_, "lr.reference_matvecs");
     stats::LrSelectionParams params;
     params.false_positive_rate = announce_.config.lr_false_positive_rate;
     params.power_threshold = announce_.config.lr_power_threshold;

@@ -62,9 +62,17 @@ class GdoEnclave : public tee::Enclave {
   common::Status on_phase1(const Phase1Result& result);
   common::Result<MomentsResponse> on_moments_request(
       const MomentsRequest& request) const;
-  /// Builds one local LR matrix per combination containing this GDO, using
-  /// the combination's global frequency vector (paper Fig. 4 step 2).
-  common::Result<LrMatrices> on_phase2(const Phase2Result& result);
+  /// Builds one local LR matrix per live combination containing this GDO
+  /// (paper Fig. 4 step 2). The genotype-fixed LR basis is expanded once
+  /// from the bit planes (charged transiently against the EPC meter), each
+  /// combination's frequency vector is derived locally from the announce's
+  /// combination list and the per-GDO counts, and the matrices come out as
+  /// basis-times-weights products — bit-identical to per-combination
+  /// rebuilds. `pool` (optional) fans the derivations out across
+  /// combinations; entry order is deterministic either way. The basis is
+  /// built iff the result has at least one entry.
+  common::Result<LrMatrices> on_phase2(const Phase2Result& result,
+                                       common::ThreadPool* pool = nullptr);
   common::Status on_phase3(const Phase3Result& result);
 
   const std::vector<std::uint32_t>& retained_after_phase1() const noexcept {
@@ -142,6 +150,9 @@ class Coordinator {
   /// True when no member of combination `combination_id` is marked dead.
   bool combination_live(std::size_t combination_id) const;
   std::size_t live_combination_count() const;
+  /// Sum of |members(c)| over the live combinations: the expected total of
+  /// per-member LR derivations (`lr.combination_matvecs`) for a clean run.
+  std::size_t combination_members_total() const;
 
   /// Builds the combination table for a policy (shared by runner and tests).
   static std::vector<std::vector<std::uint32_t>> build_combinations(
@@ -182,9 +193,6 @@ class Coordinator {
                                   std::uint32_t a, std::uint32_t b,
                                   const FetchMoments& fetch);
   common::Error no_live_combination_error(const std::string& phase) const;
-  std::vector<double> combination_case_freq(
-      const std::vector<std::uint32_t>& members,
-      const std::vector<std::uint32_t>& snps) const;
   std::vector<double> combination_chi2_p_values(
       const std::vector<std::uint32_t>& members) const;
 

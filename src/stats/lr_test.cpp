@@ -107,6 +107,62 @@ LrMatrix build_lr_matrix(const genome::BitPlanes& planes,
   return build_lr_matrix(planes, snps, weights, identity);
 }
 
+LrBasis::LrBasis(const genome::BitPlanes& planes,
+                 const std::vector<std::uint32_t>& snps)
+    : rows_(planes.num_individuals()),
+      cols_(snps.size()),
+      indicator_(rows_ * cols_, 0) {
+  if (rows_ == 0 || cols_ == 0) return;
+  // Same word-gather sweep as the bit-plane matrix build: one plane word
+  // covers 64 rows, gathered per column once, rows emitted contiguously.
+  std::uint8_t* out = indicator_.data();
+  std::vector<std::uint64_t> block(cols_);
+  for (std::size_t w = 0; w < planes.words_per_plane(); ++w) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      block[i] = planes.plane(snps[i])[w];
+    }
+    const std::size_t row_end = std::min(rows_, (w + 1) * 64);
+    for (std::size_t n = w * 64; n < row_end; ++n) {
+      const std::size_t k = n % 64;
+      std::uint8_t* row_out = out + n * cols_;
+      for (std::size_t i = 0; i < cols_; ++i) {
+        row_out[i] = static_cast<std::uint8_t>((block[i] >> k) & 1);
+      }
+    }
+  }
+}
+
+LrMatrix LrBasis::derive(
+    const LrWeights& weights,
+    const std::vector<std::uint32_t>& snp_to_weight_col) const {
+  LrMatrix matrix(rows_, cols_);
+  if (rows_ == 0 || cols_ == 0) return matrix;
+  std::vector<double> when_minor(cols_), when_major(cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    when_minor[i] = weights.when_minor[snp_to_weight_col[i]];
+    when_major[i] = weights.when_major[snp_to_weight_col[i]];
+  }
+  // The basis-times-weights product b*wm + (1-b)*wM with b in {0, 1} is a
+  // select between the two exact weight values, so every cell equals the
+  // build_lr_matrix cell bit for bit.
+  double* out = matrix.values().data();
+  const std::uint8_t* ind = indicator_.data();
+  for (std::size_t n = 0; n < rows_; ++n) {
+    double* row_out = out + n * cols_;
+    const std::uint8_t* row_ind = ind + n * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      row_out[i] = row_ind[i] != 0 ? when_minor[i] : when_major[i];
+    }
+  }
+  return matrix;
+}
+
+LrMatrix LrBasis::derive(const LrWeights& weights) const {
+  std::vector<std::uint32_t> identity(cols_);
+  std::iota(identity.begin(), identity.end(), 0u);
+  return derive(weights, identity);
+}
+
 double detection_power(const std::vector<double>& case_scores,
                        const std::vector<double>& reference_scores,
                        double false_positive_rate, double* threshold_out,

@@ -95,6 +95,46 @@ LrMatrix build_lr_matrix(const genome::BitPlanes& planes,
                          const std::vector<std::uint32_t>& snps,
                          const LrWeights& weights);
 
+/// Genotype-fixed factor of the LR matrix, built once per SNP set.
+///
+/// Every LR-matrix cell is linear in the per-SNP weights over an indicator
+/// that depends only on the genotypes:
+///   cell(n, i) = b_{n,i} * when_minor[i] + (1 - b_{n,i}) * when_major[i]
+/// with b in {0, 1}. The collusion-tolerant mode (§5.6) evaluates the same
+/// genotypes under C(G, G-f) different weight vectors, so expanding the
+/// indicator once and deriving each combination's matrix as a cheap
+/// basis-times-weights product replaces C full bit-plane rebuilds with one
+/// build plus C sweeps. Because b is exactly 0 or 1, the product selects one
+/// of the two weight values verbatim — `derive` is bit-identical to
+/// `build_lr_matrix` over the same planes and SNP set (property-tested).
+class LrBasis {
+ public:
+  LrBasis() = default;
+  /// Expands the 0/1 indicator of `planes` restricted to `snps` (row-major,
+  /// one byte per cell), reusing the word-gather sweep of the bit-plane
+  /// matrix build.
+  LrBasis(const genome::BitPlanes& planes,
+          const std::vector<std::uint32_t>& snps);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  /// Bytes held by the expanded indicator (EPC accounting).
+  std::size_t storage_bytes() const noexcept { return indicator_.size(); }
+
+  /// Derives the LR matrix for one weight vector: one select per cell.
+  /// `snp_to_weight_col[i]` maps basis column i to its weight column.
+  LrMatrix derive(const LrWeights& weights,
+                  const std::vector<std::uint32_t>& snp_to_weight_col) const;
+
+  /// Identity-mapped overload (weight column i corresponds to basis col i).
+  LrMatrix derive(const LrWeights& weights) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> indicator_;  // row-major, values in {0, 1}
+};
+
 struct LrSelectionParams {
   double false_positive_rate = 0.1;  // beta in §7
   double power_threshold = 0.9;      // identification-power limit in §7

@@ -61,32 +61,59 @@ TEST(MessagesTest, Phase2ResultRoundTrip) {
   Phase2Result msg;
   msg.retained = {1, 2};
   msg.reference_freq = {0.25, 0.5};
-  msg.case_freq_per_combination = {{0.3, 0.6}, {0.2, 0.4}};
+  msg.case_counts_per_gdo = {{3, 6}, {2, 4}};
+  msg.n_case_per_gdo = {10, 8};
   const auto restored = Phase2Result::deserialize(msg.serialize());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored.value().retained, msg.retained);
   EXPECT_EQ(restored.value().reference_freq, msg.reference_freq);
-  EXPECT_EQ(restored.value().case_freq_per_combination,
-            msg.case_freq_per_combination);
+  EXPECT_EQ(restored.value().case_counts_per_gdo, msg.case_counts_per_gdo);
+  EXPECT_EQ(restored.value().n_case_per_gdo, msg.n_case_per_gdo);
 }
 
 TEST(MessagesTest, Phase2ResultDeadGdosRoundTrip) {
   Phase2Result msg;
   msg.retained = {3};
   msg.reference_freq = {0.125};
-  msg.case_freq_per_combination = {{0.25}};
+  // Dead GDO 1 keeps an empty count slot; indices stay stable on the wire.
+  msg.case_counts_per_gdo = {{2}, {}, {5}};
+  msg.n_case_per_gdo = {8, 0, 20};
   msg.dead_gdos = {1, 4};
   const auto restored = Phase2Result::deserialize(msg.serialize());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored.value().dead_gdos, msg.dead_gdos);
+  EXPECT_EQ(restored.value().case_counts_per_gdo, msg.case_counts_per_gdo);
   // An empty dead set round-trips too (the common, all-alive case).
   Phase2Result healthy;
   healthy.retained = {3};
   healthy.reference_freq = {0.125};
-  healthy.case_freq_per_combination = {{0.25}};
+  healthy.case_counts_per_gdo = {{2}};
+  healthy.n_case_per_gdo = {8};
   const auto restored_healthy = Phase2Result::deserialize(healthy.serialize());
   ASSERT_TRUE(restored_healthy.ok());
   EXPECT_TRUE(restored_healthy.value().dead_gdos.empty());
+}
+
+TEST(MessagesTest, Phase2ResultPopulationSizeMismatchRejected) {
+  // One count vector but two population sizes: structurally inconsistent.
+  Phase2Result msg;
+  msg.retained = {3};
+  msg.reference_freq = {0.125};
+  msg.case_counts_per_gdo = {{2}};
+  msg.n_case_per_gdo = {8, 9};
+  EXPECT_FALSE(Phase2Result::deserialize(msg.serialize()).ok());
+}
+
+TEST(MessagesTest, Phase2CombinationCaseFreqIsExactIntegerRatio) {
+  Phase2Result msg;
+  msg.retained = {0, 1};
+  msg.reference_freq = {0.5, 0.5};
+  msg.case_counts_per_gdo = {{1, 2}, {3, 4}, {5, 6}};
+  msg.n_case_per_gdo = {10, 20, 30};
+  const auto freq = msg.combination_case_freq({0, 2});
+  ASSERT_EQ(freq.size(), 2u);
+  EXPECT_EQ(freq[0], 6.0 / 40.0);
+  EXPECT_EQ(freq[1], 8.0 / 40.0);
 }
 
 TEST(MessagesTest, AbortNoticeRoundTrip) {
@@ -169,7 +196,8 @@ TEST(MessagesTest, TruncationRejectedEverywhere) {
   Phase2Result phase2;
   phase2.retained = {1, 2, 3};
   phase2.reference_freq = {0.1, 0.2, 0.3};
-  phase2.case_freq_per_combination = {{0.1, 0.2, 0.3}};
+  phase2.case_counts_per_gdo = {{1, 2, 3}};
+  phase2.n_case_per_gdo = {10};
   LrMatrices matrices;
   matrices.entries.push_back({0, stats::LrMatrix(2, 2)});
 

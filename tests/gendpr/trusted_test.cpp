@@ -141,6 +141,24 @@ TEST(GdoEnclaveTest, MomentsRequestOutOfRangeRejected) {
   EXPECT_FALSE(enclave.on_moments_request(request).ok());
 }
 
+/// Per-GDO counts for a 3-GDO study whose slot for `enclave` matches its
+/// local dataset (the enclave verifies its own slot before computing).
+Phase2Result make_phase2_counts(const GdoEnclave& enclave,
+                                std::vector<std::uint32_t> retained) {
+  Phase2Result phase2;
+  phase2.retained = std::move(retained);
+  phase2.reference_freq.assign(phase2.retained.size(), 0.25);
+  const std::uint32_t n_case =
+      static_cast<std::uint32_t>(enclave.dataset().num_individuals());
+  phase2.case_counts_per_gdo.assign(
+      3, std::vector<std::uint32_t>(phase2.retained.size(), 7));
+  phase2.case_counts_per_gdo[enclave.gdo_index()] =
+      enclave.planes().allele_counts(phase2.retained);
+  phase2.n_case_per_gdo = {100, 100, 100};
+  phase2.n_case_per_gdo[enclave.gdo_index()] = n_case;
+  return phase2;
+}
+
 TEST(GdoEnclaveTest, Phase2BuildsMatricesOnlyForOwnCombinations) {
   Fixture f;
   GdoEnclave enclave(f.platform, 1);
@@ -149,15 +167,12 @@ TEST(GdoEnclaveTest, Phase2BuildsMatricesOnlyForOwnCombinations) {
   // Combinations of 2 of {0,1,2}: {0,1}, {0,2}, {1,2}. GDO 1 is in 2 of 3.
   ASSERT_TRUE(enclave.on_study_announce(announce).ok());
   ASSERT_TRUE(enclave.on_phase1(Phase1Result{{0, 1, 2}}).ok());
-  Phase2Result phase2;
-  phase2.retained = {0, 1, 2};
-  phase2.reference_freq = {0.2, 0.3, 0.4};
-  phase2.case_freq_per_combination = {{0.2, 0.3, 0.4},
-                                      {0.25, 0.35, 0.45},
-                                      {0.21, 0.31, 0.41}};
+  const Phase2Result phase2 = make_phase2_counts(enclave, {0, 1, 2});
   const auto matrices = enclave.on_phase2(phase2);
   ASSERT_TRUE(matrices.ok());
-  EXPECT_EQ(matrices.value().entries.size(), 2u);
+  ASSERT_EQ(matrices.value().entries.size(), 2u);
+  EXPECT_EQ(matrices.value().entries[0].combination_id, 0u);
+  EXPECT_EQ(matrices.value().entries[1].combination_id, 2u);
   for (const auto& entry : matrices.value().entries) {
     EXPECT_EQ(entry.matrix.rows(), f.cohort.cases.num_individuals());
     EXPECT_EQ(entry.matrix.cols(), 3u);
@@ -171,11 +186,58 @@ TEST(GdoEnclaveTest, Phase2FrequencySizeMismatchRejected) {
   ASSERT_TRUE(
       enclave.on_study_announce(f.make_announce(1, CollusionPolicy::none()))
           .ok());
-  Phase2Result phase2;
-  phase2.retained = {0, 1};
+  Phase2Result phase2 = make_phase2_counts(enclave, {0, 1});
   phase2.reference_freq = {0.2};  // wrong size
-  phase2.case_freq_per_combination = {{0.2, 0.3}};
   EXPECT_FALSE(enclave.on_phase2(phase2).ok());
+}
+
+TEST(GdoEnclaveTest, Phase2MisattributedOwnCountsRejected) {
+  // A leader shipping counts for this GDO that disagree with its dataset is
+  // caught inside the enclave before any matrix is computed.
+  Fixture f;
+  GdoEnclave enclave(f.platform, 1);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  ASSERT_TRUE(enclave
+                  .on_study_announce(
+                      f.make_announce(3, CollusionPolicy::fixed(1)))
+                  .ok());
+  Phase2Result phase2 = make_phase2_counts(enclave, {0, 1, 2});
+  phase2.case_counts_per_gdo[1][0] += 1;  // tampered own slot
+  const auto tampered = enclave.on_phase2(phase2);
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.error().code, common::Errc::bad_message);
+}
+
+TEST(GdoEnclaveTest, Phase2CoMemberCountOverPopulationRejected) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 1);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  ASSERT_TRUE(enclave
+                  .on_study_announce(
+                      f.make_announce(3, CollusionPolicy::fixed(1)))
+                  .ok());
+  Phase2Result phase2 = make_phase2_counts(enclave, {0, 1, 2});
+  phase2.case_counts_per_gdo[0][2] = 101;  // exceeds n_case_per_gdo[0]
+  EXPECT_FALSE(enclave.on_phase2(phase2).ok());
+}
+
+TEST(GdoEnclaveTest, Phase2SkipsCombinationsWithDeadMembers) {
+  Fixture f;
+  GdoEnclave enclave(f.platform, 1);
+  ASSERT_TRUE(enclave.provision_dataset(f.cohort.cases).ok());
+  ASSERT_TRUE(enclave
+                  .on_study_announce(
+                      f.make_announce(3, CollusionPolicy::fixed(1)))
+                  .ok());
+  Phase2Result phase2 = make_phase2_counts(enclave, {0, 1, 2});
+  phase2.dead_gdos = {0};
+  phase2.case_counts_per_gdo[0].clear();  // dead slot travels empty
+  phase2.n_case_per_gdo[0] = 0;
+  const auto matrices = enclave.on_phase2(phase2);
+  ASSERT_TRUE(matrices.ok());
+  // Only {1,2} survives: {0,1} and {0,2} name the dead GDO 0.
+  ASSERT_EQ(matrices.value().entries.size(), 1u);
+  EXPECT_EQ(matrices.value().entries[0].combination_id, 2u);
 }
 
 TEST(CoordinatorTest, RejectsBogusSummaries) {

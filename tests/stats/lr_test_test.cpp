@@ -85,6 +85,69 @@ TEST(LrMatrixTest, AppendColumnMismatchThrows) {
   EXPECT_THROW(a.append_rows(b), std::invalid_argument);
 }
 
+genome::GenotypeMatrix random_genotypes(std::size_t individuals,
+                                        std::size_t snps,
+                                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  genome::GenotypeMatrix g(individuals, snps);
+  for (std::size_t n = 0; n < individuals; ++n) {
+    for (std::size_t s = 0; s < snps; ++s) {
+      if (rng.bernoulli(0.3)) g.set(n, s, true);
+    }
+  }
+  return g;
+}
+
+LrWeights random_weights(std::size_t cols, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> case_freq(cols);
+  std::vector<double> ref_freq(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    case_freq[i] = rng.uniform(0.05, 0.95);
+    ref_freq[i] = rng.uniform(0.05, 0.95);
+  }
+  return lr_weights(case_freq, ref_freq);
+}
+
+TEST(LrBasisTest, DeriveBitIdenticalToBitPlaneBuild) {
+  // 130 rows spans three plane words per SNP; exercises the word tail.
+  const genome::GenotypeMatrix g = random_genotypes(130, 40, 11);
+  const genome::BitPlanes planes(g);
+  const std::vector<std::uint32_t> snps = {0, 3, 7, 12, 25, 39};
+  const LrBasis basis(planes, snps);
+  EXPECT_EQ(basis.rows(), 130u);
+  EXPECT_EQ(basis.cols(), snps.size());
+  EXPECT_EQ(basis.storage_bytes(), 130u * snps.size());
+  // The same basis serves several weight vectors; each derivation must be
+  // exactly the matrix a from-scratch bit-plane build would produce.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const LrWeights w = random_weights(snps.size(), seed);
+    EXPECT_EQ(basis.derive(w), build_lr_matrix(planes, snps, w));
+  }
+}
+
+TEST(LrBasisTest, SubsetColumnsMapThroughWeightIndex) {
+  const genome::GenotypeMatrix g = random_genotypes(70, 20, 17);
+  const genome::BitPlanes planes(g);
+  // Weights indexed over the full SNP range; the basis covers a subset.
+  const std::vector<std::uint32_t> snps = {2, 9, 19};
+  const LrWeights w = random_weights(20, 4);
+  const std::vector<std::uint32_t> snp_to_weight_col = {2, 9, 19};
+  const LrBasis basis(planes, snps);
+  EXPECT_EQ(basis.derive(w, snp_to_weight_col),
+            build_lr_matrix(planes, snps, w, snp_to_weight_col));
+}
+
+TEST(LrBasisTest, EmptyBasisDerivesEmptyMatrix) {
+  const LrBasis empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.cols(), 0u);
+  EXPECT_EQ(empty.storage_bytes(), 0u);
+  const LrMatrix derived = empty.derive(LrWeights{});
+  EXPECT_EQ(derived.rows(), 0u);
+  EXPECT_EQ(derived.cols(), 0u);
+}
+
 TEST(DetectionPowerTest, SeparatedScoresFullPower) {
   // Case scores all above every reference score -> power 1 at any FPR.
   const std::vector<double> case_scores = {10.0, 11.0, 12.0};

@@ -36,6 +36,15 @@ def check_run_report(doc):
     study = doc.get("study")
     require(isinstance(study, dict), "missing study section")
     require(study.get("num_combinations", 0) >= 1, "no combinations recorded")
+    require(study.get("num_gdos", 0) >= 1, "study.num_gdos missing")
+    require(
+        isinstance(study.get("combination_members_total"), int),
+        "study.combination_members_total missing",
+    )
+    require(
+        1 <= study.get("live_combinations", 0) <= study["num_combinations"],
+        "study.live_combinations out of range",
+    )
     selection = study.get("selection")
     require(isinstance(selection, dict), "missing study.selection")
     for key in ("l_prime", "l_double_prime", "l_safe"):
@@ -57,6 +66,10 @@ def check_run_report(doc):
     network = doc.get("network")
     require(isinstance(network, dict), "missing network section")
     require(network.get("total_bytes", 0) > 0, "no network traffic recorded")
+    require(
+        network.get("phase2_body_bytes", 0) > 0,
+        "no phase-2 broadcast body recorded",
+    )
     links = network.get("links")
     require(isinstance(links, list) and links, "missing per-link byte counts")
     for link in links:
@@ -83,9 +96,60 @@ def check_run_report(doc):
     require(isinstance(events, dict), "missing events section")
     require(isinstance(events.get("dead_gdos"), list), "missing events.dead_gdos")
 
+    check_lr_counters(doc, study, degraded=bool(events["dead_gdos"]))
+
     trace = doc.get("trace")
     if trace is not None:
         check_trace(trace, study["num_combinations"], set(events["dead_gdos"]))
+
+
+def check_lr_counters(doc, study, degraded):
+    """LR-phase accounting invariants over the exported counters.
+
+    Every node that receives the phase-2 per-GDO counts expands exactly one
+    genotype-fixed LR basis (``lr.basis_builds``) and derives one matrix per
+    live combination it belongs to (``lr.combination_matvecs``). On a clean
+    run that pins both counters exactly:
+        basis_builds == num_gdos
+        combination_matvecs == combination_members_total
+    A degraded run only bounds them: a member may build its basis (and derive
+    its matrices) and then be declared dead afterwards, so the counters can
+    reach the clean-run values but never pin to the post-mortem live set.
+    """
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return  # run was not observed; nothing to cross-check
+    counters = metrics.get("counters")
+    require(isinstance(counters, dict), "metrics.counters missing")
+    basis = counters.get("lr.basis_builds", 0)
+    matvecs = counters.get("lr.combination_matvecs", 0)
+    num_gdos = study["num_gdos"]
+    members_total = study["combination_members_total"]
+    if degraded:
+        require(
+            1 <= basis <= num_gdos,
+            f"lr.basis_builds {basis} outside [1, {num_gdos}] (degraded run)",
+        )
+        require(
+            matvecs >= members_total,
+            f"lr.combination_matvecs {matvecs} below the live-combination "
+            f"member total {members_total}",
+        )
+    else:
+        require(
+            basis == num_gdos,
+            f"lr.basis_builds {basis}: expected exactly one basis build per "
+            f"GDO ({num_gdos})",
+        )
+        require(
+            matvecs == members_total,
+            f"lr.combination_matvecs {matvecs}: expected one derivation per "
+            f"combination member ({members_total})",
+        )
+    require(
+        counters.get("lr.reference_basis_builds", 0) == 1,
+        "reference panel basis must be built exactly once",
+    )
 
 
 def check_trace(trace, num_combinations, dead_gdos):
