@@ -1,0 +1,120 @@
+// Pluggable AES-256-GCM engine with per-key precomputation and runtime
+// backend dispatch.
+//
+// Every record a channel or the sealing service protects goes through a
+// `GcmContext`: the AES key schedule and the GHASH key material are expanded
+// once when the context is created, not once per record as the historical
+// `gcm_seal`/`gcm_open` free functions did. Two backends implement the same
+// record math and produce byte-identical ciphertexts and tags:
+//
+//   * portable — the always-compiled C++ kernels (T-table AES, Shoup 4-bit
+//     GHASH), batched four CTR blocks at a time with word-wise XOR;
+//   * native   — x86-64 AES-NI + PCLMULQDQ kernels with an eight-block
+//     interleaved CTR pipeline, selected at runtime via CPUID.
+//
+// Because GCM is deterministic in (key, nonce, AAD, plaintext), backend
+// choice is invisible on the wire: a blob sealed on an AES-NI host deseals
+// on a portable-only host and vice versa. `GENDPR_CRYPTO_BACKEND` forces a
+// backend (`portable` or `native`) for A/B benchmarking and tests; the
+// cross-backend equivalence suite in tests/crypto keeps the two honest.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/aes256.hpp"
+#include "crypto/gcm.hpp"
+
+namespace gendpr::crypto {
+
+enum class AeadBackend : std::uint8_t { portable = 0, native = 1 };
+
+/// Stable lowercase backend label ("portable" / "native") used in run
+/// reports, metrics labels, and the GENDPR_CRYPTO_BACKEND override.
+const char* aead_backend_name(AeadBackend backend) noexcept;
+
+/// True when the backend's kernels are compiled in AND the executing CPU
+/// supports them. `portable` is always available.
+bool aead_backend_available(AeadBackend backend) noexcept;
+
+/// Backend a default-constructed GcmContext picks: the
+/// GENDPR_CRYPTO_BACKEND environment override when set to an available
+/// backend, otherwise `native` when supported, otherwise `portable`.
+/// Re-read on every call so tests can toggle the override.
+AeadBackend default_aead_backend() noexcept;
+
+/// Process-wide monotonic seal accounting, exported into run reports as
+/// per-run deltas (records = AEAD invocations, bytes = plaintext sealed).
+struct AeadCounters {
+  std::uint64_t records_sealed = 0;
+  std::uint64_t bytes_sealed = 0;
+};
+AeadCounters aead_counters() noexcept;
+
+/// AES-256-GCM context bound to one key. Construction expands the AES key
+/// schedule, derives the GHASH key H = E_K(0^128), and builds the per-key
+/// tables both backends consume; seal/open then run with zero per-record
+/// setup. Key material is zeroized on destruction.
+class GcmContext {
+ public:
+  /// Dispatches to default_aead_backend().
+  explicit GcmContext(common::BytesView key);
+  /// Forces a backend; falls back to portable when `backend` is unavailable
+  /// on this CPU (so forced-native test code degrades instead of crashing).
+  GcmContext(common::BytesView key, AeadBackend backend);
+  ~GcmContext();
+
+  GcmContext(const GcmContext&) = delete;
+  GcmContext& operator=(const GcmContext&) = delete;
+
+  AeadBackend backend() const noexcept { return backend_; }
+
+  /// Writes ciphertext || tag (plaintext.size() + kGcmTagSize bytes) into
+  /// `out`. In-place encryption (out == plaintext.data()) is supported.
+  void seal_into(const GcmNonce& nonce, common::BytesView aad,
+                 common::BytesView plaintext, std::uint8_t* out) const;
+
+  /// Allocating convenience over seal_into.
+  common::Bytes seal(const GcmNonce& nonce, common::BytesView aad,
+                     common::BytesView plaintext) const;
+
+  /// Verifies the tag over `sealed` (ciphertext || tag), then decrypts into
+  /// `out` (sealed.size() - kGcmTagSize bytes). Decrypting in place over the
+  /// ciphertext (out == sealed.data()) is supported; nothing is written
+  /// before the tag check passes. Returns the plaintext length.
+  common::Result<std::size_t> open_into(const GcmNonce& nonce,
+                                        common::BytesView aad,
+                                        common::BytesView sealed,
+                                        std::uint8_t* out) const;
+
+  /// Scratch-reuse open: resizes `plaintext` to the payload length and
+  /// decrypts into it, so receive loops amortize one buffer across records.
+  common::Status open_to(const GcmNonce& nonce, common::BytesView aad,
+                         common::BytesView sealed,
+                         common::Bytes& plaintext) const;
+
+  /// Allocating convenience over open_to.
+  common::Result<common::Bytes> open(const GcmNonce& nonce,
+                                     common::BytesView aad,
+                                     common::BytesView sealed) const;
+
+ private:
+  void compute_tag(const GcmNonce& nonce, common::BytesView aad,
+                   common::BytesView ciphertext,
+                   std::uint8_t tag[kGcmTagSize]) const;
+  void ctr_transform(const GcmNonce& nonce, common::BytesView in,
+                     std::uint8_t* out) const;
+
+  Aes256 aes_;
+  /// Round keys in FIPS byte order for the AES-NI kernels.
+  alignas(16) std::uint8_t schedule_[Aes256::kScheduleBytes];
+  /// GHASH key H = E_K(0^128) as big-endian bytes (PCLMUL backend input).
+  alignas(16) std::uint8_t h_bytes_[kAesBlockSize];
+  /// Shoup 4-bit GHASH tables (portable backend): nibble*H products.
+  std::uint64_t ghash_hl_[16];
+  std::uint64_t ghash_hh_[16];
+  AeadBackend backend_;
+};
+
+}  // namespace gendpr::crypto

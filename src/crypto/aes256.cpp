@@ -149,6 +149,16 @@ Aes256::~Aes256() {
       dec_round_keys_.size() * sizeof(std::uint32_t)));
 }
 
+void Aes256::export_schedule(std::uint8_t* out) const noexcept {
+  for (std::size_t i = 0; i < round_keys_.size(); ++i) {
+    const std::uint32_t w = round_keys_[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(w >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(w >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(w >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(w);
+  }
+}
+
 void Aes256::encrypt_block(const std::uint8_t in[kAesBlockSize],
                            std::uint8_t out[kAesBlockSize]) const noexcept {
   const EncTables& t = enc_tables();
@@ -213,6 +223,73 @@ void Aes256::encrypt_block(const std::uint8_t in[kAesBlockSize],
     out[4 * 1 + i] = static_cast<std::uint8_t>(t1 >> (24 - 8 * i));
     out[4 * 2 + i] = static_cast<std::uint8_t>(t2 >> (24 - 8 * i));
     out[4 * 3 + i] = static_cast<std::uint8_t>(t3 >> (24 - 8 * i));
+  }
+}
+
+void Aes256::encrypt4_blocks(const std::uint8_t in[4 * kAesBlockSize],
+                             std::uint8_t out[4 * kAesBlockSize]) const
+    noexcept {
+  const EncTables& t = enc_tables();
+  const std::uint32_t* rk = round_keys_.data();
+
+  std::uint32_t s[4][4];
+  for (int b = 0; b < 4; ++b) {
+    const std::uint8_t* p = in + kAesBlockSize * b;
+    for (int w = 0; w < 4; ++w) {
+      s[b][w] = ((std::uint32_t{p[4 * w]} << 24) |
+                 (std::uint32_t{p[4 * w + 1]} << 16) |
+                 (std::uint32_t{p[4 * w + 2]} << 8) |
+                 std::uint32_t{p[4 * w + 3]}) ^
+                rk[w];
+    }
+  }
+
+  std::uint32_t n[4][4];
+  for (int round = 1; round < kRounds; ++round) {
+    rk += 4;
+    for (int b = 0; b < 4; ++b) {
+      n[b][0] = t.te0[s[b][0] >> 24] ^ t.te1[(s[b][1] >> 16) & 0xff] ^
+                t.te2[(s[b][2] >> 8) & 0xff] ^ t.te3[s[b][3] & 0xff] ^ rk[0];
+      n[b][1] = t.te0[s[b][1] >> 24] ^ t.te1[(s[b][2] >> 16) & 0xff] ^
+                t.te2[(s[b][3] >> 8) & 0xff] ^ t.te3[s[b][0] & 0xff] ^ rk[1];
+      n[b][2] = t.te0[s[b][2] >> 24] ^ t.te1[(s[b][3] >> 16) & 0xff] ^
+                t.te2[(s[b][0] >> 8) & 0xff] ^ t.te3[s[b][1] & 0xff] ^ rk[2];
+      n[b][3] = t.te0[s[b][3] >> 24] ^ t.te1[(s[b][0] >> 16) & 0xff] ^
+                t.te2[(s[b][1] >> 8) & 0xff] ^ t.te3[s[b][2] & 0xff] ^ rk[3];
+    }
+    for (int b = 0; b < 4; ++b) {
+      for (int w = 0; w < 4; ++w) s[b][w] = n[b][w];
+    }
+  }
+
+  rk += 4;
+  for (int b = 0; b < 4; ++b) {
+    n[b][0] = ((std::uint32_t{kSbox[s[b][0] >> 24]} << 24) |
+               (std::uint32_t{kSbox[(s[b][1] >> 16) & 0xff]} << 16) |
+               (std::uint32_t{kSbox[(s[b][2] >> 8) & 0xff]} << 8) |
+               std::uint32_t{kSbox[s[b][3] & 0xff]}) ^
+              rk[0];
+    n[b][1] = ((std::uint32_t{kSbox[s[b][1] >> 24]} << 24) |
+               (std::uint32_t{kSbox[(s[b][2] >> 16) & 0xff]} << 16) |
+               (std::uint32_t{kSbox[(s[b][3] >> 8) & 0xff]} << 8) |
+               std::uint32_t{kSbox[s[b][0] & 0xff]}) ^
+              rk[1];
+    n[b][2] = ((std::uint32_t{kSbox[s[b][2] >> 24]} << 24) |
+               (std::uint32_t{kSbox[(s[b][3] >> 16) & 0xff]} << 16) |
+               (std::uint32_t{kSbox[(s[b][0] >> 8) & 0xff]} << 8) |
+               std::uint32_t{kSbox[s[b][1] & 0xff]}) ^
+              rk[2];
+    n[b][3] = ((std::uint32_t{kSbox[s[b][3] >> 24]} << 24) |
+               (std::uint32_t{kSbox[(s[b][0] >> 16) & 0xff]} << 16) |
+               (std::uint32_t{kSbox[(s[b][1] >> 8) & 0xff]} << 8) |
+               std::uint32_t{kSbox[s[b][2] & 0xff]}) ^
+              rk[3];
+    std::uint8_t* q = out + kAesBlockSize * b;
+    for (int w = 0; w < 4; ++w) {
+      for (int i = 0; i < 4; ++i) {
+        q[4 * w + i] = static_cast<std::uint8_t>(n[b][w] >> (24 - 8 * i));
+      }
+    }
   }
 }
 

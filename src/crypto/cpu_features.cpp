@@ -1,0 +1,35 @@
+#include "crypto/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace gendpr::crypto {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    features.aesni = (ecx & (1u << 25)) != 0;
+    features.pclmul = (ecx & (1u << 1)) != 0;
+    features.ssse3 = (ecx & (1u << 9)) != 0;
+    features.sse41 = (ecx & (1u << 19)) != 0;
+  }
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace gendpr::crypto

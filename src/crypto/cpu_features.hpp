@@ -1,0 +1,21 @@
+// Runtime CPU capability detection for the crypto kernel dispatch.
+//
+// The AEAD engine (crypto/aead.hpp) selects its x86-64 AES-NI + PCLMULQDQ
+// backend only when the executing CPU advertises the instructions, so one
+// binary runs correctly on every host. Detection happens once per process;
+// non-x86 builds report no features and always take the portable kernels.
+#pragma once
+
+namespace gendpr::crypto {
+
+struct CpuFeatures {
+  bool aesni = false;   // AES round instructions (CPUID.1:ECX.AES)
+  bool pclmul = false;  // carry-less multiply (CPUID.1:ECX.PCLMULQDQ)
+  bool ssse3 = false;   // PSHUFB, used for GHASH byte reversal
+  bool sse41 = false;   // PINSR/PEXTR conveniences in the CTR kernels
+};
+
+/// Features of the executing CPU, probed once and cached.
+const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace gendpr::crypto

@@ -1,0 +1,39 @@
+// Internal contract between the AEAD engine front-end (gcm_context.cpp) and
+// the x86-64 kernel translation unit (gcm_pclmul.cpp).
+//
+// Not part of the public crypto API: callers go through crypto/aead.hpp. The
+// kernels take the precomputed per-key material a GcmContext owns (FIPS
+// byte-order round keys, GHASH key H) so they run with zero per-record
+// setup. They are compiled with -maes/-mpclmul on x86-64 only and must be
+// called only when `aead_backend_available(AeadBackend::native)` is true —
+// the dispatcher, not the kernels, checks CPUID.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/aes256.hpp"
+#include "crypto/gcm.hpp"
+
+namespace gendpr::crypto::detail {
+
+/// True when the AES-NI + PCLMULQDQ kernels are compiled into this binary
+/// (x86-64 build). Runtime CPU support is checked separately via CPUID.
+bool native_gcm_compiled() noexcept;
+
+/// GCM CTR keystream XOR (counter starts at 2; 1 is the tag mask) over
+/// `len` bytes of `in` into `out`, eight blocks in flight per iteration.
+/// `schedule` holds the 240-byte AES-256 round-key schedule.
+void native_ctr(const std::uint8_t* schedule, const GcmNonce& nonce,
+                const std::uint8_t* in, std::size_t len,
+                std::uint8_t* out) noexcept;
+
+/// GHASH over aad || ciphertext (each zero-padded to a block boundary) plus
+/// the lengths block, masked with E_K(J0): the full GCM tag computation.
+void native_ghash_tag(const std::uint8_t* schedule,
+                      const std::uint8_t h_bytes[kAesBlockSize],
+                      const GcmNonce& nonce, common::BytesView aad,
+                      common::BytesView ciphertext,
+                      std::uint8_t tag[kGcmTagSize]) noexcept;
+
+}  // namespace gendpr::crypto::detail

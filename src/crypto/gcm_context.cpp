@@ -1,0 +1,381 @@
+#include "crypto/aead.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "crypto/cpu_features.hpp"
+#include "crypto/gcm_backend.hpp"
+
+namespace gendpr::crypto {
+
+namespace {
+
+std::atomic<std::uint64_t> g_records_sealed{0};
+std::atomic<std::uint64_t> g_bytes_sealed{0};
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+void store_be64(std::uint64_t v, std::uint8_t* p) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap64(v);
+  }
+  std::memcpy(p, &v, 8);
+}
+
+U128 load_u128(const std::uint8_t* p) noexcept {
+  return U128{load_be64(p), load_be64(p + 8)};
+}
+
+void store_u128(const U128& x, std::uint8_t* p) noexcept {
+  store_be64(x.hi, p);
+  store_be64(x.lo, p + 8);
+}
+
+/// Reduction constants for the 4-bit right shift of Shoup's GHASH method.
+constexpr std::uint16_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+/// Builds the 16-entry nibble*H product tables (Shoup's method, as in
+/// mbedTLS) into `hl`/`hh`. Done once per key by the GcmContext constructor.
+void build_ghash_tables(const U128& h, std::uint64_t hl[16],
+                        std::uint64_t hh[16]) noexcept {
+  std::uint64_t vh = h.hi;
+  std::uint64_t vl = h.lo;
+  hl[8] = vl;
+  hh[8] = vh;
+  for (int i = 4; i > 0; i >>= 1) {
+    const std::uint32_t t = static_cast<std::uint32_t>(vl & 1) * 0xe1000000u;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (static_cast<std::uint64_t>(t) << 32);
+    hl[i] = vl;
+    hh[i] = vh;
+  }
+  hl[0] = 0;
+  hh[0] = 0;
+  for (int i = 2; i <= 8; i *= 2) {
+    for (int j = 1; j < i; ++j) {
+      hh[i + j] = hh[i] ^ hh[j];
+      hl[i + j] = hl[i] ^ hl[j];
+    }
+  }
+}
+
+U128 ghash_mul(const std::uint64_t hl[16], const std::uint64_t hh[16],
+               const U128& x) noexcept {
+  std::uint8_t bytes[16];
+  store_u128(x, bytes);
+  std::uint8_t lo = bytes[15] & 0xf;
+  std::uint64_t zh = hh[lo];
+  std::uint64_t zl = hl[lo];
+  for (int i = 15; i >= 0; --i) {
+    lo = bytes[i] & 0xf;
+    const std::uint8_t hi_nibble = bytes[i] >> 4;
+    if (i != 15) {
+      std::uint8_t rem = static_cast<std::uint8_t>(zl & 0xf);
+      zl = (zh << 60) | (zl >> 4);
+      zh = (zh >> 4) ^ (static_cast<std::uint64_t>(kLast4[rem]) << 48);
+      zh ^= hh[lo];
+      zl ^= hl[lo];
+    }
+    std::uint8_t rem = static_cast<std::uint8_t>(zl & 0xf);
+    zl = (zh << 60) | (zl >> 4);
+    zh = (zh >> 4) ^ (static_cast<std::uint64_t>(kLast4[rem]) << 48);
+    zh ^= hh[hi_nibble];
+    zl ^= hl[hi_nibble];
+  }
+  return U128{zh, zl};
+}
+
+/// Streaming GHASH over the per-key tables. Full blocks are folded straight
+/// from the input (no staging memcpy); only section tails touch the buffer.
+class Ghash {
+ public:
+  Ghash(const std::uint64_t* hl, const std::uint64_t* hh) noexcept
+      : hl_(hl), hh_(hh) {}
+
+  void update(common::BytesView data) noexcept {
+    std::size_t offset = 0;
+    if (buffer_len_ > 0) {
+      const std::size_t take =
+          std::min<std::size_t>(16 - buffer_len_, data.size());
+      std::memcpy(buffer_ + buffer_len_, data.data(), take);
+      buffer_len_ += take;
+      offset += take;
+      if (buffer_len_ < 16) return;
+      fold(load_u128(buffer_));
+      buffer_len_ = 0;
+    }
+    while (data.size() - offset >= 16) {
+      fold(load_u128(data.data() + offset));
+      offset += 16;
+    }
+    if (offset < data.size()) {
+      buffer_len_ = data.size() - offset;
+      std::memcpy(buffer_, data.data() + offset, buffer_len_);
+    }
+  }
+
+  /// Zero-pads the current partial block (block boundary between the AAD
+  /// and ciphertext sections).
+  void pad_to_block() noexcept {
+    if (buffer_len_ > 0) {
+      std::memset(buffer_ + buffer_len_, 0, 16 - buffer_len_);
+      fold(load_u128(buffer_));
+      buffer_len_ = 0;
+    }
+  }
+
+  U128 finish(std::uint64_t aad_bits, std::uint64_t ct_bits) noexcept {
+    pad_to_block();
+    fold(U128{aad_bits, ct_bits});
+    return y_;
+  }
+
+ private:
+  void fold(const U128& block) noexcept {
+    y_.hi ^= block.hi;
+    y_.lo ^= block.lo;
+    y_ = ghash_mul(hl_, hh_, y_);
+  }
+
+  const std::uint64_t* hl_;
+  const std::uint64_t* hh_;
+  U128 y_;
+  std::uint8_t buffer_[16] = {};
+  std::size_t buffer_len_ = 0;
+};
+
+void set_counter(std::uint8_t block[16], std::uint32_t counter) noexcept {
+  block[12] = static_cast<std::uint8_t>(counter >> 24);
+  block[13] = static_cast<std::uint8_t>(counter >> 16);
+  block[14] = static_cast<std::uint8_t>(counter >> 8);
+  block[15] = static_cast<std::uint8_t>(counter);
+}
+
+void xor_words(const std::uint8_t* in, const std::uint8_t* keystream,
+               std::uint8_t* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; i += 8) {
+    std::uint64_t x;
+    std::uint64_t k;
+    std::memcpy(&x, in + i, 8);
+    std::memcpy(&k, keystream + i, 8);
+    x ^= k;
+    std::memcpy(out + i, &x, 8);
+  }
+}
+
+/// Portable GCM-CTR (counter starts at 2; 1 is the tag mask): four blocks of
+/// keystream per round with word-wise XOR, falling back to a byte loop only
+/// for the final partial block.
+void portable_ctr(const Aes256& aes, const GcmNonce& nonce,
+                  common::BytesView in, std::uint8_t* out) noexcept {
+  std::uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), kGcmNonceSize);
+  std::uint32_t counter = 2;
+  std::size_t offset = 0;
+  std::uint8_t counters[64];
+  std::uint8_t keystream[64];
+  while (in.size() - offset >= 64) {
+    for (int b = 0; b < 4; ++b) {
+      set_counter(counter_block, counter++);
+      std::memcpy(counters + 16 * b, counter_block, 16);
+    }
+    aes.encrypt4_blocks(counters, keystream);
+    xor_words(in.data() + offset, keystream, out + offset, 64);
+    offset += 64;
+  }
+  while (offset < in.size()) {
+    set_counter(counter_block, counter++);
+    aes.encrypt_block(counter_block, keystream);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
+    if (take == 16) {
+      xor_words(in.data() + offset, keystream, out + offset, 16);
+    } else {
+      for (std::size_t i = 0; i < take; ++i) {
+        out[offset + i] =
+            static_cast<std::uint8_t>(in[offset + i] ^ keystream[i]);
+      }
+    }
+    offset += take;
+  }
+}
+
+bool native_supported() noexcept {
+  if (!detail::native_gcm_compiled()) return false;
+  const CpuFeatures& cpu = cpu_features();
+  return cpu.aesni && cpu.pclmul && cpu.ssse3;
+}
+
+}  // namespace
+
+const char* aead_backend_name(AeadBackend backend) noexcept {
+  return backend == AeadBackend::native ? "native" : "portable";
+}
+
+bool aead_backend_available(AeadBackend backend) noexcept {
+  return backend == AeadBackend::portable || native_supported();
+}
+
+AeadBackend default_aead_backend() noexcept {
+  // Re-read on every call: contexts are created once per channel key, and
+  // tests toggle the override between constructions.
+  if (const char* env = std::getenv("GENDPR_CRYPTO_BACKEND")) {
+    const std::string_view value(env);
+    if (value == "portable") return AeadBackend::portable;
+    if (value == "native" && native_supported()) return AeadBackend::native;
+    // Unknown values (and "native" without CPU support) fall through to
+    // auto-detection rather than failing a run over a typo.
+  }
+  return native_supported() ? AeadBackend::native : AeadBackend::portable;
+}
+
+AeadCounters aead_counters() noexcept {
+  AeadCounters counters;
+  counters.records_sealed = g_records_sealed.load(std::memory_order_relaxed);
+  counters.bytes_sealed = g_bytes_sealed.load(std::memory_order_relaxed);
+  return counters;
+}
+
+GcmContext::GcmContext(common::BytesView key, AeadBackend backend)
+    : aes_(key) {
+  aes_.export_schedule(schedule_);
+  // H = E_K(0^128): the GHASH key both backends derive their tables from.
+  std::uint8_t zero_block[16] = {};
+  aes_.encrypt_block(zero_block, h_bytes_);
+  build_ghash_tables(load_u128(h_bytes_), ghash_hl_, ghash_hh_);
+  backend_ =
+      aead_backend_available(backend) ? backend : AeadBackend::portable;
+}
+
+GcmContext::GcmContext(common::BytesView key)
+    : GcmContext(key, default_aead_backend()) {}
+
+GcmContext::~GcmContext() {
+  common::secure_zero(std::span<std::uint8_t>(schedule_, sizeof(schedule_)));
+  common::secure_zero(std::span<std::uint8_t>(h_bytes_, sizeof(h_bytes_)));
+  common::secure_zero(std::span<std::uint8_t>(
+      reinterpret_cast<std::uint8_t*>(ghash_hl_), sizeof(ghash_hl_)));
+  common::secure_zero(std::span<std::uint8_t>(
+      reinterpret_cast<std::uint8_t*>(ghash_hh_), sizeof(ghash_hh_)));
+}
+
+void GcmContext::ctr_transform(const GcmNonce& nonce, common::BytesView in,
+                               std::uint8_t* out) const {
+  if (in.empty()) return;
+  if (backend_ == AeadBackend::native) {
+    detail::native_ctr(schedule_, nonce, in.data(), in.size(), out);
+  } else {
+    portable_ctr(aes_, nonce, in, out);
+  }
+}
+
+void GcmContext::compute_tag(const GcmNonce& nonce, common::BytesView aad,
+                             common::BytesView ciphertext,
+                             std::uint8_t tag[kGcmTagSize]) const {
+  if (backend_ == AeadBackend::native) {
+    detail::native_ghash_tag(schedule_, h_bytes_, nonce, aad, ciphertext,
+                             tag);
+    return;
+  }
+  Ghash ghash(ghash_hl_, ghash_hh_);
+  ghash.update(aad);
+  ghash.pad_to_block();
+  ghash.update(ciphertext);
+  const U128 s = ghash.finish(aad.size() * 8, ciphertext.size() * 8);
+
+  // Tag = GHASH xor E_K(J0), J0 = nonce || 0x00000001 for 96-bit nonces.
+  std::uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kGcmNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  std::uint8_t mask[16];
+  aes_.encrypt_block(j0, mask);
+  std::uint8_t s_bytes[16];
+  store_u128(s, s_bytes);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] = static_cast<std::uint8_t>(s_bytes[i] ^ mask[i]);
+  }
+}
+
+void GcmContext::seal_into(const GcmNonce& nonce, common::BytesView aad,
+                           common::BytesView plaintext,
+                           std::uint8_t* out) const {
+  ctr_transform(nonce, plaintext, out);
+  compute_tag(nonce, aad, common::BytesView(out, plaintext.size()),
+              out + plaintext.size());
+  g_records_sealed.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_sealed.fetch_add(plaintext.size(), std::memory_order_relaxed);
+}
+
+common::Bytes GcmContext::seal(const GcmNonce& nonce, common::BytesView aad,
+                               common::BytesView plaintext) const {
+  common::Bytes out(plaintext.size() + kGcmTagSize);
+  seal_into(nonce, aad, plaintext, out.data());
+  return out;
+}
+
+common::Result<std::size_t> GcmContext::open_into(const GcmNonce& nonce,
+                                                  common::BytesView aad,
+                                                  common::BytesView sealed,
+                                                  std::uint8_t* out) const {
+  if (sealed.size() < kGcmTagSize) {
+    return common::make_error(common::Errc::decrypt_failed,
+                              "gcm_open: input shorter than tag");
+  }
+  const std::size_t ct_len = sealed.size() - kGcmTagSize;
+  const common::BytesView ciphertext(sealed.data(), ct_len);
+  const common::BytesView tag(sealed.data() + ct_len, kGcmTagSize);
+
+  std::uint8_t expected_tag[kGcmTagSize];
+  compute_tag(nonce, aad, ciphertext, expected_tag);
+  if (!common::ct_equal(common::BytesView(expected_tag, kGcmTagSize), tag)) {
+    return common::make_error(common::Errc::decrypt_failed,
+                              "gcm_open: authentication tag mismatch");
+  }
+  ctr_transform(nonce, ciphertext, out);
+  return ct_len;
+}
+
+common::Status GcmContext::open_to(const GcmNonce& nonce,
+                                   common::BytesView aad,
+                                   common::BytesView sealed,
+                                   common::Bytes& plaintext) const {
+  if (sealed.size() < kGcmTagSize) {
+    return common::make_error(common::Errc::decrypt_failed,
+                              "gcm_open: input shorter than tag");
+  }
+  plaintext.resize(sealed.size() - kGcmTagSize);
+  auto opened = open_into(nonce, aad, sealed, plaintext.data());
+  if (!opened.ok()) return opened.error();
+  return common::Status::success();
+}
+
+common::Result<common::Bytes> GcmContext::open(const GcmNonce& nonce,
+                                               common::BytesView aad,
+                                               common::BytesView sealed) const {
+  common::Bytes plaintext;
+  if (auto status = open_to(nonce, aad, sealed, plaintext); !status.ok()) {
+    return status.error();
+  }
+  return plaintext;
+}
+
+}  // namespace gendpr::crypto

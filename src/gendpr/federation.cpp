@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "crypto/aead.hpp"
 #include "crypto/csprng.hpp"
 #include "net/network.hpp"
 #include "tee/attestation.hpp"
@@ -62,6 +63,10 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
 
   net::Network network;
   const std::chrono::milliseconds receive_timeout(spec.receive_timeout_ms);
+
+  // AEAD counters are process-wide; a per-run snapshot delta isolates this
+  // study's sealing work (federation runs in one process are sequential).
+  const crypto::AeadCounters aead_before = crypto::aead_counters();
 
   LeaderNode leader(network, *platforms[leader_gdo], leader_gdo,
                     spec.num_gdos,
@@ -143,6 +148,24 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
     }
   }
   study.epc_peak_members_max = member_peak;
+  const crypto::AeadCounters aead_after = crypto::aead_counters();
+  study.crypto_backend =
+      crypto::aead_backend_name(crypto::default_aead_backend());
+  study.crypto_records_sealed =
+      aead_after.records_sealed - aead_before.records_sealed;
+  study.crypto_bytes_sealed =
+      aead_after.bytes_sealed - aead_before.bytes_sealed;
+  if (spec.obs != nullptr) {
+    spec.obs->metrics.set_label("crypto.backend", study.crypto_backend);
+    spec.obs->metrics.set_gauge(
+        "crypto.backend_native",
+        crypto::default_aead_backend() == crypto::AeadBackend::native ? 1.0
+                                                                      : 0.0);
+    spec.obs->metrics.add_counter("crypto.records_sealed",
+                                  study.crypto_records_sealed);
+    spec.obs->metrics.add_counter("crypto.bytes_sealed",
+                                  study.crypto_bytes_sealed);
+  }
   if (spec.obs != nullptr) {
     // Per-GDO EPC high-water marks and per-link traffic outlive the
     // platforms/fabric via the registry (and via StudyResult for reports).

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "crypto/aead.hpp"
 
 namespace gendpr::core {
 
@@ -87,19 +88,22 @@ void MemberNode::run() {
   }
   common::log_debug("member", "gdo ", gdo_index_, " channel established");
 
-  // Serve phase requests until the study completes.
+  // Serve phase requests until the study completes. One scratch buffer is
+  // reused across records so the hot loop does not allocate per message.
+  common::Bytes plaintext_scratch;
   while (!enclave_.study_complete()) {
     auto envelope_msg = mailbox_->receive_for(receive_timeout_);
     if (!envelope_msg.ok()) {
       status_ = wait_error(envelope_msg.error(), "mid-study");
       return;
     }
-    auto plaintext = channel_->open(envelope_msg.value().payload);
-    if (!plaintext.ok()) {
-      status_ = plaintext.error();
+    if (Status s =
+            channel_->open_to(envelope_msg.value().payload, plaintext_scratch);
+        !s.ok()) {
+      status_ = s;
       return;
     }
-    auto opened = open_envelope(plaintext.value());
+    auto opened = open_envelope(plaintext_scratch);
     if (!opened.ok()) {
       status_ = opened.error();
       return;
@@ -451,6 +455,7 @@ Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
 
 Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   const Stopwatch total_watch;
+  const crypto::AeadCounters aead_before = crypto::aead_counters();
   PhaseTimings timings;
 
   if (!provision_status_.ok()) return provision_status_.error();
@@ -651,7 +656,21 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   result.epc_peak_per_gdo[gdo_index_] = epc.peak();
   result.epc_limit_bytes = epc.limit();
   result.epc_peak_leader = epc.peak();
+  // In-process federations overwrite these with a run-wide delta; for a
+  // standalone (TCP) leader this process-local delta is the leader's own
+  // sealing volume.
+  const crypto::AeadCounters aead_after = crypto::aead_counters();
+  result.crypto_backend =
+      crypto::aead_backend_name(crypto::default_aead_backend());
+  result.crypto_records_sealed =
+      aead_after.records_sealed - aead_before.records_sealed;
+  result.crypto_bytes_sealed =
+      aead_after.bytes_sealed - aead_before.bytes_sealed;
   if (obs_ != nullptr) {
+    // Counters are exported by the federation runner from a run-wide delta
+    // (which also covers provisioning-time sealing); only the label is set
+    // here so standalone-leader reports still name their backend.
+    obs_->metrics.set_label("crypto.backend", result.crypto_backend);
     obs_->metrics.observe("leader.phase.aggregation_ms",
                           timings.aggregation_ms);
     obs_->metrics.observe("leader.phase.indexing_ms", timings.indexing_ms);

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -86,6 +87,12 @@ struct StudyResult {
   std::vector<std::uint64_t> epc_peak_per_gdo;
   /// The per-platform EPC limit the run was configured with (0 = unknown).
   std::uint64_t epc_limit_bytes = 0;
+  /// AEAD backend the run dispatched to ("portable" / "native") and the
+  /// run's sealing volume (records = AEAD invocations across channels and
+  /// sealed blobs, bytes = plaintext protected).
+  std::string crypto_backend;
+  std::uint64_t crypto_records_sealed = 0;
+  std::uint64_t crypto_bytes_sealed = 0;
 };
 
 /// Non-leader GDO host: handshakes with the leader, then answers phase

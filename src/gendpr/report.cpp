@@ -75,6 +75,12 @@ obs::JsonValue make_run_report(const StudyResult& study,
   epc.set("per_gdo", std::move(per_gdo));
   report.set("epc", std::move(epc));
 
+  JsonValue crypto = JsonValue::object();
+  crypto.set("backend", study.crypto_backend);
+  crypto.set("records_sealed", study.crypto_records_sealed);
+  crypto.set("bytes_sealed", study.crypto_bytes_sealed);
+  report.set("crypto", std::move(crypto));
+
   JsonValue events = JsonValue::object();
   JsonValue dead = JsonValue::array();
   for (std::uint32_t gdo : study.dead_gdos) dead.push_back(gdo);

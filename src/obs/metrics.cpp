@@ -47,6 +47,25 @@ std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
   return it->second;
 }
 
+void MetricsRegistry::set_label(std::string_view name,
+                                std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    labels_.emplace(std::string(name), std::string(value));
+  } else {
+    it->second = std::string(value);
+  }
+}
+
+std::optional<std::string> MetricsRegistry::label(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = labels_.find(name);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
 void MetricsRegistry::observe(std::string_view name, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -97,6 +116,8 @@ JsonValue MetricsRegistry::to_json() const {
   for (const auto& [name, value] : counters_) counters.set(name, value);
   JsonValue gauges = JsonValue::object();
   for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  JsonValue labels = JsonValue::object();
+  for (const auto& [name, value] : labels_) labels.set(name, value);
   JsonValue histograms = JsonValue::object();
   for (const auto& [name, samples] : histograms_) {
     const HistogramStats stats = summarize(samples);
@@ -113,6 +134,7 @@ JsonValue MetricsRegistry::to_json() const {
   JsonValue out = JsonValue::object();
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
+  out.set("labels", std::move(labels));
   out.set("histograms", std::move(histograms));
   return out;
 }
@@ -121,6 +143,7 @@ void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
+  labels_.clear();
   histograms_.clear();
 }
 

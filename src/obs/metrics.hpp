@@ -35,6 +35,10 @@ class MetricsRegistry {
   void max_gauge(std::string_view name, double value);
   std::optional<double> gauge(std::string_view name) const;
 
+  /// Last-write-wins string label (e.g. "crypto.backend" -> "native").
+  void set_label(std::string_view name, std::string_view value);
+  std::optional<std::string> label(std::string_view name) const;
+
   /// Records one sample into a histogram (creating it on first use).
   void observe(std::string_view name, double value);
 
@@ -49,8 +53,8 @@ class MetricsRegistry {
   };
   std::optional<HistogramStats> histogram(std::string_view name) const;
 
-  /// Snapshot of every instrument:
-  /// {"counters": {...}, "gauges": {...}, "histograms": {name: stats}}.
+  /// Snapshot of every instrument: {"counters": {...}, "gauges": {...},
+  /// "labels": {...}, "histograms": {name: stats}}.
   JsonValue to_json() const;
 
   void clear();
@@ -61,6 +65,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::string, std::less<>> labels_;
   std::map<std::string, std::vector<double>, std::less<>> histograms_;
 };
 

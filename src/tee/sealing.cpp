@@ -10,7 +10,7 @@ SealingService SealingService::with_random_root(crypto::Csprng& rng) {
 }
 
 SealingService::SealingService(std::array<std::uint8_t, 32> root_key) noexcept
-    : root_key_(root_key) {}
+    : root_key_(root_key), cache_(std::make_unique<ContextCache>()) {}
 
 common::Bytes SealingService::sealing_key_for(
     const Measurement& measurement) const {
@@ -20,18 +20,32 @@ common::Bytes SealingService::sealing_key_for(
       common::to_bytes("gendpr.sealing.v1"), 32);
 }
 
+const crypto::GcmContext& SealingService::context_for(
+    const Measurement& measurement) const {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->contexts.find(measurement);
+  if (it == cache_->contexts.end()) {
+    const common::Bytes key = sealing_key_for(measurement);
+    it = cache_->contexts
+             .try_emplace(measurement, common::BytesView(key))
+             .first;
+  }
+  return it->second;
+}
+
 common::Bytes SealingService::seal(const Measurement& measurement,
                                    common::BytesView plaintext,
                                    crypto::Csprng& rng) const {
-  const common::Bytes key = sealing_key_for(measurement);
   crypto::GcmNonce nonce;
   rng.fill(nonce);
-  const common::Bytes sealed = crypto::gcm_seal(
-      key, nonce, common::BytesView(measurement.data(), measurement.size()),
-      plaintext);
-  common::Bytes out(nonce.begin(), nonce.end());
-  out.reserve(out.size() + sealed.size());
-  common::append(out, sealed);
+  // One pre-sized buffer: nonce || ciphertext || tag, encrypted in place.
+  common::Bytes out(crypto::kGcmNonceSize + plaintext.size() +
+                    crypto::kGcmTagSize);
+  std::copy(nonce.begin(), nonce.end(), out.begin());
+  context_for(measurement)
+      .seal_into(nonce,
+                 common::BytesView(measurement.data(), measurement.size()),
+                 plaintext, out.data() + crypto::kGcmNonceSize);
   return out;
 }
 
@@ -44,10 +58,9 @@ common::Result<common::Bytes> SealingService::unseal(
   crypto::GcmNonce nonce;
   std::copy(sealed.begin(), sealed.begin() + crypto::kGcmNonceSize,
             nonce.begin());
-  const common::Bytes key = sealing_key_for(measurement);
-  return crypto::gcm_open(
-      key, nonce, common::BytesView(measurement.data(), measurement.size()),
-      sealed.subspan(crypto::kGcmNonceSize));
+  return context_for(measurement)
+      .open(nonce, common::BytesView(measurement.data(), measurement.size()),
+            sealed.subspan(crypto::kGcmNonceSize));
 }
 
 }  // namespace gendpr::tee

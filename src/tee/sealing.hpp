@@ -10,9 +10,13 @@
 #pragma once
 
 #include <array>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "crypto/aead.hpp"
 #include "crypto/csprng.hpp"
 #include "tee/identity.hpp"
 
@@ -40,8 +44,18 @@ class SealingService {
 
  private:
   common::Bytes sealing_key_for(const Measurement& measurement) const;
+  const crypto::GcmContext& context_for(const Measurement& measurement) const;
 
   std::array<std::uint8_t, 32> root_key_;
+  /// Per-measurement AEAD contexts: the HKDF derivation and key expansion
+  /// run once per distinct measurement instead of once per blob. Map nodes
+  /// are stable, so references stay valid after the lock is released; the
+  /// indirection keeps the service movable (Platform holds it by value).
+  struct ContextCache {
+    std::mutex mutex;
+    std::map<Measurement, crypto::GcmContext> contexts;
+  };
+  std::unique_ptr<ContextCache> cache_;
 };
 
 }  // namespace gendpr::tee

@@ -1,6 +1,5 @@
 #include "tee/secure_channel.hpp"
 
-#include "crypto/gcm.hpp"
 #include "crypto/hkdf.hpp"
 #include "wire/serialize.hpp"
 
@@ -106,8 +105,8 @@ common::Status SecureChannel::complete(common::BytesView peer_handshake) {
       common::BytesView(salt.data(), salt.size()),
       common::BytesView(shared.data(), shared.size()),
       common::to_bytes("gendpr.channel.key.r2i"), 32);
-  send_key_ = initiator_ ? i2r : r2i;
-  recv_key_ = initiator_ ? r2i : i2r;
+  send_ctx_.emplace(common::BytesView(initiator_ ? i2r : r2i));
+  recv_ctx_.emplace(common::BytesView(initiator_ ? r2i : i2r));
 
   peer_identity_ = quote.value().identity;
   established_ = true;
@@ -121,17 +120,29 @@ common::Result<common::Bytes> SecureChannel::seal(
                               "seal before handshake completed");
   }
   const std::uint64_t seq = send_seq_++;
-  wire::Writer aad;
-  aad.u64(seq);
-  const common::Bytes sealed =
-      crypto::gcm_seal(send_key_, nonce_for_seq(seq), aad.buffer(), plaintext);
-  wire::Writer record;
-  record.u64(seq);
-  record.raw(sealed);
-  return std::move(record).take();
+  // One buffer, sized up front: seq header || ciphertext || tag. The header
+  // bytes double as the AAD view, so nothing is serialized twice.
+  common::Bytes record(8 + plaintext.size() + crypto::kGcmTagSize);
+  for (int i = 0; i < 8; ++i) {
+    record[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  send_ctx_->seal_into(nonce_for_seq(seq),
+                       common::BytesView(record.data(), 8), plaintext,
+                       record.data() + 8);
+  return record;
 }
 
 common::Result<common::Bytes> SecureChannel::open(common::BytesView record) {
+  common::Bytes plaintext;
+  if (auto status = open_to(record, plaintext); !status.ok()) {
+    return status.error();
+  }
+  return plaintext;
+}
+
+common::Status SecureChannel::open_to(common::BytesView record,
+                                      common::Bytes& plaintext) {
   if (!established_) {
     return common::make_error(common::Errc::state_violation,
                               "open before handshake completed");
@@ -146,14 +157,14 @@ common::Result<common::Bytes> SecureChannel::open(common::BytesView record) {
             std::to_string(recv_seq_) + ", got " +
             std::to_string(seq.value()));
   }
-  wire::Writer aad;
-  aad.u64(seq.value());
-  auto plaintext =
-      crypto::gcm_open(recv_key_, nonce_for_seq(seq.value()), aad.buffer(),
-                       record.subspan(8));
-  if (!plaintext.ok()) return plaintext.error();
+  if (auto status = recv_ctx_->open_to(nonce_for_seq(seq.value()),
+                                       common::BytesView(record.data(), 8),
+                                       record.subspan(8), plaintext);
+      !status.ok()) {
+    return status;
+  }
   ++recv_seq_;
-  return plaintext;
+  return common::Status::success();
 }
 
 }  // namespace gendpr::tee

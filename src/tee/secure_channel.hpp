@@ -19,6 +19,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "crypto/aead.hpp"
 #include "crypto/csprng.hpp"
 #include "crypto/x25519.hpp"
 #include "tee/attestation.hpp"
@@ -50,10 +51,22 @@ class SecureChannel {
   }
 
   /// Encrypts a message; output: seq (8B) || ciphertext || tag (16B).
+  /// The record is assembled in one pre-sized buffer: the sequence header is
+  /// written in place and doubles as the AAD, and the AEAD engine encrypts
+  /// directly into the tail — no intermediate ciphertext copy.
   common::Result<common::Bytes> seal(common::BytesView plaintext);
 
   /// Decrypts the next record; enforces strict sequence ordering.
   common::Result<common::Bytes> open(common::BytesView record);
+
+  /// Scratch-reuse variant of open: decrypts into `plaintext` (resized to
+  /// fit), so receive loops amortize one allocation across records.
+  common::Status open_to(common::BytesView record, common::Bytes& plaintext);
+
+  /// AEAD backend the established channel dispatches to.
+  crypto::AeadBackend crypto_backend() const noexcept {
+    return send_ctx_ ? send_ctx_->backend() : crypto::default_aead_backend();
+  }
 
   /// Wire overhead per record in bytes (for bandwidth accounting).
   static constexpr std::size_t record_overhead() noexcept { return 8 + 16; }
@@ -70,8 +83,10 @@ class SecureChannel {
 
   bool established_ = false;
   EnclaveIdentity peer_identity_;
-  common::Bytes send_key_;
-  common::Bytes recv_key_;
+  /// Per-direction AEAD contexts: key schedule + GHASH tables expanded once
+  /// at handshake completion, reused for every record on the channel.
+  std::optional<crypto::GcmContext> send_ctx_;
+  std::optional<crypto::GcmContext> recv_ctx_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
 };

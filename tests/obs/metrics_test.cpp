@@ -79,10 +79,20 @@ TEST(ObsMetricsTest, SingleSampleHistogram) {
   EXPECT_EQ(stats->p99, 7.0);
 }
 
+TEST(ObsMetricsTest, LabelSemantics) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.label("crypto.backend").has_value());
+  registry.set_label("crypto.backend", "portable");
+  EXPECT_EQ(registry.label("crypto.backend"), "portable");
+  registry.set_label("crypto.backend", "native");  // last write wins
+  EXPECT_EQ(registry.label("crypto.backend"), "native");
+}
+
 TEST(ObsMetricsTest, ToJsonSnapshotsEveryInstrument) {
   MetricsRegistry registry;
   registry.add_counter("net.total_bytes", 1024);
   registry.set_gauge("pool.threads", 4);
+  registry.set_label("crypto.backend", "portable");
   registry.observe("member.compute_ms", 12.5);
   const JsonValue snapshot = registry.to_json();
   const JsonValue* counters = snapshot.find("counters");
@@ -92,6 +102,10 @@ TEST(ObsMetricsTest, ToJsonSnapshotsEveryInstrument) {
   const JsonValue* gauges = snapshot.find("gauges");
   ASSERT_NE(gauges, nullptr);
   EXPECT_NE(gauges->find("pool.threads"), nullptr);
+  const JsonValue* labels = snapshot.find("labels");
+  ASSERT_NE(labels, nullptr);
+  ASSERT_NE(labels->find("crypto.backend"), nullptr);
+  EXPECT_EQ(labels->find("crypto.backend")->as_string(), "portable");
   const JsonValue* histograms = snapshot.find("histograms");
   ASSERT_NE(histograms, nullptr);
   const JsonValue* latency = histograms->find("member.compute_ms");
@@ -104,10 +118,12 @@ TEST(ObsMetricsTest, ClearResetsEverything) {
   MetricsRegistry registry;
   registry.add_counter("c");
   registry.set_gauge("g", 1);
+  registry.set_label("l", "x");
   registry.observe("h", 1);
   registry.clear();
   EXPECT_EQ(registry.counter("c"), 0u);
   EXPECT_FALSE(registry.gauge("g").has_value());
+  EXPECT_FALSE(registry.label("l").has_value());
   EXPECT_FALSE(registry.histogram("h").has_value());
 }
 

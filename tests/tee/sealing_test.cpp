@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/bytes.hpp"
 
 namespace gendpr::tee {
@@ -96,6 +98,34 @@ TEST(SealingTest, EmptyPlaintextRoundTrip) {
   const auto opened = sealing.unseal(m, sealed);
   ASSERT_TRUE(opened.ok());
   EXPECT_TRUE(opened.value().empty());
+}
+
+// Sealed blobs must be portable across AEAD backends: a blob sealed by a
+// forced-portable service unseals in a forced-native process and vice versa
+// (same root key and measurement -> same HKDF key; GCM is deterministic).
+TEST(SealingTest, BlobsAreCompatibleAcrossBackends) {
+  const std::array<std::uint8_t, 32> root{0x99};
+  const Measurement m = measure("mod", "1");
+  const Bytes secret = common::to_bytes("cross-backend sealed genotypes");
+
+  ASSERT_EQ(setenv("GENDPR_CRYPTO_BACKEND", "portable", 1), 0);
+  SealingService portable_svc(root);
+  auto rng_p = test_rng(21);
+  const Bytes sealed_portable = portable_svc.seal(m, secret, rng_p);
+
+  ASSERT_EQ(setenv("GENDPR_CRYPTO_BACKEND", "native", 1), 0);
+  SealingService native_svc(root);
+  auto rng_n = test_rng(21);  // same seed -> same nonce
+  const Bytes sealed_native = native_svc.seal(m, secret, rng_n);
+  ASSERT_EQ(unsetenv("GENDPR_CRYPTO_BACKEND"), 0);
+
+  EXPECT_EQ(sealed_portable, sealed_native);
+  const auto cross_a = native_svc.unseal(m, sealed_portable);
+  const auto cross_b = portable_svc.unseal(m, sealed_native);
+  ASSERT_TRUE(cross_a.ok());
+  ASSERT_TRUE(cross_b.ok());
+  EXPECT_EQ(cross_a.value(), secret);
+  EXPECT_EQ(cross_b.value(), secret);
 }
 
 TEST(SealingTest, RandomRootServicesAreIndependent) {

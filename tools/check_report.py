@@ -92,6 +92,22 @@ def check_run_report(doc):
                 f"GDO {entry['gdo']} EPC peak exceeds the configured limit",
             )
 
+    crypto = doc.get("crypto")
+    require(isinstance(crypto, dict), "missing crypto section")
+    require(
+        crypto.get("backend") in ("portable", "native"),
+        f"crypto.backend {crypto.get('backend')!r} is not a known AEAD backend",
+    )
+    require(crypto.get("records_sealed", 0) > 0, "no AEAD records sealed")
+    require(crypto.get("bytes_sealed", 0) > 0, "no AEAD bytes sealed")
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        labels = metrics.get("labels", {})
+        require(
+            labels.get("crypto.backend") == crypto["backend"],
+            "metrics crypto.backend label disagrees with the crypto section",
+        )
+
     events = doc.get("events")
     require(isinstance(events, dict), "missing events section")
     require(isinstance(events.get("dead_gdos"), list), "missing events.dead_gdos")

@@ -17,7 +17,8 @@ build_dir="${repo_root}/build-bench"
 
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
-  benches=(bench_ablation_packing bench_ablation_lrtest bench_fig6_runtime)
+  benches=(bench_ablation_packing bench_ablation_lrtest bench_ablation_crypto
+           bench_fig6_runtime)
 fi
 
 # Reject unknown targets up front: a typo'd name used to surface only as a
