@@ -73,7 +73,7 @@ inline const genome::Cohort& cohort_for(std::size_t num_case,
 
 /// Directory the runtime benches drop per-run reports into, or nullptr when
 /// reporting is off. Set GENDPR_REPORT_DIR=<dir> (the CI bench-smoke job
-/// does) to get one gendpr.run_report.v1 document per federated bench run
+/// does) to get one gendpr.run_report.v2 document per federated bench run
 /// alongside the google-benchmark JSON.
 inline const char* report_dir() {
   static const char* dir = [] {

@@ -8,6 +8,17 @@ namespace gendpr::crypto {
 
 namespace {
 
+#if defined(__x86_64__) || defined(__i386__)
+/// XGETBV(0): which register states the OS saves/restores. Inline asm so
+/// this TU needs no -mxsave; only executed when CPUID.1:ECX.OSXSAVE is set.
+unsigned long long xgetbv0() noexcept {
+  unsigned eax = 0;
+  unsigned edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+#endif
+
 CpuFeatures probe() noexcept {
   CpuFeatures features;
 #if defined(__x86_64__) || defined(__i386__)
@@ -15,11 +26,25 @@ CpuFeatures probe() noexcept {
   unsigned ebx = 0;
   unsigned ecx = 0;
   unsigned edx = 0;
+  bool ymm_state = false;
+  bool zmm_state = false;
   if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
     features.aesni = (ecx & (1u << 25)) != 0;
     features.pclmul = (ecx & (1u << 1)) != 0;
     features.ssse3 = (ecx & (1u << 9)) != 0;
     features.sse41 = (ecx & (1u << 19)) != 0;
+    if ((ecx & (1u << 27)) != 0) {  // OSXSAVE
+      const unsigned long long xcr0 = xgetbv0();
+      ymm_state = (xcr0 & 0x6) == 0x6;           // XMM + YMM
+      zmm_state = ymm_state && (xcr0 & 0xe0) == 0xe0;  // opmask + ZMM
+    }
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    features.avx2 = ymm_state && (ebx & (1u << 5)) != 0;
+    const bool avx512f = (ebx & (1u << 16)) != 0;
+    const bool avx512bw = (ebx & (1u << 30)) != 0;
+    const bool vpopcntdq = (ecx & (1u << 14)) != 0;
+    features.avx512_popcount = zmm_state && avx512f && avx512bw && vpopcntdq;
   }
 #endif
   return features;

@@ -1,9 +1,10 @@
-// Runtime CPU capability detection for the crypto kernel dispatch.
+// Runtime CPU capability detection for the SIMD kernel dispatchers.
 //
-// The AEAD engine (crypto/aead.hpp) selects its x86-64 AES-NI + PCLMULQDQ
-// backend only when the executing CPU advertises the instructions, so one
-// binary runs correctly on every host. Detection happens once per process;
-// non-x86 builds report no features and always take the portable kernels.
+// The AEAD engine (crypto/aead.hpp) and the genome kernel layer
+// (genome/kernels/kernels.hpp) select their x86-64 backends only when the
+// executing CPU advertises the instructions, so one binary runs correctly on
+// every host. Detection happens once per process; non-x86 builds report no
+// features and always take the portable kernels.
 #pragma once
 
 namespace gendpr::crypto {
@@ -13,6 +14,12 @@ struct CpuFeatures {
   bool pclmul = false;  // carry-less multiply (CPUID.1:ECX.PCLMULQDQ)
   bool ssse3 = false;   // PSHUFB, used for GHASH byte reversal
   bool sse41 = false;   // PINSR/PEXTR conveniences in the CTR kernels
+  // The AVX flags below are usability, not just presence: they also require
+  // OSXSAVE and the XGETBV-reported OS state for YMM (and ZMM/opmask for
+  // AVX-512), because executing wide instructions without saved register
+  // state faults even when CPUID advertises them.
+  bool avx2 = false;            // CPUID.7.0:EBX.AVX2 + YMM state
+  bool avx512_popcount = false; // AVX512F+BW+VPOPCNTDQ + ZMM/opmask state
 };
 
 /// Features of the executing CPU, probed once and cached.

@@ -19,6 +19,7 @@ void write_config(wire::Writer& w, const StudyConfig& config) {
   w.f64(config.ld_cutoff);
   w.f64(config.lr_false_positive_rate);
   w.f64(config.lr_power_threshold);
+  w.u32(config.snp_tile_width);
 }
 
 Result<StudyConfig> read_config(wire::Reader& r) {
@@ -30,6 +31,9 @@ Result<StudyConfig> read_config(wire::Reader& r) {
     if (!v.ok()) return v.error();
     *field = v.value();
   }
+  auto width = r.u32();
+  if (!width.ok()) return width.error();
+  config.snp_tile_width = width.value();
   return config;
 }
 
@@ -97,6 +101,7 @@ common::Bytes SummaryStats::serialize() const {
   wire::Writer w;
   w.vector_u32(case_counts);
   w.u32(n_case);
+  w.u32(tile_index);
   return std::move(w).take();
 }
 
@@ -109,6 +114,9 @@ Result<SummaryStats> SummaryStats::deserialize(common::BytesView data) {
   auto n = r.u32();
   if (!n.ok()) return n.error();
   msg.n_case = n.value();
+  auto tile = r.u32();
+  if (!tile.ok()) return tile.error();
+  msg.tile_index = tile.value();
   if (!r.exhausted()) return trailing();
   return msg;
 }
@@ -206,6 +214,8 @@ common::Bytes Phase2Result::serialize() const {
   }
   w.vector_u32(n_case_per_gdo);
   w.vector_u32(dead_gdos);
+  w.u32(tile_index);
+  w.u32(num_tiles);
   return std::move(w).take();
 }
 
@@ -235,6 +245,15 @@ Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
   auto dead = r.vector_u32();
   if (!dead.ok()) return dead.error();
   msg.dead_gdos = std::move(dead).take();
+  auto tile = r.u32();
+  if (!tile.ok()) return tile.error();
+  msg.tile_index = tile.value();
+  auto tiles = r.u32();
+  if (!tiles.ok()) return tiles.error();
+  msg.num_tiles = tiles.value();
+  if (msg.num_tiles == 0 || msg.tile_index >= msg.num_tiles) {
+    return make_error(Errc::bad_message, "phase2 tile index out of range");
+  }
   if (!r.exhausted()) return trailing();
   return msg;
 }
@@ -246,6 +265,7 @@ common::Bytes LrMatrices::serialize() const {
     w.u32(entry.combination_id);
     write_matrix(w, entry.matrix);
   }
+  w.u32(tile_index);
   return std::move(w).take();
 }
 
@@ -264,6 +284,9 @@ Result<LrMatrices> LrMatrices::deserialize(common::BytesView data) {
     entry.matrix = std::move(matrix).take();
     msg.entries.push_back(std::move(entry));
   }
+  auto tile = r.u32();
+  if (!tile.ok()) return tile.error();
+  msg.tile_index = tile.value();
   if (!r.exhausted()) return trailing();
   return msg;
 }

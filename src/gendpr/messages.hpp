@@ -45,11 +45,17 @@ struct StudyAnnounce {
   static common::Result<StudyAnnounce> deserialize(common::BytesView data);
 };
 
-/// Member -> leader: local allele-count vector over L_des and local case
-/// population size (§5.2's caseLocalCounts / N^case_g).
+/// Member -> leader: local allele-count vector over one SNP tile and the
+/// local case population size (§5.2's caseLocalCounts / N^case_g). With
+/// tiling disabled the single tile covers all of L_des (`tile_index` 0);
+/// with a positive `snp_tile_width` a member streams one SummaryStats per
+/// tile, each body bounded by the tile width, and the leader assesses tiles
+/// as soon as every live member delivered them.
 struct SummaryStats {
   std::vector<std::uint32_t> case_counts;
   std::uint32_t n_case = 0;
+  /// Which tile of the announce-derived TilePlan `case_counts` covers.
+  std::uint32_t tile_index = 0;
 
   common::Bytes serialize() const;
   static common::Result<SummaryStats> deserialize(common::BytesView data);
@@ -105,6 +111,14 @@ struct Phase2Result {
   /// them are skipped by members (§5.6 degraded mode: surviving
   /// combinations still complete).
   std::vector<std::uint32_t> dead_gdos;
+  /// Tile position within the leader's phase-3 TilePlan over L''. The
+  /// monolithic protocol is the `tile_index` 0 / `num_tiles` 1 special
+  /// case; with tiling, `retained`, `reference_freq` and the per-GDO count
+  /// vectors hold only this tile's columns (global SNP ids stay global) and
+  /// members reply with one LrMatrices per tile. Each tile message is
+  /// self-contained: a member needs no cross-tile state to answer it.
+  std::uint32_t tile_index = 0;
+  std::uint32_t num_tiles = 1;
 
   /// Case-frequency vector of the combination whose honest subset is
   /// `members`: exact u64 count and population sums over the members
@@ -120,13 +134,19 @@ struct Phase2Result {
 };
 
 /// Member -> leader: local LR matrices, one per combination that includes
-/// this GDO, each built with that combination's frequency vector.
+/// this GDO, each built with that combination's frequency vector. Under
+/// tiling, each matrix covers only the columns of `tile_index`'s slice of
+/// L'' (the reply mirrors the Phase2Result tile it answers); the leader
+/// reassembles full-width matrices column-slice by column-slice before the
+/// global safe-subset selection, which is exact because every matrix cell
+/// depends on its own column only.
 struct LrMatrices {
   struct Entry {
     std::uint32_t combination_id = 0;
     stats::LrMatrix matrix;
   };
   std::vector<Entry> entries;
+  std::uint32_t tile_index = 0;
 
   common::Bytes serialize() const;
   static common::Result<LrMatrices> deserialize(common::BytesView data);

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "crypto/aead.hpp"
+#include "genome/kernels/kernels.hpp"
 
 namespace gendpr::core {
 
@@ -131,13 +132,22 @@ void MemberNode::run() {
           status_ = s;
           return;
         }
-        const Stopwatch compute_watch;
-        const SummaryStats stats = enclave_.make_summary_stats();
-        compute_ms_ += compute_watch.elapsed_ms();
-        if (Status s = reply(MsgType::summary_stats, stats.serialize());
-            !s.ok()) {
-          status_ = s;
-          return;
+        // One summary per tile of the announce-derived plan (a single tile
+        // when tiling is off). Each reply goes out as soon as its tile is
+        // counted, so the leader assesses tile k while this member is still
+        // computing tile k+1.
+        const genome::TilePlan plan = genome::TilePlan::over(
+            announce.value().num_snps, announce.value().config.snp_tile_width);
+        for (std::uint32_t k = 0; k < plan.tile_count(); ++k) {
+          const Stopwatch compute_watch;
+          const SummaryStats stats =
+              enclave_.make_summary_tile(plan.begin(k), plan.end(k), k);
+          compute_ms_ += compute_watch.elapsed_ms();
+          if (Status s = reply(MsgType::summary_stats, stats.serialize());
+              !s.ok()) {
+            status_ = s;
+            return;
+          }
         }
         break;
       }
@@ -187,13 +197,16 @@ void MemberNode::run() {
           status_ = matrices.error();
           return;
         }
-        // One basis build iff this GDO sat in any live combination, plus
-        // one basis-times-weights derivation per entry.
+        // One basis build per tile iff this GDO sat in any live combination,
+        // plus one basis-times-weights derivation per entry. The per-tile
+        // basis bounds this member's transient EPC footprint at O(tile).
         if (!matrices.value().entries.empty()) {
           obs::add_counter(obs_, "lr.basis_builds");
           obs::add_counter(obs_, "lr.combination_matvecs",
                            matrices.value().entries.size());
         }
+        obs::max_gauge(obs_, "epc.member.peak_bytes",
+                       static_cast<double>(enclave_.platform().epc().peak()));
         if (Status s = reply(MsgType::lr_matrices,
                              matrices.value().serialize());
             !s.ok()) {
@@ -474,6 +487,16 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
       !s.ok()) {
     return s.error();
   }
+  // Each member streams one summary per tile of the phase-1 plan; a member
+  // stays pending until its last tile lands. After every arrival the leader
+  // assesses whatever tiles are now complete across all live members, so
+  // MAF math overlaps the remaining transfers (the pipelined engine's
+  // phase-1 half). Inline assessment time is attributed to indexing, not
+  // aggregation, to keep the Figure 5/6 categories honest.
+  const std::uint32_t maf_tile_count = coordinator_.maf_plan().tile_count();
+  std::vector<std::uint32_t> summary_tiles_left(num_gdos_, maf_tile_count);
+  double inline_assess_ms = 0;
+  std::size_t maf_tiles_inline = 0;
   std::set<std::uint32_t> pending = live_members();
   for (;;) {
     auto step = next_record("data aggregation", pending);
@@ -491,13 +514,22 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
         !s.ok()) {
       return s.error();
     }
-    pending.erase(step.value().member);
+    if (--summary_tiles_left[step.value().member] == 0) {
+      pending.erase(step.value().member);
+    }
+    const Stopwatch assess_watch;
+    maf_tiles_inline += coordinator_.assess_ready_maf_tiles();
+    inline_assess_ms += assess_watch.elapsed_ms();
     if (pending.empty()) break;
   }
   if (coordinator_.live_combination_count() == 0) {
     return dead_peers_error("data aggregation");
   }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+  timings.aggregation_ms += aggregation_watch.elapsed_ms() - inline_assess_ms;
+  timings.indexing_ms += inline_assess_ms;
+  obs::observe(obs_, "pipeline.leader_assess_ms", inline_assess_ms);
+  obs::add_counter(obs_, "pipeline.maf_tiles_assessed_inline",
+                   maf_tiles_inline);
   gather_span.end();
 
   // --- Phase 1: MAF analysis ("Indexing/Sorting/AlleleFreq."). ---
@@ -580,18 +612,34 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   aggregation_watch.restart();
   obs::ScopedSpan lr_gather_span(obs::recorder_of(obs_),
                                  "step.gather_lr_matrices", study_span_);
-  const common::Bytes phase2_body = phase2.value().serialize();
-  // Per-member body size (O(G·m) with per-GDO counts) and the total the
-  // leader pushes out for phase 2.
-  obs::add_counter(obs_, "leader.phase2_body_bytes", phase2_body.size());
-  obs::add_counter(obs_, "leader.phase2_broadcast_bytes",
-                   phase2_body.size() * live_members().size());
-  const std::uint64_t phase2_body_bytes = phase2_body.size();
-  if (Status s = broadcast(MsgType::phase2_result, phase2_body); !s.ok()) {
-    return s.error();
+  // Phase-2 inputs go out as one self-contained message per tile of the
+  // phase-3 plan (a single message when tiling is off): each body is
+  // O(G·tile) with per-GDO counts. Members start deriving on their own
+  // threads as soon as tile 0 lands, so the leader's own per-tile
+  // derivations right after the broadcast overlap the members' work.
+  std::uint64_t phase2_body_bytes = 0;
+  for (const Phase2Result& tile : coordinator_.phase2_tiles()) {
+    const common::Bytes body = tile.serialize();
+    phase2_body_bytes += body.size();
+    obs::add_counter(obs_, "leader.phase2_body_bytes", body.size());
+    obs::add_counter(obs_, "leader.phase2_broadcast_bytes",
+                     body.size() * live_members().size());
+    if (Status s = broadcast(MsgType::phase2_result, body); !s.ok()) {
+      return s.error();
+    }
   }
 
-  // --- Phase 3: gather LR matrices, select, broadcast. ---
+  // --- Phase 3: derive leader tiles, gather LR matrices, select. ---
+  const Stopwatch lr_derive_watch;
+  if (Status s = coordinator_.derive_leader_lr_tiles(); !s.ok()) {
+    return s.error();
+  }
+  const double lr_derive_ms = lr_derive_watch.elapsed_ms();
+  obs::observe(obs_, "pipeline.lr_derive_ms", lr_derive_ms);
+
+  // Each member answers every phase-2 tile with one LrMatrices reply.
+  const std::uint32_t lr_tile_count = coordinator_.lr_plan().tile_count();
+  std::vector<std::uint32_t> lr_tiles_left(num_gdos_, lr_tile_count);
   pending = live_members();
   for (;;) {
     auto step = next_record("LR gather", pending);
@@ -609,10 +657,13 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
         !s.ok()) {
       return s.error();
     }
-    pending.erase(step.value().member);
+    if (--lr_tiles_left[step.value().member] == 0) {
+      pending.erase(step.value().member);
+    }
     if (pending.empty()) break;
   }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms();
+  timings.aggregation_ms += aggregation_watch.elapsed_ms() - lr_derive_ms;
+  timings.lr_ms += lr_derive_ms;
   lr_gather_span.end();
 
   Stopwatch lr_watch;
@@ -666,11 +717,26 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
       aead_after.records_sealed - aead_before.records_sealed;
   result.crypto_bytes_sealed =
       aead_after.bytes_sealed - aead_before.bytes_sealed;
+  result.kernel_backend = genome::kernels::kernel_backend_name(
+      genome::kernels::active_kernel_backend());
+  result.snp_tile_width = coordinator_.announce().config.snp_tile_width;
+  result.maf_tiles = maf_tile_count;
+  result.lr_tiles = lr_tile_count;
+  result.maf_tiles_assessed_inline = maf_tiles_inline;
+  result.leader_inline_assess_ms = inline_assess_ms;
+  result.leader_lr_derive_ms = lr_derive_ms;
   if (obs_ != nullptr) {
     // Counters are exported by the federation runner from a run-wide delta
     // (which also covers provisioning-time sealing); only the label is set
     // here so standalone-leader reports still name their backend.
     obs_->metrics.set_label("crypto.backend", result.crypto_backend);
+    obs_->metrics.set_label("kernel.backend", result.kernel_backend);
+    obs_->metrics.set_gauge("tiles.width",
+                            static_cast<double>(result.snp_tile_width));
+    obs_->metrics.set_gauge("tiles.count",
+                            static_cast<double>(result.maf_tiles));
+    obs_->metrics.set_gauge("tiles.lr_count",
+                            static_cast<double>(result.lr_tiles));
     obs_->metrics.observe("leader.phase.aggregation_ms",
                           timings.aggregation_ms);
     obs_->metrics.observe("leader.phase.indexing_ms", timings.indexing_ms);

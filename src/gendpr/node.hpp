@@ -93,6 +93,21 @@ struct StudyResult {
   std::string crypto_backend;
   std::uint64_t crypto_records_sealed = 0;
   std::uint64_t crypto_bytes_sealed = 0;
+  /// SIMD kernel backend the bit-plane hot loops dispatched to
+  /// ("portable" / "avx2" / "avx512").
+  std::string kernel_backend;
+  /// Tiling shape of the pipelined phase engine: the configured width
+  /// (0 = monolithic) and the resulting phase-1 / phase-3 tile counts.
+  std::uint32_t snp_tile_width = 0;
+  std::uint32_t maf_tiles = 1;
+  std::uint32_t lr_tiles = 1;
+  /// Pipeline overlap: leader-side work done while members were still
+  /// streaming — MAF tiles assessed mid-gather and the time spent on them,
+  /// plus the leader's own LR tile derivations run right after the phase-2
+  /// tile broadcast (overlapping the members' derivations).
+  std::size_t maf_tiles_assessed_inline = 0;
+  double leader_inline_assess_ms = 0;
+  double leader_lr_derive_ms = 0;
 };
 
 /// Non-leader GDO host: handshakes with the leader, then answers phase

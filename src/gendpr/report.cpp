@@ -81,6 +81,23 @@ obs::JsonValue make_run_report(const StudyResult& study,
   crypto.set("bytes_sealed", study.crypto_bytes_sealed);
   report.set("crypto", std::move(crypto));
 
+  JsonValue kernels = JsonValue::object();
+  kernels.set("backend", study.kernel_backend);
+  report.set("kernels", std::move(kernels));
+
+  JsonValue tiles = JsonValue::object();
+  tiles.set("width", study.snp_tile_width);
+  tiles.set("count", study.maf_tiles);
+  tiles.set("lr_count", study.lr_tiles);
+  report.set("tiles", std::move(tiles));
+
+  JsonValue pipeline = JsonValue::object();
+  pipeline.set("maf_tiles_assessed_inline",
+               static_cast<std::uint64_t>(study.maf_tiles_assessed_inline));
+  pipeline.set("leader_inline_assess_ms", study.leader_inline_assess_ms);
+  pipeline.set("leader_lr_derive_ms", study.leader_lr_derive_ms);
+  report.set("pipeline", std::move(pipeline));
+
   JsonValue events = JsonValue::object();
   JsonValue dead = JsonValue::array();
   for (std::uint32_t gdo : study.dead_gdos) dead.push_back(gdo);

@@ -19,7 +19,7 @@
 namespace gendpr::core {
 
 /// Identifies the document layout; bump when the schema changes shape.
-inline constexpr const char* kRunReportSchema = "gendpr.run_report.v1";
+inline constexpr const char* kRunReportSchema = "gendpr.run_report.v2";
 
 /// Optional context for make_run_report.
 struct ReportContext {

@@ -53,6 +53,7 @@ Status GdoEnclave::on_study_announce(const StudyAnnounce& announce) {
   l_prime_.clear();
   l_double_prime_.clear();
   l_safe_.clear();
+  phase2_next_tile_ = 0;
   study_complete_ = false;
   return Status::success();
 }
@@ -61,6 +62,18 @@ SummaryStats GdoEnclave::make_summary_stats() const {
   SummaryStats stats;
   stats.case_counts = planes_.allele_counts();
   stats.n_case = static_cast<std::uint32_t>(cases_.num_individuals());
+  return stats;
+}
+
+SummaryStats GdoEnclave::make_summary_tile(std::uint32_t snp_begin,
+                                           std::uint32_t snp_end,
+                                           std::uint32_t tile_index) const {
+  const genome::BitPlanes::TileView view = planes_.tile(snp_begin, snp_end);
+  SummaryStats stats;
+  stats.case_counts.assign(view.allele_counts(),
+                           view.allele_counts() + view.num_snps());
+  stats.n_case = static_cast<std::uint32_t>(cases_.num_individuals());
+  stats.tile_index = tile_index;
   return stats;
 }
 
@@ -99,6 +112,18 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result,
   if (!announce_.has_value()) {
     return make_error(Errc::state_violation, "phase2 before study announce");
   }
+  if (result.num_tiles == 0 || result.tile_index >= result.num_tiles) {
+    return make_error(Errc::bad_message, "phase2 tile index out of range");
+  }
+  // Tile 0 starts (or restarts) the phase-2 stream; later tiles must arrive
+  // in order so L'' assembles exactly as the leader sliced it.
+  if (result.tile_index == 0) {
+    l_double_prime_.clear();
+    phase2_next_tile_ = 0;
+  }
+  if (result.tile_index != phase2_next_tile_) {
+    return make_error(Errc::state_violation, "phase2 tile out of order");
+  }
   const std::size_t num_gdos = result.case_counts_per_gdo.size();
   if (result.n_case_per_gdo.size() != num_gdos) {
     return make_error(Errc::bad_message,
@@ -131,7 +156,9 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result,
     return make_error(Errc::bad_message,
                       "per-GDO counts disagree with the local dataset");
   }
-  l_double_prime_ = result.retained;
+  l_double_prime_.insert(l_double_prime_.end(), result.retained.begin(),
+                         result.retained.end());
+  phase2_next_tile_ = result.tile_index + 1;
 
   // Pass 1: validate every co-member's count slot and collect the live
   // combinations containing this GDO (the only ones this GDO computes for).
@@ -174,6 +201,7 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result,
   }
 
   LrMatrices response;
+  response.tile_index = result.tile_index;
   if (own.empty()) return response;
 
   // Pass 2: one genotype-fixed basis build, then one cheap derivation per
@@ -297,9 +325,13 @@ Coordinator::Coordinator(GdoEnclave& leader_enclave,
       reference_planes_(reference_),
       num_gdos_(num_gdos),
       announce_(std::move(announce)),
-      summaries_(num_gdos),
-      lr_matrices_(announce_.combinations.size()) {
+      summaries_(num_gdos) {
   reference_counts_ = reference_planes_.allele_counts();
+  maf_plan_ = genome::TilePlan::over(announce_.num_snps,
+                                     announce_.config.snp_tile_width);
+  summary_tiles_.assign(
+      num_gdos_, std::vector<bool>(maf_plan_.tile_count(), false));
+  maf_survivors_.assign(announce_.combinations.size(), {});
 }
 
 Status Coordinator::mark_gdo_dead(std::uint32_t gdo_index) {
@@ -351,7 +383,10 @@ Status Coordinator::add_summary(std::uint32_t gdo_index,
   if (gdo_index >= num_gdos_) {
     return make_error(Errc::unknown_peer, "summary from unknown GDO");
   }
-  if (stats.case_counts.size() != announce_.num_snps) {
+  if (stats.tile_index >= maf_plan_.tile_count()) {
+    return make_error(Errc::bad_message, "summary tile index out of range");
+  }
+  if (stats.case_counts.size() != maf_plan_.width_of(stats.tile_index)) {
     return make_error(Errc::bad_message, "summary count vector wrong size");
   }
   for (std::uint32_t count : stats.case_counts) {
@@ -360,7 +395,24 @@ Status Coordinator::add_summary(std::uint32_t gdo_index,
                         "allele count exceeds population size");
     }
   }
-  summaries_[gdo_index] = stats;
+  if (summary_tiles_[gdo_index][stats.tile_index]) {
+    return make_error(Errc::bad_message, "duplicate summary tile");
+  }
+  // Tiles assemble into one full-width summary; n_case rides along on every
+  // tile and must never change mid-stream.
+  auto& slot = summaries_[gdo_index];
+  if (!slot.has_value()) {
+    SummaryStats full;
+    full.case_counts.assign(announce_.num_snps, 0);
+    full.n_case = stats.n_case;
+    slot = std::move(full);
+  } else if (slot->n_case != stats.n_case) {
+    return make_error(Errc::bad_message,
+                      "population size differs across summary tiles");
+  }
+  std::copy(stats.case_counts.begin(), stats.case_counts.end(),
+            slot->case_counts.begin() + maf_plan_.begin(stats.tile_index));
+  summary_tiles_[gdo_index][stats.tile_index] = true;
   return Status::success();
 }
 
@@ -368,43 +420,86 @@ bool Coordinator::phase1_ready() const noexcept {
   for (std::uint32_t g = 0; g < num_gdos_; ++g) {
     if (g == leader_->gdo_index()) continue;  // leader's summary is local
     if (dead_gdos_.count(g) > 0) continue;    // dead GDOs never report
-    if (!summaries_[g].has_value()) return false;
+    for (std::uint32_t k = 0; k < maf_plan_.tile_count(); ++k) {
+      if (!summary_tiles_[g][k]) return false;
+    }
   }
   return true;
 }
 
-Result<Phase1Result> Coordinator::run_maf_phase() {
-  // The leader's own summary enters directly (no network round trip).
-  if (!summaries_[leader_->gdo_index()].has_value()) {
-    summaries_[leader_->gdo_index()] = leader_->make_summary_stats();
+bool Coordinator::maf_tile_ready(std::uint32_t tile) const {
+  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+    if (g == leader_->gdo_index()) continue;
+    if (dead_gdos_.count(g) > 0) continue;
+    if (!summary_tiles_[g][tile]) return false;
   }
-  if (!phase1_ready()) {
-    return make_error(Errc::state_violation,
-                      "MAF phase before all summaries arrived");
-  }
-  const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.maf",
-                                   study_span_);
-  const double cutoff = announce_.config.maf_cutoff;
-  std::vector<std::vector<std::uint32_t>> per_combination;
-  per_combination.reserve(announce_.combinations.size());
+  return true;
+}
 
+void Coordinator::assess_maf_tile(std::uint32_t tile) {
+  if (!maf_span_.has_value()) {
+    maf_span_.emplace(obs::recorder_of(obs_), "phase.maf", study_span_);
+  }
+  const obs::ScopedSpan tile_span(obs::recorder_of(obs_),
+                                  "maf.tile." + std::to_string(tile),
+                                  maf_span_->id());
+  obs::add_counter(obs_, "coordinator.maf_tiles");
+  const double cutoff = announce_.config.maf_cutoff;
+  const std::uint32_t begin = maf_plan_.begin(tile);
+  const std::uint32_t width = maf_plan_.width_of(tile);
   for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
     if (!combination_live(c)) continue;  // skip combos with dead members
-    const obs::ScopedSpan combination_span(
-        obs::recorder_of(obs_), "maf.combination." + std::to_string(c),
-        phase_span.id());
     obs::add_counter(obs_, "coordinator.maf_combinations");
     const auto& members = announce_.combinations[c];
     std::uint64_t n_total = reference_.num_individuals();
     for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
-    std::vector<double> maf(announce_.num_snps, 0.0);
-    for (std::uint32_t l = 0; l < announce_.num_snps; ++l) {
-      std::uint64_t count = reference_counts_[l];
-      for (std::uint32_t g : members) count += summaries_[g]->case_counts[l];
-      maf[l] = stats::minor_allele_frequency(count, n_total);
+    std::vector<double> maf(width, 0.0);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      std::uint64_t count = reference_counts_[begin + i];
+      for (std::uint32_t g : members) {
+        count += summaries_[g]->case_counts[begin + i];
+      }
+      maf[i] = stats::minor_allele_frequency(count, n_total);
     }
-    per_combination.push_back(stats::maf_filter(maf, cutoff));
+    // maf_filter decides per SNP, so filtering the tile and offsetting the
+    // survivors equals filtering the full vector restricted to the tile;
+    // ascending-tile appends keep each combination's list sorted.
+    for (std::uint32_t local : stats::maf_filter(maf, cutoff)) {
+      maf_survivors_[c].push_back(begin + local);
+    }
   }
+}
+
+std::size_t Coordinator::assess_ready_maf_tiles() {
+  // The leader's own summary enters directly (no network round trip).
+  if (!summaries_[leader_->gdo_index()].has_value()) {
+    summaries_[leader_->gdo_index()] = leader_->make_summary_stats();
+  }
+  std::size_t assessed = 0;
+  while (next_maf_tile_ < maf_plan_.tile_count() &&
+         maf_tile_ready(next_maf_tile_)) {
+    assess_maf_tile(next_maf_tile_);
+    ++next_maf_tile_;
+    ++assessed;
+  }
+  return assessed;
+}
+
+Result<Phase1Result> Coordinator::run_maf_phase() {
+  assess_ready_maf_tiles();
+  if (!phase1_ready() || next_maf_tile_ < maf_plan_.tile_count()) {
+    maf_span_.reset();
+    return make_error(Errc::state_violation,
+                      "MAF phase before all summaries arrived");
+  }
+  std::vector<std::vector<std::uint32_t>> per_combination;
+  per_combination.reserve(announce_.combinations.size());
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    // Only combinations still live saw every tile assessed (liveness is
+    // monotone); partially assessed lists of since-died combinations drop.
+    if (combination_live(c)) per_combination.push_back(maf_survivors_[c]);
+  }
+  maf_span_.reset();
   if (per_combination.empty()) {
     return no_live_combination_error("MAF phase");
   }
@@ -548,13 +643,60 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
             : std::vector<double>{});
   }
   reference_freq_ = result.reference_freq;
+
+  // Fix the phase-3 tile plan over L'' and size the per-tile stores. From
+  // here on, phase-2 bodies, member LR matrices, and the leader's own
+  // derivations all travel and compute in L''-column tiles.
+  lr_plan_ = genome::TilePlan::over(
+      static_cast<std::uint32_t>(l_double_prime_.size()),
+      announce_.config.snp_tile_width);
+  lr_matrix_tiles_.assign(
+      num_combinations,
+      std::vector<std::map<std::uint32_t, stats::LrMatrix>>(
+          lr_plan_.tile_count()));
+  leader_tiles_.assign(num_combinations,
+                       std::vector<stats::LrMatrix>(lr_plan_.tile_count()));
+  reference_tiles_.assign(
+      num_combinations, std::vector<stats::LrMatrix>(lr_plan_.tile_count()));
+  next_lr_tile_ = 0;
+  phase2_full_ = result;
   return result;
+}
+
+std::vector<Phase2Result> Coordinator::phase2_tiles() const {
+  std::vector<Phase2Result> tiles;
+  tiles.reserve(lr_plan_.tile_count());
+  for (std::uint32_t k = 0; k < lr_plan_.tile_count(); ++k) {
+    Phase2Result tile;
+    tile.retained = lr_plan_.slice(phase2_full_.retained, k);
+    tile.reference_freq = lr_plan_.slice(phase2_full_.reference_freq, k);
+    tile.case_counts_per_gdo.resize(num_gdos_);
+    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+      // Dead GDOs keep their (empty) slot in every tile.
+      if (!phase2_full_.case_counts_per_gdo[g].empty()) {
+        tile.case_counts_per_gdo[g] =
+            lr_plan_.slice(phase2_full_.case_counts_per_gdo[g], k);
+      }
+    }
+    tile.n_case_per_gdo = phase2_full_.n_case_per_gdo;
+    tile.dead_gdos = phase2_full_.dead_gdos;
+    tile.tile_index = k;
+    tile.num_tiles = lr_plan_.tile_count();
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
 }
 
 Status Coordinator::add_lr_matrices(std::uint32_t gdo_index,
                                     const LrMatrices& matrices) {
   if (gdo_index >= num_gdos_) {
     return make_error(Errc::unknown_peer, "LR matrices from unknown GDO");
+  }
+  if (lr_matrix_tiles_.size() != announce_.combinations.size()) {
+    return make_error(Errc::state_violation, "LR matrices before LD phase");
+  }
+  if (matrices.tile_index >= lr_plan_.tile_count()) {
+    return make_error(Errc::bad_message, "LR matrices tile index out of range");
   }
   for (const auto& entry : matrices.entries) {
     if (entry.combination_id >= announce_.combinations.size()) {
@@ -566,32 +708,133 @@ Status Coordinator::add_lr_matrices(std::uint32_t gdo_index,
       return make_error(Errc::bad_message,
                         "LR matrix from GDO outside the combination");
     }
-    if (entry.matrix.cols() != l_double_prime_.size()) {
+    if (entry.matrix.cols() != lr_plan_.width_of(matrices.tile_index)) {
       return make_error(Errc::bad_message, "LR matrix column mismatch");
     }
     if (entry.matrix.rows() != summaries_[gdo_index]->n_case) {
       return make_error(Errc::bad_message, "LR matrix row count mismatch");
     }
-    lr_matrices_[entry.combination_id][gdo_index] = entry.matrix;
+    lr_matrix_tiles_[entry.combination_id][matrices.tile_index][gdo_index] =
+        entry.matrix;
   }
   return Status::success();
 }
 
 bool Coordinator::phase3_ready() const noexcept {
+  if (lr_matrix_tiles_.size() != announce_.combinations.size()) return false;
   for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
     if (!combination_live(c)) continue;  // dead combos gather nothing
     for (std::uint32_t g : announce_.combinations[c]) {
       if (g == leader_->gdo_index()) continue;  // computed locally
-      if (lr_matrices_[c].find(g) == lr_matrices_[c].end()) return false;
+      for (std::uint32_t k = 0; k < lr_plan_.tile_count(); ++k) {
+        if (lr_matrix_tiles_[c][k].find(g) == lr_matrix_tiles_[c][k].end()) {
+          return false;
+        }
+      }
     }
   }
   return true;
 }
 
+Status Coordinator::derive_leader_lr_tile(std::uint32_t tile) {
+  if (!lr_span_.has_value()) {
+    lr_span_.emplace(obs::recorder_of(obs_), "phase.lr", study_span_);
+  }
+  const obs::ScopedSpan tile_span(obs::recorder_of(obs_),
+                                  "lr.tile." + std::to_string(tile),
+                                  lr_span_->id());
+  const std::vector<std::uint32_t> retained =
+      lr_plan_.slice(l_double_prime_, tile);
+  std::vector<std::size_t> live;
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (combination_live(c)) live.push_back(c);
+  }
+  // One EPC-charged per-tile basis at a time keeps the leader's transient
+  // working set O(tile) — the flat-memory half of the pipelined engine.
+  const bool leader_in_live = std::any_of(
+      live.begin(), live.end(), [this](std::size_t c) {
+        const auto& members = announce_.combinations[c];
+        return std::find(members.begin(), members.end(),
+                         leader_->gdo_index()) != members.end();
+      });
+  stats::LrBasis leader_basis;
+  tee::EpcAllocation leader_basis_epc;
+  if (leader_in_live) {
+    leader_basis = stats::LrBasis(leader_->planes(), retained);
+    auto epc = leader_->reserve_epc(leader_basis.storage_bytes());
+    if (!epc.ok()) return epc.error();
+    leader_basis_epc = std::move(epc).take();
+    obs::add_counter(obs_, "lr.basis_builds");
+    obs::observe(obs_, "epc.leader.tile_bytes",
+                 static_cast<double>(leader_->platform().epc().in_use()));
+  }
+  const stats::LrBasis reference_basis(reference_planes_, retained);
+  obs::add_counter(obs_, "lr.reference_basis_builds");
+  for (std::size_t c : live) {
+    const auto& members = announce_.combinations[c];
+    // Per-column weights slice exactly (lr_weights maps each column
+    // independently), so per-tile derivations are bit-identical column
+    // slices of the monolithic matrices.
+    const stats::LrWeights weights = stats::lr_weights(
+        lr_plan_.slice(case_freq_per_combination_[c], tile),
+        lr_plan_.slice(reference_freq_, tile));
+    if (std::find(members.begin(), members.end(), leader_->gdo_index()) !=
+        members.end()) {
+      leader_tiles_[c][tile] = leader_basis.derive(weights);
+      obs::add_counter(obs_, "lr.combination_matvecs");
+    }
+    reference_tiles_[c][tile] = reference_basis.derive(weights);
+    obs::add_counter(obs_, "lr.reference_matvecs");
+  }
+  return Status::success();
+}
+
+Status Coordinator::derive_leader_lr_tiles() {
+  if (leader_tiles_.size() != announce_.combinations.size()) {
+    return make_error(Errc::state_violation,
+                      "leader LR derivations before LD phase");
+  }
+  while (next_lr_tile_ < lr_plan_.tile_count()) {
+    if (Status s = derive_leader_lr_tile(next_lr_tile_); !s.ok()) return s;
+    ++next_lr_tile_;
+  }
+  return Status::success();
+}
+
+namespace {
+/// Reassembles a full-width matrix from its per-tile column slices. Pure
+/// cell copies, so the result is bit-identical to a monolithic build; the
+/// single-tile plan short-circuits to a plain copy.
+template <typename PieceFn>
+stats::LrMatrix assemble_column_tiles(const genome::TilePlan& plan,
+                                      PieceFn&& piece) {
+  if (plan.tile_count() == 1) return piece(0);
+  const std::size_t rows = piece(0).rows();
+  const std::size_t total = plan.total();
+  stats::LrMatrix out(rows, total);
+  double* dst = out.values().data();
+  for (std::uint32_t k = 0; k < plan.tile_count(); ++k) {
+    const stats::LrMatrix& p = piece(k);
+    const std::size_t width = p.cols();
+    const double* src = p.values().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy(src + r * width, src + (r + 1) * width,
+                dst + r * total + plan.begin(k));
+    }
+  }
+  return out;
+}
+}  // namespace
+
 Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
-  const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.lr",
-                                   study_span_);
+  // Leader-side tile derivations normally ran pipelined (while members
+  // computed theirs); finish whatever remains, then select globally.
+  if (Status s = derive_leader_lr_tiles(); !s.ok()) {
+    lr_span_.reset();
+    return s.error();
+  }
   if (!phase3_ready()) {
+    lr_span_.reset();
     return make_error(Errc::state_violation,
                       "LR phase before all matrices arrived");
   }
@@ -602,33 +845,11 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     if (combination_live(c)) live.push_back(c);
   }
   if (live.empty()) {
+    lr_span_.reset();
     return no_live_combination_error("LR phase");
   }
   std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
   std::vector<double> per_combination_power(num_combinations, 0.0);
-
-  // Genotype-fixed LR bases, built once and shared by every combination:
-  // the leader's own (if it sits in any live combination; charged against
-  // its EPC meter while held) and the public reference panel's. Each
-  // combination then costs two cheap weight derivations instead of two full
-  // bit-plane rebuilds.
-  const bool leader_in_live = std::any_of(
-      live.begin(), live.end(), [this](std::size_t c) {
-        const auto& members = announce_.combinations[c];
-        return std::find(members.begin(), members.end(),
-                         leader_->gdo_index()) != members.end();
-      });
-  stats::LrBasis leader_basis;
-  tee::EpcAllocation leader_basis_epc;
-  if (leader_in_live) {
-    leader_basis = stats::LrBasis(leader_->planes(), l_double_prime_);
-    auto epc = leader_->reserve_epc(leader_basis.storage_bytes());
-    if (!epc.ok()) return epc.error();
-    leader_basis_epc = std::move(epc).take();
-    obs::add_counter(obs_, "lr.basis_builds");
-  }
-  const stats::LrBasis reference_basis(reference_planes_, l_double_prime_);
-  obs::add_counter(obs_, "lr.reference_basis_builds");
 
   // With several combinations the pool fans out across them; with a single
   // combination it is threaded into the selection kernel instead. Never
@@ -641,23 +862,32 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     // is thread-safe and parents are explicit, so nesting stays correct.
     const obs::ScopedSpan combination_span(
         obs::recorder_of(obs_), "lr.combination." + std::to_string(c),
-        phase_span.id());
+        lr_span_->id());
     obs::add_counter(obs_, "coordinator.lr_combinations");
     const auto& members = announce_.combinations[c];
-    // Leader's own local LR matrix for this combination, if it is a member.
-    const stats::LrWeights weights = stats::lr_weights(
-        case_freq_per_combination_[c], reference_freq_);
+    // The selection is a global greedy over all of L'' (running per-row
+    // sums), so full-width matrices reassemble from the gathered column
+    // tiles first; every cell is an exact copy of its tiled counterpart.
     stats::LrMatrix merged;
     for (std::uint32_t g : members) {  // ascending GDO order by construction
       if (g == leader_->gdo_index()) {
-        merged.append_rows(leader_basis.derive(weights));
-        obs::add_counter(obs_, "lr.combination_matvecs");
+        merged.append_rows(assemble_column_tiles(
+            lr_plan_,
+            [&](std::uint32_t k) -> const stats::LrMatrix& {
+              return leader_tiles_[c][k];
+            }));
       } else {
-        merged.append_rows(lr_matrices_[c].at(g));
+        merged.append_rows(assemble_column_tiles(
+            lr_plan_,
+            [&](std::uint32_t k) -> const stats::LrMatrix& {
+              return lr_matrix_tiles_[c][k].at(g);
+            }));
       }
     }
-    const stats::LrMatrix reference_lr = reference_basis.derive(weights);
-    obs::add_counter(obs_, "lr.reference_matvecs");
+    const stats::LrMatrix reference_lr = assemble_column_tiles(
+        lr_plan_, [&](std::uint32_t k) -> const stats::LrMatrix& {
+          return reference_tiles_[c][k];
+        });
     stats::LrSelectionParams params;
     params.false_positive_rate = announce_.config.lr_false_positive_rate;
     params.power_threshold = announce_.config.lr_power_threshold;
@@ -690,6 +920,7 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
       live_powers.empty()
           ? 0.0
           : *std::max_element(live_powers.begin(), live_powers.end());
+  lr_span_.reset();
   Phase3Result result;
   result.safe = outcome_.l_safe;
   result.final_power = outcome_.final_power;

@@ -26,6 +26,7 @@
 #include "gendpr/messages.hpp"
 #include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
+#include "genome/tile_plan.hpp"
 #include "obs/observability.hpp"
 #include "stats/ld.hpp"
 #include "stats/lr_test.hpp"
@@ -59,6 +60,12 @@ class GdoEnclave : public tee::Enclave {
   /// --- protocol handlers (member role) ---
   common::Status on_study_announce(const StudyAnnounce& announce);
   SummaryStats make_summary_stats() const;
+  /// Per-tile summary for the pipelined phase 1: the allele counts of SNPs
+  /// [snp_begin, snp_end), read straight from the bit-plane count cache
+  /// through a zero-copy tile view (never recounted).
+  SummaryStats make_summary_tile(std::uint32_t snp_begin,
+                                 std::uint32_t snp_end,
+                                 std::uint32_t tile_index) const;
   common::Status on_phase1(const Phase1Result& result);
   common::Result<MomentsResponse> on_moments_request(
       const MomentsRequest& request) const;
@@ -71,6 +78,12 @@ class GdoEnclave : public tee::Enclave {
   /// rebuilds. `pool` (optional) fans the derivations out across
   /// combinations; entry order is deterministic either way. The basis is
   /// built iff the result has at least one entry.
+  ///
+  /// Under tiling the leader streams `result.num_tiles` tile messages in
+  /// ascending `tile_index` order; each is handled independently (basis and
+  /// matrices over the tile's columns only, so the transient working set is
+  /// O(tile)), and L'' accumulates across the stream. Out-of-order or
+  /// repeated tiles are a protocol violation.
   common::Result<LrMatrices> on_phase2(const Phase2Result& result,
                                        common::ThreadPool* pool = nullptr);
   common::Status on_phase3(const Phase3Result& result);
@@ -101,6 +114,8 @@ class GdoEnclave : public tee::Enclave {
   std::vector<std::uint32_t> l_prime_;
   std::vector<std::uint32_t> l_double_prime_;
   std::vector<std::uint32_t> l_safe_;
+  /// Next phase-2 tile index expected from the leader (stream sequencing).
+  std::uint32_t phase2_next_tile_ = 0;
   bool study_complete_ = false;
 };
 
@@ -158,24 +173,55 @@ class Coordinator {
   static std::vector<std::vector<std::uint32_t>> build_combinations(
       std::uint32_t num_gdos, const CollusionPolicy& policy);
 
+  /// --- Tiling ---
+  /// Phase-1 plan over the announced SNP range (fixed by the announce).
+  const genome::TilePlan& maf_plan() const noexcept { return maf_plan_; }
+  /// Phase-3 plan over L'' (valid after run_ld_phase).
+  const genome::TilePlan& lr_plan() const noexcept { return lr_plan_; }
+
   /// --- Phase 1 ---
+  /// Ingests one summary tile from `gdo_index` (the whole vector when
+  /// tiling is off). Tiles may arrive in any order across GDOs; per GDO
+  /// each tile arrives once and n_case must be consistent across tiles.
   common::Status add_summary(std::uint32_t gdo_index,
                              const SummaryStats& stats);
   bool phase1_ready() const noexcept;
+  /// Pipelined MAF assessment: assesses every not-yet-assessed tile whose
+  /// summaries arrived from all live members, in ascending tile order, and
+  /// returns how many tiles were assessed. The host calls this after each
+  /// summary arrival so the leader evaluates tile k while members stream
+  /// tile k+1; run_maf_phase finishes whatever remains. Appending per-tile
+  /// survivors in tile order keeps each combination's list sorted, so the
+  /// final intersection is independent of the tile width.
+  std::size_t assess_ready_maf_tiles();
   /// Runs per-combination MAF analysis and intersects (Alg. 1 lines 10-25).
   common::Result<Phase1Result> run_maf_phase();
 
   /// --- Phase 2 ---
   /// Runs the greedy LD walk for every combination (Alg. 1 lines 28-57),
   /// pulling member moments through `fetch` (cached per pair), and
-  /// intersects the survivors.
+  /// intersects the survivors. The walk is order-sequential (each pruning
+  /// decision depends on every prior one), so phase 2 is not tiled; its
+  /// per-pair messages are already O(1). Also fixes the phase-3 tile plan
+  /// over L'' and the full-width phase-2 state the tile slices come from.
   common::Result<Phase2Result> run_ld_phase(const FetchMoments& fetch);
+  /// Per-tile Phase2Result bodies (column slices of run_ld_phase's return
+  /// value; one entry per lr_plan() tile). Valid after run_ld_phase.
+  std::vector<Phase2Result> phase2_tiles() const;
 
   /// --- Phase 3 ---
   common::Status add_lr_matrices(std::uint32_t gdo_index,
                                  const LrMatrices& matrices);
   bool phase3_ready() const noexcept;
-  /// Merges per-combination LR matrices (ascending GDO order), runs the
+  /// Derives the leader's own and the reference panel's per-tile LR matrix
+  /// slices for every live combination (one EPC-charged per-tile basis at a
+  /// time, so the leader's transient working set is O(tile) like the
+  /// members'). Idempotent; run_lr_phase calls it for whatever remains. The
+  /// host calls it right after broadcasting the phase-2 tiles so this
+  /// leader-side assessment overlaps the members' own tile computations.
+  common::Status derive_leader_lr_tiles();
+  /// Merges per-combination LR matrices (ascending GDO order, reassembling
+  /// full-width matrices from the per-tile column slices), runs the
   /// safe-subset selection per combination (optionally in parallel), and
   /// intersects. `pool` may be null for serial evaluation.
   common::Result<Phase3Result> run_lr_phase(common::ThreadPool* pool);
@@ -195,6 +241,9 @@ class Coordinator {
   common::Error no_live_combination_error(const std::string& phase) const;
   std::vector<double> combination_chi2_p_values(
       const std::vector<std::uint32_t>& members) const;
+  bool maf_tile_ready(std::uint32_t tile) const;
+  void assess_maf_tile(std::uint32_t tile);
+  common::Status derive_leader_lr_tile(std::uint32_t tile);
 
   GdoEnclave* leader_;
   genome::GenotypeMatrix reference_;
@@ -209,9 +258,23 @@ class Coordinator {
   // Liveness state: GDOs declared unresponsive by the host protocol layer.
   std::set<std::uint32_t> dead_gdos_;
 
-  // Phase 1 state.
+  // Tiling. The phase-1 plan is fixed by the announce; the phase-3 plan is
+  // fixed over L'' at the end of the LD phase. Both phase spans open lazily
+  // (first tile assessed mid-gather) and close when their phase finishes.
+  genome::TilePlan maf_plan_;
+  genome::TilePlan lr_plan_;
+  std::optional<obs::ScopedSpan> maf_span_;
+  std::optional<obs::ScopedSpan> lr_span_;
+
+  // Phase 1 state. Summaries assemble tile by tile into full-width vectors;
+  // summary_tiles_[g][k] tracks which tiles of GDO g have arrived.
   std::vector<std::optional<SummaryStats>> summaries_;  // per GDO
+  std::vector<std::vector<bool>> summary_tiles_;
   std::vector<std::uint32_t> reference_counts_;
+  /// Per-combination MAF survivors accumulated in ascending tile order
+  /// (empty vectors for combinations that died before assessment ended).
+  std::vector<std::vector<std::uint32_t>> maf_survivors_;
+  std::uint32_t next_maf_tile_ = 0;
 
   // Phase 2 state.
   std::vector<std::uint32_t> l_prime_;
@@ -223,11 +286,20 @@ class Coordinator {
 
   // Phase 3 state.
   std::vector<std::uint32_t> l_double_prime_;
+  /// Full-width phase-2 result the per-tile bodies are column slices of.
+  Phase2Result phase2_full_;
   std::vector<std::vector<double>> case_freq_per_combination_;
   std::vector<double> reference_freq_;
-  /// lr_matrices_[combination_id][gdo_index] -> matrix (only set for members
-  /// of the combination).
-  std::vector<std::map<std::uint32_t, stats::LrMatrix>> lr_matrices_;
+  /// lr_matrix_tiles_[combination_id][tile][gdo_index] -> column slice of
+  /// the member's LR matrix (only set for members of the combination).
+  /// Sized at the end of the LD phase, when the L'' tile plan is known.
+  std::vector<std::vector<std::map<std::uint32_t, stats::LrMatrix>>>
+      lr_matrix_tiles_;
+  /// Leader / reference per-tile matrix slices, [combination_id][tile];
+  /// leader entries exist only for live combinations containing the leader.
+  std::vector<std::vector<stats::LrMatrix>> leader_tiles_;
+  std::vector<std::vector<stats::LrMatrix>> reference_tiles_;
+  std::uint32_t next_lr_tile_ = 0;
 
   SelectionOutcome outcome_;
 };

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "genome/kernels/kernels.hpp"
+
 namespace gendpr::genome {
 
 BitPlanes::BitPlanes(const GenotypeMatrix& genotypes)
@@ -28,13 +30,12 @@ BitPlanes::BitPlanes(const GenotypeMatrix& genotypes)
       }
     }
   }
+  const kernels::KernelOps& ops = kernels::kernel_ops();
+  count_prefix_.assign(num_snps_ + 1, 0);
   for (std::size_t l = 0; l < num_snps_; ++l) {
-    const std::uint64_t* p = plane(l);
-    std::uint32_t count = 0;
-    for (std::size_t w = 0; w < words_per_plane_; ++w) {
-      count += static_cast<std::uint32_t>(std::popcount(p[w]));
-    }
-    counts_[l] = count;
+    counts_[l] = static_cast<std::uint32_t>(
+        ops.popcount_words(plane(l), words_per_plane_));
+    count_prefix_[l + 1] = count_prefix_[l] + counts_[l];
   }
 }
 
@@ -49,13 +50,8 @@ std::vector<std::uint32_t> BitPlanes::allele_counts(
 
 std::uint32_t BitPlanes::pair_count(std::size_t snp_a,
                                     std::size_t snp_b) const noexcept {
-  const std::uint64_t* a = plane(snp_a);
-  const std::uint64_t* b = plane(snp_b);
-  std::uint32_t count = 0;
-  for (std::size_t w = 0; w < words_per_plane_; ++w) {
-    count += static_cast<std::uint32_t>(std::popcount(a[w] & b[w]));
-  }
-  return count;
+  return static_cast<std::uint32_t>(kernels::kernel_ops().and_popcount_words(
+      plane(snp_a), plane(snp_b), words_per_plane_));
 }
 
 }  // namespace gendpr::genome

@@ -1,0 +1,68 @@
+// Runtime-dispatched SIMD kernels for the bit-plane hot loops.
+//
+// The three loops that dominate wide studies — per-plane popcounts (allele
+// counts), AND+popcount over plane pairs (the one non-marginal LD moment),
+// and the indicator-select that derives an LR matrix from a genotype-fixed
+// basis — are pure integer/select operations, so a vectorized backend can be
+// bit-identical to the portable one. This header is the seam: the same
+// pattern as crypto's AEAD engine (crypto/gcm_backend.hpp), with each ISA
+// variant compiled in its own translation unit under scoped compiler flags
+// and a CPUID-probing dispatcher choosing at runtime. The dispatcher, not
+// the kernels, checks CPU support; a kernel TU is only entered when its ISA
+// is both compiled in and advertised by the executing CPU.
+//
+// Backend selection: GENDPR_KERNEL_BACKEND=portable|avx2|avx512 overrides;
+// an unavailable override falls back to the best available backend, exactly
+// like GENDPR_CRYPTO_BACKEND.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gendpr::genome::kernels {
+
+enum class KernelBackend : std::uint8_t {
+  portable = 0,  // std::popcount / scalar select, any CPU
+  avx2 = 1,      // Harley-Seal CSA + vpshufb nibble-LUT popcount
+  avx512 = 2,    // vpopcntq (AVX-512F/BW/VPOPCNTDQ) + masked blends
+};
+
+/// Stable lowercase name, exported as the run report's `kernel.backend`.
+const char* kernel_backend_name(KernelBackend backend) noexcept;
+
+/// True when the backend is both compiled into this binary and supported by
+/// the executing CPU (including OS XSAVE state for YMM/ZMM registers).
+bool kernel_backend_available(KernelBackend backend) noexcept;
+
+/// Resolves GENDPR_KERNEL_BACKEND (re-read on every call), falling back to
+/// the best available backend when unset, unknown, or unavailable.
+KernelBackend default_kernel_backend() noexcept;
+
+/// The dispatch table. All entries are total functions: n == 0 is fine and
+/// every backend returns bit-identical results for identical inputs.
+struct KernelOps {
+  /// Sum of std::popcount over words[0..n).
+  std::uint64_t (*popcount_words)(const std::uint64_t* words, std::size_t n);
+  /// Sum of std::popcount(a[i] & b[i]) over [0..n).
+  std::uint64_t (*and_popcount_words)(const std::uint64_t* a,
+                                      const std::uint64_t* b, std::size_t n);
+  /// out[i] = indicator[i] != 0 ? when_minor[i] : when_major[i] — the
+  /// LrBasis row derivation (a pure select, hence exact).
+  void (*select_weights)(const std::uint8_t* indicator,
+                         const double* when_minor, const double* when_major,
+                         std::size_t n, double* out);
+};
+
+/// Ops for an explicit backend; unavailable backends resolve to portable.
+/// Test and bench entry point — hot paths use kernel_ops().
+const KernelOps& kernel_ops_for(KernelBackend backend) noexcept;
+
+/// Ops for the process-wide active backend. Resolved once on first use
+/// (env + CPUID) and cached: the per-call getenv of default_kernel_backend()
+/// would be measurable in the per-pair LD loop.
+const KernelOps& kernel_ops() noexcept;
+
+/// The backend kernel_ops() resolved to (for metrics labels).
+KernelBackend active_kernel_backend() noexcept;
+
+}  // namespace gendpr::genome::kernels

@@ -1,0 +1,95 @@
+// AVX-512 kernels: native vpopcntq per-lane popcounts and mask-register
+// weight blends. Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq only
+// (see src/genome/CMakeLists.txt); the dispatcher checks ZMM state and the
+// VPOPCNTDQ CPUID bit before calling in.
+#include "genome/kernels/kernels_backend.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512VPOPCNTDQ__)
+#define GENDPR_AVX512_KERNELS 1
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+#endif
+
+namespace gendpr::genome::kernels::detail {
+
+#if defined(GENDPR_AVX512_KERNELS)
+
+bool avx512_kernels_compiled() noexcept { return true; }
+
+std::uint64_t popcount_words_avx512(const std::uint64_t* words,
+                                    std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(words + i);
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t count = static_cast<std::uint64_t>(
+      _mm512_reduce_add_epi64(total));
+  for (; i < n; ++i) {
+    count += static_cast<std::uint64_t>(std::popcount(words[i]));
+  }
+  return count;
+}
+
+std::uint64_t and_popcount_words_avx512(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t count = static_cast<std::uint64_t>(
+      _mm512_reduce_add_epi64(total));
+  for (; i < n; ++i) {
+    count += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+void select_weights_avx512(const std::uint8_t* indicator,
+                           const double* when_minor, const double* when_major,
+                           std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t packed;
+    std::memcpy(&packed, indicator + i, sizeof(packed));
+    const __m128i bytes =
+        _mm_cvtsi64_si128(static_cast<long long>(packed));
+    const __mmask8 mask = _mm512_cmpneq_epi64_mask(
+        _mm512_cvtepu8_epi64(bytes), _mm512_setzero_si512());
+    const __m512d minor = _mm512_loadu_pd(when_minor + i);
+    const __m512d major = _mm512_loadu_pd(when_major + i);
+    _mm512_storeu_pd(out + i, _mm512_mask_blend_pd(mask, major, minor));
+  }
+  for (; i < n; ++i) {
+    out[i] = indicator[i] != 0 ? when_minor[i] : when_major[i];
+  }
+}
+
+#else  // !GENDPR_AVX512_KERNELS
+
+// Stubs for builds without AVX-512 codegen; the dispatcher never calls them.
+bool avx512_kernels_compiled() noexcept { return false; }
+
+std::uint64_t popcount_words_avx512(const std::uint64_t*, std::size_t) {
+  return 0;
+}
+
+std::uint64_t and_popcount_words_avx512(const std::uint64_t*,
+                                        const std::uint64_t*, std::size_t) {
+  return 0;
+}
+
+void select_weights_avx512(const std::uint8_t*, const double*, const double*,
+                           std::size_t, double*) {}
+
+#endif  // GENDPR_AVX512_KERNELS
+
+}  // namespace gendpr::genome::kernels::detail

@@ -1,0 +1,18 @@
+#include "genome/tile_plan.hpp"
+
+namespace gendpr::genome {
+
+TilePlan TilePlan::over(std::uint32_t total, std::uint32_t requested_width) {
+  TilePlan plan;
+  plan.total_ = total;
+  if (requested_width == 0 || requested_width >= total) {
+    plan.width_ = total == 0 ? 1 : total;
+    plan.tile_count_ = 1;
+    return plan;
+  }
+  plan.width_ = requested_width;
+  plan.tile_count_ = (total + requested_width - 1) / requested_width;
+  return plan;
+}
+
+}  // namespace gendpr::genome

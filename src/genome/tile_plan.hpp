@@ -1,0 +1,61 @@
+// Fixed-width SNP tiling for the pipelined study engine.
+//
+// A TilePlan partitions an ordered SNP (or retained-column) range [0, total)
+// into contiguous tiles of a fixed width; the last tile takes the remainder.
+// Tiles are always whole-SNP ranges, and BitPlanes stores each SNP's plane
+// word-aligned and plane-contiguous, so any tile is a contiguous word range
+// of the packed planes — slicing never repacks (BitPlanes::tile).
+//
+// Width 0 means "no tiling": one tile spanning everything, which makes the
+// monolithic protocol the single-tile special case of the tiled engine and
+// is why tiled and monolithic runs are bit-identical by construction — the
+// assembled per-phase state never depends on the tile boundaries, only the
+// message chunking and transient working-set sizes do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gendpr::genome {
+
+class TilePlan {
+ public:
+  TilePlan() = default;
+
+  /// Plan over `total` items with the requested width; width 0 (or >= total)
+  /// collapses to a single tile. total == 0 still yields one empty tile so
+  /// streaming protocols always exchange at least one record per phase.
+  static TilePlan over(std::uint32_t total, std::uint32_t requested_width);
+
+  std::uint32_t total() const noexcept { return total_; }
+  /// Effective tile width (>= 1 unless total == 0).
+  std::uint32_t width() const noexcept { return width_; }
+  std::uint32_t tile_count() const noexcept { return tile_count_; }
+
+  std::uint32_t begin(std::uint32_t tile) const noexcept {
+    return tile * width_;
+  }
+  std::uint32_t end(std::uint32_t tile) const noexcept {
+    const std::uint64_t e =
+        static_cast<std::uint64_t>(tile + 1) * width_;
+    return e < total_ ? static_cast<std::uint32_t>(e) : total_;
+  }
+  std::uint32_t width_of(std::uint32_t tile) const noexcept {
+    return end(tile) - begin(tile);
+  }
+
+  /// Slice of `values` (one entry per item) covered by `tile`.
+  template <typename T>
+  std::vector<T> slice(const std::vector<T>& values,
+                       std::uint32_t tile) const {
+    return std::vector<T>(values.begin() + begin(tile),
+                          values.begin() + end(tile));
+  }
+
+ private:
+  std::uint32_t total_ = 0;
+  std::uint32_t width_ = 0;
+  std::uint32_t tile_count_ = 1;
+};
+
+}  // namespace gendpr::genome

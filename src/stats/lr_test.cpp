@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "genome/kernels/kernels.hpp"
+
 namespace gendpr::stats {
 
 void LrMatrix::append_rows(const LrMatrix& other) {
@@ -144,15 +146,14 @@ LrMatrix LrBasis::derive(
   }
   // The basis-times-weights product b*wm + (1-b)*wM with b in {0, 1} is a
   // select between the two exact weight values, so every cell equals the
-  // build_lr_matrix cell bit for bit.
+  // build_lr_matrix cell bit for bit — true for every kernel backend, since
+  // the SIMD variants blend the same two doubles instead of computing.
+  const genome::kernels::KernelOps& ops = genome::kernels::kernel_ops();
   double* out = matrix.values().data();
   const std::uint8_t* ind = indicator_.data();
   for (std::size_t n = 0; n < rows_; ++n) {
-    double* row_out = out + n * cols_;
-    const std::uint8_t* row_ind = ind + n * cols_;
-    for (std::size_t i = 0; i < cols_; ++i) {
-      row_out[i] = row_ind[i] != 0 ? when_minor[i] : when_major[i];
-    }
+    ops.select_weights(ind + n * cols_, when_minor.data(), when_major.data(),
+                       cols_, out + n * cols_);
   }
   return matrix;
 }

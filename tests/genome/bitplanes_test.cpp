@@ -172,11 +172,12 @@ TEST(BitPlanesTest, EmptyAndDegenerateInputs) {
 
 TEST(BitPlanesTest, StorageMatchesPackedMatrixScale) {
   // The transpose costs about as much memory as the packed matrix itself
-  // (both are one bit per genotype, modulo tail padding + the count cache).
+  // (both are one bit per genotype, modulo tail padding + the count cache
+  // and its tile-total prefix array).
   const GenotypeMatrix m(1000, 500);
   const BitPlanes planes(m);
   EXPECT_EQ(planes.storage_bytes(),
-            500u * ((1000u + 63u) / 64u) * 8u + 500u * 4u);
+            500u * ((1000u + 63u) / 64u) * 8u + 500u * 4u + 501u * 8u);
 }
 
 }  // namespace

@@ -1,23 +1,26 @@
 #!/usr/bin/env python3
-"""Validates gendpr.run_report.v1 documents (and BENCH_*.json smoke output).
+"""Validates gendpr.run_report.v2 documents (and BENCH_*.json smoke output).
 
 Usage:
     tools/check_report.py report.json [more.json ...]
 
-Files whose top-level object carries ``"schema": "gendpr.run_report.v1"``
+Files whose top-level object carries ``"schema": "gendpr.run_report.v2"``
 are validated structurally: required sections, per-phase wall times, per-link
-byte counts, per-GDO EPC peaks, and — when a trace is embedded — that every
-analysis phase appears exactly once and carries one combination span per
-combination. Google-benchmark JSON (``"benchmarks"`` array) gets a shallow
-sanity check. Anything else is an error. Exits non-zero on the first
+byte counts, per-GDO EPC peaks, the SIMD kernel backend, the tiling shape of
+the pipelined phase engine, and — when a trace is embedded — that every
+analysis phase appears exactly once, carries one ``maf.tile.<k>`` /
+``lr.tile.<k>`` span per tile, and one combination span per combination in
+the LD/LR phases. Google-benchmark JSON (``"benchmarks"`` array) gets a
+shallow sanity check. Anything else is an error. Exits non-zero on the first
 invalid file; stdlib only, so it runs anywhere CI has python3.
 """
 import json
 import sys
 
-SCHEMA = "gendpr.run_report.v1"
+SCHEMA = "gendpr.run_report.v2"
 PHASES = ("phase.maf", "phase.ld", "phase.lr")
 PHASE_TIMINGS = ("aggregation_ms", "indexing_ms", "ld_ms", "lr_ms", "total_ms")
+KERNEL_BACKENDS = ("portable", "avx2", "avx512")
 
 
 class Invalid(Exception):
@@ -108,28 +111,72 @@ def check_run_report(doc):
             "metrics crypto.backend label disagrees with the crypto section",
         )
 
+    kernels = doc.get("kernels")
+    require(isinstance(kernels, dict), "missing kernels section")
+    require(
+        kernels.get("backend") in KERNEL_BACKENDS,
+        f"kernels.backend {kernels.get('backend')!r} is not a known backend",
+    )
+    if isinstance(metrics, dict):
+        labels = metrics.get("labels", {})
+        require(
+            labels.get("kernel.backend") == kernels["backend"],
+            "metrics kernel.backend label disagrees with the kernels section",
+        )
+
+    tiles = doc.get("tiles")
+    require(isinstance(tiles, dict), "missing tiles section")
+    require(tiles.get("count", 0) >= 1, "tiles.count must be at least 1")
+    require(tiles.get("lr_count", 0) >= 1, "tiles.lr_count must be at least 1")
+    width = tiles.get("width")
+    require(isinstance(width, int) and width >= 0, "tiles.width missing")
+    if width == 0:
+        require(
+            tiles["count"] == 1 and tiles["lr_count"] == 1,
+            "monolithic run (width 0) must report exactly one tile per phase",
+        )
+
+    pipeline = doc.get("pipeline")
+    require(isinstance(pipeline, dict), "missing pipeline section")
+    inline_tiles = pipeline.get("maf_tiles_assessed_inline")
+    require(isinstance(inline_tiles, int), "pipeline.maf_tiles_assessed_inline missing")
+    require(
+        inline_tiles <= tiles["count"],
+        "more MAF tiles assessed inline than the plan has tiles",
+    )
+    for key in ("leader_inline_assess_ms", "leader_lr_derive_ms"):
+        value = pipeline.get(key)
+        require(
+            isinstance(value, (int, float)) and value >= 0,
+            f"pipeline.{key} missing or negative",
+        )
+
     events = doc.get("events")
     require(isinstance(events, dict), "missing events section")
     require(isinstance(events.get("dead_gdos"), list), "missing events.dead_gdos")
 
-    check_lr_counters(doc, study, degraded=bool(events["dead_gdos"]))
+    check_lr_counters(doc, study, tiles, degraded=bool(events["dead_gdos"]))
 
     trace = doc.get("trace")
     if trace is not None:
-        check_trace(trace, study["num_combinations"], set(events["dead_gdos"]))
+        check_trace(
+            trace, study["num_combinations"], set(events["dead_gdos"]), tiles
+        )
 
 
-def check_lr_counters(doc, study, degraded):
+def check_lr_counters(doc, study, tiles, degraded):
     """LR-phase accounting invariants over the exported counters.
 
-    Every node that receives the phase-2 per-GDO counts expands exactly one
-    genotype-fixed LR basis (``lr.basis_builds``) and derives one matrix per
-    live combination it belongs to (``lr.combination_matvecs``). On a clean
-    run that pins both counters exactly:
-        basis_builds == num_gdos
-        combination_matvecs == combination_members_total
-    A degraded run only bounds them: a member may build its basis (and derive
-    its matrices) and then be declared dead afterwards, so the counters can
+    Every node that receives a phase-2 tile expands one genotype-fixed LR
+    basis over that tile's columns (``lr.basis_builds``) and derives one
+    matrix slice per live combination it belongs to
+    (``lr.combination_matvecs``). With T = tiles.lr_count, a clean run pins
+    both counters exactly:
+        basis_builds == num_gdos * T
+        combination_matvecs == combination_members_total * T
+    and the leader builds the reference panel's basis once per tile. A
+    degraded run only bounds them: a member may build bases (and derive
+    matrices) and then be declared dead afterwards, so the counters can
     reach the clean-run values but never pin to the post-mortem live set.
     """
     metrics = doc.get("metrics")
@@ -141,34 +188,36 @@ def check_lr_counters(doc, study, degraded):
     matvecs = counters.get("lr.combination_matvecs", 0)
     num_gdos = study["num_gdos"]
     members_total = study["combination_members_total"]
+    lr_tiles = tiles["lr_count"]
     if degraded:
         require(
-            1 <= basis <= num_gdos,
-            f"lr.basis_builds {basis} outside [1, {num_gdos}] (degraded run)",
+            1 <= basis <= num_gdos * lr_tiles,
+            f"lr.basis_builds {basis} outside [1, {num_gdos * lr_tiles}] "
+            f"(degraded run)",
         )
         require(
-            matvecs >= members_total,
+            matvecs >= members_total * lr_tiles,
             f"lr.combination_matvecs {matvecs} below the live-combination "
-            f"member total {members_total}",
+            f"member-tile total {members_total * lr_tiles}",
         )
     else:
         require(
-            basis == num_gdos,
-            f"lr.basis_builds {basis}: expected exactly one basis build per "
-            f"GDO ({num_gdos})",
+            basis == num_gdos * lr_tiles,
+            f"lr.basis_builds {basis}: expected one basis build per GDO per "
+            f"tile ({num_gdos} * {lr_tiles})",
         )
         require(
-            matvecs == members_total,
+            matvecs == members_total * lr_tiles,
             f"lr.combination_matvecs {matvecs}: expected one derivation per "
-            f"combination member ({members_total})",
+            f"combination member per tile ({members_total} * {lr_tiles})",
         )
     require(
-        counters.get("lr.reference_basis_builds", 0) == 1,
-        "reference panel basis must be built exactly once",
+        counters.get("lr.reference_basis_builds", 0) == lr_tiles,
+        "reference panel basis must be built exactly once per LR tile",
     )
 
 
-def check_trace(trace, num_combinations, dead_gdos):
+def check_trace(trace, num_combinations, dead_gdos, tiles):
     require(isinstance(trace, list) and trace, "trace section is empty")
     by_name = {}
     for span in trace:
@@ -180,26 +229,20 @@ def check_trace(trace, num_combinations, dead_gdos):
     require("study" in by_name, "trace has no root study span")
     require(len(by_name["study"]) == 1, "more than one study span")
 
-    for phase in PHASES:
-        require(phase in by_name, f"trace missing {phase}")
-        require(len(by_name[phase]) == 1, f"{phase} recorded more than once")
-        prefix = phase.split(".", 1)[1] + ".combination."
-        combos = [name for name in by_name if name.startswith(prefix)]
-        # Combinations naming a dead GDO are skipped, so a degraded run may
-        # trace fewer than the announced count — never more.
-        if dead_gdos:
+    def check_children(phase, prefix, expected, exact):
+        children = [name for name in by_name if name.startswith(prefix)]
+        if exact:
             require(
-                0 < len(combos) <= num_combinations,
-                f"{phase}: {len(combos)} combination spans, "
-                f"expected at most {num_combinations}",
+                len(children) == expected,
+                f"{phase}: {len(children)} {prefix}* spans, expected {expected}",
             )
         else:
             require(
-                len(combos) == num_combinations,
-                f"{phase}: {len(combos)} combination spans, "
-                f"expected {num_combinations}",
+                0 < len(children) <= expected,
+                f"{phase}: {len(children)} {prefix}* spans, "
+                f"expected at most {expected}",
             )
-        for name in combos:
+        for name in children:
             require(
                 len(by_name[name]) == 1,
                 f"{name} recorded {len(by_name[name])} times, expected once",
@@ -209,6 +252,23 @@ def check_trace(trace, num_combinations, dead_gdos):
                 parent == by_name[phase][0]["id"],
                 f"{name} is not a child of {phase}",
             )
+
+    for phase in PHASES:
+        require(phase in by_name, f"trace missing {phase}")
+        require(len(by_name[phase]) == 1, f"{phase} recorded more than once")
+
+    # The MAF phase is assessed per tile (combinations are an inner loop of
+    # each tile span); the LD and LR phases keep per-combination spans, and
+    # the LR phase additionally records the leader's per-tile derivations.
+    # Combinations naming a dead GDO are skipped, so a degraded run may
+    # trace fewer combination spans than the announced count — never more.
+    # Tile spans are exact in either case: dead members drop out of the
+    # readiness requirement, not the plan.
+    check_children("phase.maf", "maf.tile.", tiles["count"], exact=True)
+    check_children("phase.lr", "lr.tile.", tiles["lr_count"], exact=True)
+    for phase in ("phase.ld", "phase.lr"):
+        prefix = phase.split(".", 1)[1] + ".combination."
+        check_children(phase, prefix, num_combinations, exact=not dead_gdos)
 
 
 def check_google_benchmark(doc):

@@ -22,7 +22,7 @@ if(NOT EXISTS ${WORKDIR}/report.json)
   message(FATAL_ERROR "report.json was not written")
 endif()
 file(READ ${WORKDIR}/report.json report)
-if(NOT report MATCHES "gendpr.run_report.v1")
+if(NOT report MATCHES "gendpr.run_report.v2")
   message(FATAL_ERROR "report.json missing schema marker")
 endif()
 if(NOT report MATCHES "phase.maf")

@@ -7,7 +7,8 @@
 //       VCF-lite files under <dir> (plus the reference panel), and writes a
 //       roster manifest.
 //   gendpr assess <dir> [--gdos G] [--f F | --conservative] [--maf C]
-//          [--ld C] [--fpr R] [--power P] [--seed S]
+//          [--ld C] [--fpr R] [--power P] [--seed S] [--tile-width W]
+//          [--epc-mb M]
 //       Loads the cohort from <dir>, verifies dataset signatures, runs the
 //       federated assessment, and prints the per-phase outcome.
 //   gendpr release <dir> [--out FILE] [--dp-epsilon E] [assess flags]
@@ -42,6 +43,7 @@ struct Args {
   std::optional<unsigned> f;
   bool conservative = false;
   core::StudyConfig config;
+  std::uint64_t epc_limit = tee::EpcMeter::kDefaultLimitBytes;
   std::optional<double> dp_epsilon;
   std::string out = "release.tsv";
   std::string report;
@@ -53,6 +55,8 @@ void usage() {
                "  gen:     --cases N --controls N --snps L --gdos G --seed S\n"
                "  assess:  --gdos G [--f F | --conservative] --maf C --ld C\n"
                "           --fpr R --power P --seed S --report FILE\n"
+               "           --tile-width W (SNPs per pipeline tile, 0 = off)\n"
+               "           --epc-mb M (per-enclave EPC limit, MiB)\n"
                "  release: assess options plus --out FILE --dp-epsilon E\n");
 }
 
@@ -90,6 +94,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.config.lr_false_positive_rate = std::atof(value);
     } else if (flag == "--power") {
       args.config.lr_power_threshold = std::atof(value);
+    } else if (flag == "--tile-width") {
+      args.config.snp_tile_width =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--epc-mb") {
+      args.epc_limit = std::strtoull(value, nullptr, 10) * 1024 * 1024;
     } else if (flag == "--dp-epsilon") {
       args.dp_epsilon = std::atof(value);
     } else if (flag == "--out") {
@@ -196,6 +205,7 @@ common::Result<core::StudyResult> run_assessment(const Args& args,
   spec.num_gdos = args.gdos;
   spec.config = args.config;
   spec.seed = args.seed;
+  spec.epc_limit = args.epc_limit;
   spec.obs = obs;
   if (args.conservative) {
     spec.policy = core::CollusionPolicy::conservative();

@@ -8,7 +8,7 @@
 # With no arguments, runs the ablation benches touched by the bit-plane work
 # plus the end-to-end runtime figure. GENDPR_BENCH_SCALE (e.g. 0.1) is
 # forwarded to the bench processes for quick smoke runs, and
-# GENDPR_REPORT_DIR makes the runtime benches drop a gendpr.run_report.v1
+# GENDPR_REPORT_DIR makes the runtime benches drop a gendpr.run_report.v2
 # document per federated run into that directory.
 set -euo pipefail
 
@@ -18,7 +18,7 @@ build_dir="${repo_root}/build-bench"
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
   benches=(bench_ablation_packing bench_ablation_lrtest bench_ablation_crypto
-           bench_fig6_runtime)
+           bench_ablation_kernels bench_fig6_runtime)
 fi
 
 # Reject unknown targets up front: a typo'd name used to surface only as a
