@@ -20,6 +20,7 @@ void write_config(wire::Writer& w, const StudyConfig& config) {
   w.f64(config.lr_false_positive_rate);
   w.f64(config.lr_power_threshold);
   w.u32(config.snp_tile_width);
+  w.u8(config.prune ? 1 : 0);
 }
 
 Result<StudyConfig> read_config(wire::Reader& r) {
@@ -34,6 +35,9 @@ Result<StudyConfig> read_config(wire::Reader& r) {
   auto width = r.u32();
   if (!width.ok()) return width.error();
   config.snp_tile_width = width.value();
+  auto prune = r.u8();
+  if (!prune.ok()) return prune.error();
+  config.prune = prune.value() != 0;
   return config;
 }
 

@@ -200,10 +200,18 @@ void MemberNode::run() {
         // One basis build per tile iff this GDO sat in any live combination,
         // plus one basis-times-weights derivation per entry. The per-tile
         // basis bounds this member's transient EPC footprint at O(tile).
+        // Under the intersection-aware sweep only the chain head is a full
+        // derivation; the rest are in-place delta updates.
         if (!matrices.value().entries.empty()) {
           obs::add_counter(obs_, "lr.basis_builds");
-          obs::add_counter(obs_, "lr.combination_matvecs",
-                           matrices.value().entries.size());
+          if (enclave_.prune_enabled()) {
+            obs::add_counter(obs_, "lr.combination_matvecs");
+            obs::add_counter(obs_, "lr.combination_delta_updates",
+                             matrices.value().entries.size() - 1);
+          } else {
+            obs::add_counter(obs_, "lr.combination_matvecs",
+                             matrices.value().entries.size());
+          }
         }
         obs::max_gauge(obs_, "epc.member.peak_bytes",
                        static_cast<double>(enclave_.platform().epc().peak()));
@@ -498,7 +506,9 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   double inline_assess_ms = 0;
   std::size_t maf_tiles_inline = 0;
   std::set<std::uint32_t> pending = live_members();
-  for (;;) {
+  // An empty phase-1 plan (zero SNPs) streams no summaries at all.
+  if (maf_tile_count == 0) pending.clear();
+  while (!pending.empty()) {
     auto step = next_record("data aggregation", pending);
     if (!step.ok()) return step.error();
     if (!step.value().got) break;
@@ -553,14 +563,20 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   // --- Phase 2: LD analysis. ---
   fetch_wait_ms_ = 0;
   Stopwatch ld_watch;
-  auto fetch = [this](const MomentsRequest& request)
+  auto fetch = [this](const MomentsRequest& request,
+                      const std::vector<std::uint32_t>& targets)
       -> std::vector<std::optional<stats::LdMoments>> {
     const Stopwatch fetch_watch;
     std::vector<std::optional<stats::LdMoments>> per_gdo(num_gdos_);
     const common::Bytes body = request.serialize();
     sync_dead_peers();
+    // The coordinator names the recipients (all live members on a legacy
+    // first touch, just the combination at hand under pruning); members that
+    // died since the request was composed are dropped here.
+    const std::set<std::uint32_t> live = live_members();
     std::set<std::uint32_t> fetch_pending;
-    for (std::uint32_t g : live_members()) {
+    for (std::uint32_t g : targets) {
+      if (live.count(g) == 0) continue;
       const Status s = send_to(g, MsgType::moments_request, body);
       if (!s.ok()) {
         if (!is_peer_loss(s.error())) {
@@ -641,7 +657,10 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   const std::uint32_t lr_tile_count = coordinator_.lr_plan().tile_count();
   std::vector<std::uint32_t> lr_tiles_left(num_gdos_, lr_tile_count);
   pending = live_members();
-  for (;;) {
+  // An empty phase-3 plan (every SNP filtered before the LR test) was never
+  // broadcast, so members have nothing to answer.
+  if (lr_tile_count == 0) pending.clear();
+  while (!pending.empty()) {
     auto step = next_record("LR gather", pending);
     if (!step.ok()) return step.error();
     if (!step.value().got) break;
@@ -725,6 +744,7 @@ Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
   result.maf_tiles_assessed_inline = maf_tiles_inline;
   result.leader_inline_assess_ms = inline_assess_ms;
   result.leader_lr_derive_ms = lr_derive_ms;
+  result.pruning = coordinator_.pruning_stats();
   if (obs_ != nullptr) {
     // Counters are exported by the federation runner from a run-wide delta
     // (which also covers provisioning-time sealing); only the label is set

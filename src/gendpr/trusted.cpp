@@ -218,7 +218,29 @@ Result<LrMatrices> GdoEnclave::on_phase2(const Phase2Result& result,
     response.entries[i].combination_id = static_cast<std::uint32_t>(c);
     response.entries[i].matrix = basis.derive(weights);
   };
-  if (pool != nullptr && own.size() > 1) {
+  if (announce_->config.prune && own.size() > 1) {
+    // Intersection-aware sweep: chain the combinations instead of deriving
+    // each from scratch — adjacent combinations share all but f members, so
+    // most weight columns repeat and derive_update rewrites only the changed
+    // ones (byte-identical to a full derivation). The chain is inherently
+    // serial; entry order and values match the parallel path exactly.
+    stats::LrWeights prev_weights;
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      const std::size_t c = own[i];
+      stats::LrWeights weights = stats::lr_weights(
+          result.combination_case_freq(announce_->combinations[c]),
+          result.reference_freq);
+      response.entries[i].combination_id = static_cast<std::uint32_t>(c);
+      if (i == 0) {
+        response.entries[i].matrix = basis.derive(weights);
+      } else {
+        response.entries[i].matrix = response.entries[i - 1].matrix;
+        basis.derive_update(prev_weights, weights,
+                            response.entries[i].matrix);
+      }
+      prev_weights = std::move(weights);
+    }
+  } else if (pool != nullptr && own.size() > 1) {
     pool->parallel_for(own.size(), derive_one);
   } else {
     for (std::size_t i = 0; i < own.size(); ++i) derive_one(i);
@@ -332,6 +354,33 @@ Coordinator::Coordinator(GdoEnclave& leader_enclave,
   summary_tiles_.assign(
       num_gdos_, std::vector<bool>(maf_plan_.tile_count(), false));
   maf_survivors_.assign(announce_.combinations.size(), {});
+  maf_mask_contributors_.assign(announce_.combinations.size(), false);
+  pruning_.enabled = announce_.config.prune;
+}
+
+std::uint64_t Coordinator::combination_case_population(std::size_t c) const {
+  std::uint64_t population = 0;
+  for (std::uint32_t g : announce_.combinations[c]) {
+    if (summaries_[g].has_value()) population += summaries_[g]->n_case;
+  }
+  return population;
+}
+
+std::vector<std::size_t> Coordinator::pruning_order() const {
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+    if (combination_live(c)) order.push_back(c);
+  }
+  // Smallest pooled case population first: those cohorts see the lowest
+  // counts, so their MAF filter and LD walk kill the most SNPs and the
+  // running intersection collapses early. Ties (equal partitions are the
+  // common case) fall back to combination id, keeping the order stable.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return combination_case_population(a) <
+                            combination_case_population(b);
+                   });
+  return order;
 }
 
 Status Coordinator::mark_gdo_dead(std::uint32_t gdo_index) {
@@ -447,26 +496,83 @@ void Coordinator::assess_maf_tile(std::uint32_t tile) {
   const double cutoff = announce_.config.maf_cutoff;
   const std::uint32_t begin = maf_plan_.begin(tile);
   const std::uint32_t width = maf_plan_.width_of(tile);
-  for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
-    if (!combination_live(c)) continue;  // skip combos with dead members
+  if (!announce_.config.prune) {
+    for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+      if (!combination_live(c)) continue;  // skip combos with dead members
+      obs::add_counter(obs_, "coordinator.maf_combinations");
+      obs::add_counter(obs_, "coordinator.maf_snps_evaluated", width);
+      const auto& members = announce_.combinations[c];
+      std::uint64_t n_total = reference_.num_individuals();
+      for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
+      std::vector<double> maf(width, 0.0);
+      for (std::uint32_t i = 0; i < width; ++i) {
+        std::uint64_t count = reference_counts_[begin + i];
+        for (std::uint32_t g : members) {
+          count += summaries_[g]->case_counts[begin + i];
+        }
+        maf[i] = stats::minor_allele_frequency(count, n_total);
+      }
+      // maf_filter decides per SNP, so filtering the tile and offsetting the
+      // survivors equals filtering the full vector restricted to the tile;
+      // ascending-tile appends keep each combination's list sorted.
+      for (std::uint32_t local : stats::maf_filter(maf, cutoff)) {
+        maf_survivors_[c].push_back(begin + local);
+      }
+    }
+    return;
+  }
+  // Intersection-aware sweep: the MAF decision is per SNP and independent of
+  // every other SNP, so a SNP already killed by an earlier combination can
+  // never re-enter the intersection — each later combination only evaluates
+  // the ids still alive in this tile. The per-combination survivor lists it
+  // records are subsets of the unpruned ones, but the missing elements were
+  // killed elsewhere, so the final intersection is bit-identical.
+  std::vector<std::uint32_t> mask(width);
+  for (std::uint32_t i = 0; i < width; ++i) mask[i] = begin + i;
+  const auto order = pruning_order();
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t c = order[idx];
     obs::add_counter(obs_, "coordinator.maf_combinations");
+    obs::add_counter(obs_, "coordinator.maf_snps_evaluated", mask.size());
     const auto& members = announce_.combinations[c];
     std::uint64_t n_total = reference_.num_individuals();
     for (std::uint32_t g : members) n_total += summaries_[g]->n_case;
-    std::vector<double> maf(width, 0.0);
-    for (std::uint32_t i = 0; i < width; ++i) {
-      std::uint64_t count = reference_counts_[begin + i];
+    std::vector<std::uint32_t> survivors;
+    survivors.reserve(mask.size());
+    for (std::uint32_t snp : mask) {
+      std::uint64_t count = reference_counts_[snp];
       for (std::uint32_t g : members) {
-        count += summaries_[g]->case_counts[begin + i];
+        count += summaries_[g]->case_counts[snp];
       }
-      maf[i] = stats::minor_allele_frequency(count, n_total);
+      if (stats::minor_allele_frequency(count, n_total) >= cutoff) {
+        survivors.push_back(snp);
+      }
     }
-    // maf_filter decides per SNP, so filtering the tile and offsetting the
-    // survivors equals filtering the full vector restricted to the tile;
-    // ascending-tile appends keep each combination's list sorted.
-    for (std::uint32_t local : stats::maf_filter(maf, cutoff)) {
-      maf_survivors_[c].push_back(begin + local);
+    for (std::uint32_t snp : survivors) maf_survivors_[c].push_back(snp);
+    mask = std::move(survivors);
+    maf_mask_contributors_[c] = true;
+    // The trajectory entry sums across tiles (tiles are assessed in order,
+    // so position idx accumulates every tile's post-combination mask size).
+    if (pruning_.maf_mask_sizes.size() <= idx) {
+      pruning_.maf_mask_sizes.resize(idx + 1, 0);
     }
+    pruning_.maf_mask_sizes[idx] +=
+        static_cast<std::uint32_t>(mask.size());
+  }
+}
+
+void Coordinator::reassess_maf_tiles() {
+  // A combination whose kills are folded into the masks died: its filter
+  // decisions must be forgotten, so every assessed tile re-runs over the
+  // currently-live set. Summaries are retained full-width, so this is pure
+  // recomputation — no member round trips.
+  obs::add_counter(obs_, "coordinator.maf_reassessments");
+  ++pruning_.maf_reassessments;
+  maf_survivors_.assign(announce_.combinations.size(), {});
+  maf_mask_contributors_.assign(announce_.combinations.size(), false);
+  pruning_.maf_mask_sizes.clear();
+  for (std::uint32_t tile = 0; tile < next_maf_tile_; ++tile) {
+    assess_maf_tile(tile);
   }
 }
 
@@ -492,6 +598,20 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
     return make_error(Errc::state_violation,
                       "MAF phase before all summaries arrived");
   }
+  if (announce_.config.prune) {
+    // The eager masks are only valid over combinations still alive: if a
+    // contributor died after folding in its kills, re-assess everything
+    // over the live set (matching what the unpruned path computes when it
+    // drops the dead combination's list).
+    bool contributor_died = false;
+    for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
+      if (maf_mask_contributors_[c] && !combination_live(c)) {
+        contributor_died = true;
+        break;
+      }
+    }
+    if (contributor_died) reassess_maf_tiles();
+  }
   std::vector<std::vector<std::uint32_t>> per_combination;
   per_combination.reserve(announce_.combinations.size());
   for (std::size_t c = 0; c < announce_.combinations.size(); ++c) {
@@ -512,17 +632,28 @@ Result<Phase1Result> Coordinator::run_maf_phase() {
 }
 
 std::vector<double> Coordinator::combination_chi2_p_values(
-    const std::vector<std::uint32_t>& members) const {
+    const std::vector<std::uint32_t>& members,
+    const std::vector<std::uint32_t>* only) const {
   std::uint64_t n_case = 0;
   for (std::uint32_t g : members) n_case += summaries_[g]->n_case;
   const std::uint64_t n_ref = reference_.num_individuals();
   std::vector<double> p_values(announce_.num_snps, 1.0);
-  for (std::uint32_t l = 0; l < announce_.num_snps; ++l) {
+  const auto one = [&](std::uint32_t l) {
     std::uint64_t case_minor = 0;
     for (std::uint32_t g : members) case_minor += summaries_[g]->case_counts[l];
     const stats::SinglewiseTable table{case_minor, n_case,
                                        reference_counts_[l], n_ref};
     p_values[l] = stats::chi2_p_value(table);
+  };
+  if (only != nullptr) {
+    // The greedy LD walk ranks only the SNPs it visits, and it visits only
+    // L' members — the remaining num_snps - |L'| values were dead weight.
+    for (std::uint32_t l : *only) one(l);
+    obs::add_counter(obs_, "coordinator.chi2_values_computed", only->size());
+  } else {
+    for (std::uint32_t l = 0; l < announce_.num_snps; ++l) one(l);
+    obs::add_counter(obs_, "coordinator.chi2_values_computed",
+                     announce_.num_snps);
   }
   return p_values;
 }
@@ -533,28 +664,62 @@ stats::LdMoments Coordinator::aggregate_pair(
   const auto key = std::make_pair(a, b);
   auto cached = moments_cache_.find(key);
   if (cached == moments_cache_.end()) {
-    MomentsRequest request;
-    request.request_id = static_cast<std::uint32_t>(moments_cache_.size());
-    request.snp_a = a;
-    request.snp_b = b;
-    std::vector<std::optional<stats::LdMoments>> fetched = fetch(request);
-    fetched.resize(num_gdos_);
+    PairMoments entry;
+    entry.slots.resize(num_gdos_);
     // The leader computes its own moments locally (word-parallel planes).
-    fetched[leader_->gdo_index()] =
+    entry.slots[leader_->gdo_index()] =
         stats::compute_ld_moments(leader_->planes(), a, b);
-    cached = moments_cache_.emplace(key, std::move(fetched)).first;
+    cached = moments_cache_.emplace(key, std::move(entry)).first;
     reference_moments_cache_.emplace(
         key, stats::compute_ld_moments(reference_planes_, a, b));
   }
+  PairMoments& entry = cached->second;
+  // Decide who to query this round. Legacy (unpruned) mode broadcasts to
+  // every live member the first time a pair is touched, preserving the
+  // original wire pattern; the pruned sweep fetches lazily — only the
+  // combination at hand — so pairs resolved before the intersection dies
+  // never pull moments from uninvolved members. In BOTH modes a slot that
+  // is still empty for a live member gets a targeted (re)fetch before the
+  // aggregation may fail: a stale hole left by an earlier mid-walk death
+  // (the fetch round that created the entry lost a different member) used
+  // to re-throw MissingMomentsError forever and falsely kill a healthy GDO.
+  std::vector<std::uint32_t> targets;
+  if (!announce_.config.prune && !entry.broadcast_done) {
+    for (std::uint32_t g = 0; g < num_gdos_; ++g) {
+      if (g == leader_->gdo_index()) continue;
+      if (dead_gdos_.count(g) > 0) continue;
+      if (!entry.slots[g].has_value()) targets.push_back(g);
+    }
+    entry.broadcast_done = true;
+  } else {
+    for (std::uint32_t g : members) {
+      if (g == leader_->gdo_index()) continue;
+      if (dead_gdos_.count(g) > 0) continue;
+      if (!entry.slots[g].has_value()) targets.push_back(g);
+    }
+  }
+  if (!targets.empty()) {
+    MomentsRequest request;
+    request.request_id = next_moments_request_++;
+    request.snp_a = a;
+    request.snp_b = b;
+    std::vector<std::optional<stats::LdMoments>> fetched =
+        fetch(request, targets);
+    fetched.resize(num_gdos_);
+    for (std::uint32_t g : targets) {
+      if (fetched[g].has_value()) entry.slots[g] = fetched[g];
+    }
+    obs::add_counter(obs_, "coordinator.ld_member_requests", targets.size());
+  }
   stats::LdMoments total = reference_moments_cache_.at(key);
   for (std::uint32_t g : members) {
-    if (!cached->second[g].has_value()) {
+    if (!entry.slots[g].has_value()) {
       // A missing response from a combination member must never silently
       // skew the aggregate with zero moments: the walk for this combination
       // aborts (run_ld_phase marks the GDO dead and drops the combination).
       throw MissingMomentsError{g};
     }
-    total += *cached->second[g];
+    total += *entry.slots[g];
   }
   return total;
 }
@@ -563,45 +728,106 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
   const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.ld",
                                    study_span_);
   const std::size_t num_combinations = announce_.combinations.size();
-  std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
-  std::vector<bool> computed(num_combinations, false);
+  if (!announce_.config.prune) {
+    std::vector<std::vector<std::uint32_t>> per_combination(num_combinations);
+    std::vector<bool> computed(num_combinations, false);
 
-  for (std::size_t c = 0; c < num_combinations; ++c) {
-    if (!combination_live(c)) continue;
-    const obs::ScopedSpan combination_span(
-        obs::recorder_of(obs_), "ld.combination." + std::to_string(c),
-        phase_span.id());
-    obs::add_counter(obs_, "coordinator.ld_combinations");
-    const auto& members = announce_.combinations[c];
-    try {
-      const std::vector<double> p_values = combination_chi2_p_values(members);
-      auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
-        return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
-      };
-      per_combination[c] = stats::greedy_ld_prune(
-          l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value);
-      computed[c] = true;
-    } catch (const MissingMomentsError& missing) {
-      // The GDO went silent mid-walk: declare it dead and keep going with
-      // the combinations that do not need its data.
-      dead_gdos_.insert(missing.gdo_index);
+    for (std::size_t c = 0; c < num_combinations; ++c) {
+      if (!combination_live(c)) continue;
+      const obs::ScopedSpan combination_span(
+          obs::recorder_of(obs_), "ld.combination." + std::to_string(c),
+          phase_span.id());
+      obs::add_counter(obs_, "coordinator.ld_combinations");
+      const auto& members = announce_.combinations[c];
+      try {
+        const std::vector<double> p_values =
+            combination_chi2_p_values(members);
+        auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
+          return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
+        };
+        per_combination[c] = stats::greedy_ld_prune(
+            l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value);
+        computed[c] = true;
+      } catch (const MissingMomentsError& missing) {
+        // The GDO went silent mid-walk: declare it dead and keep going with
+        // the combinations that do not need its data.
+        dead_gdos_.insert(missing.gdo_index);
+      }
     }
-  }
 
-  // A death discovered mid-phase invalidates every combination containing
-  // the dead GDO, including ones whose walk had already finished (their LR
-  // matrices could never be gathered in phase 3).
-  std::vector<std::vector<std::uint32_t>> live_lists;
-  for (std::size_t c = 0; c < num_combinations; ++c) {
-    if (computed[c] && combination_live(c)) {
-      live_lists.push_back(std::move(per_combination[c]));
+    // A death discovered mid-phase invalidates every combination containing
+    // the dead GDO, including ones whose walk had already finished (their LR
+    // matrices could never be gathered in phase 3).
+    std::vector<std::vector<std::uint32_t>> live_lists;
+    for (std::size_t c = 0; c < num_combinations; ++c) {
+      if (computed[c] && combination_live(c)) {
+        live_lists.push_back(std::move(per_combination[c]));
+      }
     }
+    if (live_lists.empty()) {
+      return no_live_combination_error("LD phase");
+    }
+    l_double_prime_ = intersect_sorted(live_lists);
+  } else {
+    // Intersection-aware sweep. The greedy walk is order-sequential, so a
+    // combination's walk must still run over all of L' — restricting it to
+    // the running intersection would change anchor trajectories. What IS
+    // exact: (a) chi-squared ranking restricted to L' (the walk reads no
+    // other entry), (b) truncating each walk once its anchor passes the
+    // largest id still in the running intersection I — every element of I
+    // has its fate decided by then and the walk's tail cannot affect I ∩ R,
+    // (c) skipping the remaining combinations outright when I is empty, and
+    // (d) fetching pair moments only from the members of the combination at
+    // hand. A pass restarts when a walk's MissingMomentsError kills a GDO
+    // mid-phase: the fold may hold kills from combinations now dead, and
+    // re-walking live combinations is pure cache-warm recomputation.
+    std::vector<std::uint32_t> fold;
+    for (;;) {
+      const auto order = pruning_order();
+      if (order.empty()) {
+        return no_live_combination_error("LD phase");
+      }
+      fold = l_prime_;
+      pruning_.ld_mask_sizes.clear();
+      bool pass_ok = true;
+      for (std::size_t idx = 0; idx < order.size(); ++idx) {
+        if (fold.empty()) {
+          const std::uint64_t skipped = order.size() - idx;
+          pruning_.ld_walks_skipped += skipped;
+          obs::add_counter(obs_, "coordinator.ld_walks_skipped", skipped);
+          break;
+        }
+        const std::size_t c = order[idx];
+        const obs::ScopedSpan combination_span(
+            obs::recorder_of(obs_), "ld.combination." + std::to_string(c),
+            phase_span.id());
+        obs::add_counter(obs_, "coordinator.ld_combinations");
+        const auto& members = announce_.combinations[c];
+        try {
+          const std::vector<double> p_values =
+              combination_chi2_p_values(members, &l_prime_);
+          auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
+            return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
+          };
+          const std::vector<std::uint32_t> walked =
+              stats::greedy_ld_prune_resolving(
+                  l_prime_, announce_.config.ld_cutoff, p_values,
+                  pair_p_value, fold.back());
+          fold = intersect_sorted({fold, walked});
+          pruning_.ld_mask_sizes.push_back(
+              static_cast<std::uint32_t>(fold.size()));
+        } catch (const MissingMomentsError& missing) {
+          dead_gdos_.insert(missing.gdo_index);
+          pass_ok = false;
+          break;
+        }
+      }
+      if (pass_ok) break;
+      obs::add_counter(obs_, "coordinator.ld_reassessments");
+      ++pruning_.ld_reassessments;
+    }
+    l_double_prime_ = std::move(fold);
   }
-  if (live_lists.empty()) {
-    return no_live_combination_error("LD phase");
-  }
-
-  l_double_prime_ = intersect_sorted(live_lists);
   outcome_.l_double_prime = l_double_prime_;
   obs::add_counter(obs_, "coordinator.ld_pairs_fetched",
                    moments_cache_.size());
@@ -770,21 +996,71 @@ Status Coordinator::derive_leader_lr_tile(std::uint32_t tile) {
   }
   const stats::LrBasis reference_basis(reference_planes_, retained);
   obs::add_counter(obs_, "lr.reference_basis_builds");
-  for (std::size_t c : live) {
+  if (!announce_.config.prune) {
+    for (std::size_t c : live) {
+      const auto& members = announce_.combinations[c];
+      // Per-column weights slice exactly (lr_weights maps each column
+      // independently), so per-tile derivations are bit-identical column
+      // slices of the monolithic matrices.
+      const stats::LrWeights weights = stats::lr_weights(
+          lr_plan_.slice(case_freq_per_combination_[c], tile),
+          lr_plan_.slice(reference_freq_, tile));
+      if (std::find(members.begin(), members.end(), leader_->gdo_index()) !=
+          members.end()) {
+        leader_tiles_[c][tile] = leader_basis.derive(weights);
+        obs::add_counter(obs_, "lr.combination_matvecs");
+      }
+      reference_tiles_[c][tile] = reference_basis.derive(weights);
+      obs::add_counter(obs_, "lr.reference_matvecs");
+    }
+    return Status::success();
+  }
+  // Intersection-aware sweep: adjacent combinations in the evaluation order
+  // share G-f-1 members, so most weight columns repeat; each chain derives
+  // its head in full and delta-updates every successor in place (only
+  // columns whose weight pair changed are rewritten — derive_update leaves
+  // the rest byte-identical to a fresh derivation). Full derives keep the
+  // legacy matvec counters; delta work is disclosed by its own counters.
+  const auto order = pruning_order();
+  const std::size_t width = retained.size();
+  std::optional<stats::LrWeights> prev_leader_weights;
+  std::optional<stats::LrWeights> prev_reference_weights;
+  const stats::LrMatrix* prev_leader_matrix = nullptr;
+  const stats::LrMatrix* prev_reference_matrix = nullptr;
+  for (std::size_t c : order) {
     const auto& members = announce_.combinations[c];
-    // Per-column weights slice exactly (lr_weights maps each column
-    // independently), so per-tile derivations are bit-identical column
-    // slices of the monolithic matrices.
-    const stats::LrWeights weights = stats::lr_weights(
+    stats::LrWeights weights = stats::lr_weights(
         lr_plan_.slice(case_freq_per_combination_[c], tile),
         lr_plan_.slice(reference_freq_, tile));
     if (std::find(members.begin(), members.end(), leader_->gdo_index()) !=
         members.end()) {
-      leader_tiles_[c][tile] = leader_basis.derive(weights);
-      obs::add_counter(obs_, "lr.combination_matvecs");
+      if (prev_leader_matrix == nullptr) {
+        leader_tiles_[c][tile] = leader_basis.derive(weights);
+        obs::add_counter(obs_, "lr.combination_matvecs");
+      } else {
+        leader_tiles_[c][tile] = *prev_leader_matrix;
+        const std::size_t changed = leader_basis.derive_update(
+            *prev_leader_weights, weights, leader_tiles_[c][tile]);
+        obs::add_counter(obs_, "lr.combination_delta_updates");
+        obs::add_counter(obs_, "lr.delta_columns_updated", changed);
+        obs::add_counter(obs_, "lr.delta_columns_total", width);
+      }
+      prev_leader_matrix = &leader_tiles_[c][tile];
+      prev_leader_weights = weights;
     }
-    reference_tiles_[c][tile] = reference_basis.derive(weights);
-    obs::add_counter(obs_, "lr.reference_matvecs");
+    if (prev_reference_matrix == nullptr) {
+      reference_tiles_[c][tile] = reference_basis.derive(weights);
+      obs::add_counter(obs_, "lr.reference_matvecs");
+    } else {
+      reference_tiles_[c][tile] = *prev_reference_matrix;
+      const std::size_t changed = reference_basis.derive_update(
+          *prev_reference_weights, weights, reference_tiles_[c][tile]);
+      obs::add_counter(obs_, "lr.reference_delta_updates");
+      obs::add_counter(obs_, "lr.delta_columns_updated", changed);
+      obs::add_counter(obs_, "lr.delta_columns_total", width);
+    }
+    prev_reference_matrix = &reference_tiles_[c][tile];
+    prev_reference_weights = std::move(weights);
   }
   return Status::success();
 }
@@ -808,6 +1084,7 @@ namespace {
 template <typename PieceFn>
 stats::LrMatrix assemble_column_tiles(const genome::TilePlan& plan,
                                       PieceFn&& piece) {
+  if (plan.tile_count() == 0) return stats::LrMatrix();  // nothing survived
   if (plan.tile_count() == 1) return piece(0);
   const std::size_t rows = piece(0).rows();
   const std::size_t total = plan.total();
@@ -833,6 +1110,12 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     lr_span_.reset();
     return s.error();
   }
+  if (!lr_span_.has_value()) {
+    // An empty phase-3 plan (nothing survived phase 2) derives no tiles, so
+    // the phase span was never opened lazily; open it here so the selection
+    // spans below have their parent and the trace keeps every phase.
+    lr_span_.emplace(obs::recorder_of(obs_), "phase.lr", study_span_);
+  }
   if (!phase3_ready()) {
     lr_span_.reset();
     return make_error(Errc::state_violation,
@@ -854,7 +1137,10 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
   // With several combinations the pool fans out across them; with a single
   // combination it is threaded into the selection kernel instead. Never
   // both: a nested parallel_for from inside a pool worker could starve.
-  const bool parallel_combinations = pool != nullptr && live.size() > 1;
+  // The pruned sweep evaluates serially regardless (eager intersection is
+  // order-sequential), so the pool always threads into the selection.
+  const bool parallel_combinations =
+      !announce_.config.prune && pool != nullptr && live.size() > 1;
   common::ThreadPool* selection_pool = parallel_combinations ? nullptr : pool;
 
   auto evaluate = [&](std::size_t c) {
@@ -902,24 +1188,56 @@ Result<Phase3Result> Coordinator::run_lr_phase(common::ThreadPool* pool) {
     per_combination_power[c] = selection.final_power;
   };
 
-  if (parallel_combinations) {
-    pool->parallel_for(live.size(), [&](std::size_t i) { evaluate(live[i]); });
+  if (announce_.config.prune) {
+    // Eager fold over the evaluation order. Each selection still runs over
+    // all of L'' (the greedy subset search is order-dependent, so column
+    // restriction would change it); only the intersection is folded early,
+    // and once it is empty the remaining selections cannot resurrect a SNP
+    // — they are skipped outright. Skipping can leave final_power short of
+    // the unpruned maximum, but only when L_safe is already empty; the
+    // safe set itself stays bit-identical.
+    const auto order = pruning_order();
+    std::vector<std::uint32_t> fold = l_double_prime_;
+    double max_power = 0.0;
+    bool any_evaluated = false;
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      if (any_evaluated && fold.empty()) {
+        const std::uint64_t skipped = order.size() - idx;
+        pruning_.lr_selections_skipped += skipped;
+        obs::add_counter(obs_, "lr.selections_skipped", skipped);
+        break;
+      }
+      const std::size_t c = order[idx];
+      evaluate(c);
+      any_evaluated = true;
+      fold = intersect_sorted({fold, per_combination[c]});
+      pruning_.lr_mask_sizes.push_back(
+          static_cast<std::uint32_t>(fold.size()));
+      max_power = std::max(max_power, per_combination_power[c]);
+    }
+    outcome_.l_safe = std::move(fold);
+    outcome_.final_power = max_power;
   } else {
-    for (std::size_t c : live) evaluate(c);
-  }
+    if (parallel_combinations) {
+      pool->parallel_for(live.size(),
+                         [&](std::size_t i) { evaluate(live[i]); });
+    } else {
+      for (std::size_t c : live) evaluate(c);
+    }
 
-  std::vector<std::vector<std::uint32_t>> live_lists;
-  std::vector<double> live_powers;
-  live_lists.reserve(live.size());
-  for (std::size_t c : live) {
-    live_lists.push_back(std::move(per_combination[c]));
-    live_powers.push_back(per_combination_power[c]);
+    std::vector<std::vector<std::uint32_t>> live_lists;
+    std::vector<double> live_powers;
+    live_lists.reserve(live.size());
+    for (std::size_t c : live) {
+      live_lists.push_back(std::move(per_combination[c]));
+      live_powers.push_back(per_combination_power[c]);
+    }
+    outcome_.l_safe = intersect_sorted(live_lists);
+    outcome_.final_power =
+        live_powers.empty()
+            ? 0.0
+            : *std::max_element(live_powers.begin(), live_powers.end());
   }
-  outcome_.l_safe = intersect_sorted(live_lists);
-  outcome_.final_power =
-      live_powers.empty()
-          ? 0.0
-          : *std::max_element(live_powers.begin(), live_powers.end());
   lr_span_.reset();
   Phase3Result result;
   result.safe = outcome_.l_safe;

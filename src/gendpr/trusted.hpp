@@ -91,6 +91,12 @@ class GdoEnclave : public tee::Enclave {
   const std::vector<std::uint32_t>& retained_after_phase1() const noexcept {
     return l_prime_;
   }
+  /// Whether the announced study runs the intersection-aware sweep (false
+  /// before any announce). The host uses it to attribute phase-2 work to
+  /// the right counters (full derivations vs delta updates).
+  bool prune_enabled() const noexcept {
+    return announce_.has_value() && announce_->config.prune;
+  }
   const std::vector<std::uint32_t>& safe_snps() const noexcept {
     return l_safe_;
   }
@@ -127,16 +133,44 @@ struct SelectionOutcome {
   double final_power = 0.0;
 };
 
+/// Work bookkeeping of the intersection-aware combination sweep
+/// (StudyConfig::prune). The mask-size trajectories record the running
+/// intersection's size after each evaluated combination, in evaluation
+/// order (smallest case population first); each is non-increasing by
+/// construction, and all stay empty when pruning is off. Phase-1 entries
+/// are summed across tiles, so entry i is the total number of SNPs still
+/// alive everywhere after the i-th combination folded in.
+struct PruningStats {
+  bool enabled = false;
+  std::vector<std::uint32_t> maf_mask_sizes;
+  std::vector<std::uint32_t> ld_mask_sizes;
+  std::vector<std::uint32_t> lr_mask_sizes;
+  /// Phase-1 restarts forced by the death of a combination whose kills were
+  /// already folded into the mask (the fold must forget them).
+  std::uint64_t maf_reassessments = 0;
+  /// LD-phase pass restarts for the same reason (a walk's MissingMomentsError
+  /// marks a GDO dead mid-pass).
+  std::uint64_t ld_reassessments = 0;
+  /// Combinations whose LD walk / LR selection was skipped outright because
+  /// the running intersection was already empty.
+  std::uint64_t ld_walks_skipped = 0;
+  std::uint64_t lr_selections_skipped = 0;
+};
+
 /// Leader-side coordination module. Owns the reference panel (public data)
 /// and the leader GDO's own enclave for its local dataset.
 class Coordinator {
  public:
-  /// `fetch_moments(request)` must return the per-member moments for the
-  /// requested pair, indexed by GDO index (the leader's own entry may be
-  /// empty; it is computed locally). The host implements it with a
-  /// broadcast/gather over the secure channels.
+  /// `fetch_moments(request, targets)` must query exactly the member GDOs
+  /// listed in `targets` (never the leader) for the requested pair and
+  /// return their moments indexed by GDO index (other slots empty). The
+  /// host implements it with a send/gather over the secure channels; a
+  /// member that cannot be reached keeps an empty slot (and the host marks
+  /// the peer lost as usual). With pruning off the coordinator targets
+  /// every live member the first time a pair is touched, so the wire
+  /// pattern matches the original broadcast protocol.
   using FetchMoments = std::function<std::vector<std::optional<stats::LdMoments>>(
-      const MomentsRequest&)>;
+      const MomentsRequest&, const std::vector<std::uint32_t>&)>;
 
   Coordinator(GdoEnclave& leader_enclave, genome::GenotypeMatrix reference,
               std::uint32_t num_gdos, StudyAnnounce announce);
@@ -232,18 +266,45 @@ class Coordinator {
   /// accounting; cached pairs are fetched once).
   std::size_t ld_pairs_fetched() const noexcept { return moments_cache_.size(); }
 
+  /// Whether this study runs the intersection-aware sweep (announce config).
+  bool prune_enabled() const noexcept { return announce_.config.prune; }
+  /// Sweep work bookkeeping (all zero / empty when pruning is off).
+  const PruningStats& pruning_stats() const noexcept { return pruning_; }
+
  private:
   struct CombinationInputs;
+
+  /// Per-pair cache slot: aggregated member moments plus whether the
+  /// legacy-mode first-touch broadcast already went out for this pair.
+  struct PairMoments {
+    std::vector<std::optional<stats::LdMoments>> slots;  // per GDO
+    bool broadcast_done = false;
+  };
 
   stats::LdMoments aggregate_pair(const std::vector<std::uint32_t>& members,
                                   std::uint32_t a, std::uint32_t b,
                                   const FetchMoments& fetch);
   common::Error no_live_combination_error(const std::string& phase) const;
+  /// Chi-squared association p-values for the combination's pooled cases vs
+  /// the reference. `only` (optional) restricts the computation to the
+  /// listed SNP ids — the LD walk reads no others; the rest stay 0.
   std::vector<double> combination_chi2_p_values(
-      const std::vector<std::uint32_t>& members) const;
+      const std::vector<std::uint32_t>& members,
+      const std::vector<std::uint32_t>* only = nullptr) const;
   bool maf_tile_ready(std::uint32_t tile) const;
   void assess_maf_tile(std::uint32_t tile);
   common::Status derive_leader_lr_tile(std::uint32_t tile);
+  /// Pooled case population of combination `c` (phase-1 summaries must have
+  /// arrived; every live member's n_case is known before any tile is
+  /// assessed).
+  std::uint64_t combination_case_population(std::size_t c) const;
+  /// Live combinations ordered smallest case population first (ties by id):
+  /// the evaluation order of the pruned sweep — small cohorts produce the
+  /// most MAF/LD kills, so the intersection shrinks as early as possible.
+  std::vector<std::size_t> pruning_order() const;
+  /// Pruned phase 1 only: drops every folded mask and re-assesses all tiles
+  /// already assessed, over the currently-live combination set.
+  void reassess_maf_tiles();
 
   GdoEnclave* leader_;
   genome::GenotypeMatrix reference_;
@@ -275,14 +336,22 @@ class Coordinator {
   /// (empty vectors for combinations that died before assessment ended).
   std::vector<std::vector<std::uint32_t>> maf_survivors_;
   std::uint32_t next_maf_tile_ = 0;
+  /// Pruned mode: combinations whose kills were folded into any tile mask.
+  /// If one of them later dies its kills are wrong to keep, so run_maf_phase
+  /// re-assesses from scratch over the live set.
+  std::vector<bool> maf_mask_contributors_;
+
+  // Intersection-aware sweep bookkeeping (prune_enabled() only).
+  PruningStats pruning_;
 
   // Phase 2 state.
   std::vector<std::uint32_t> l_prime_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>,
-           std::vector<std::optional<stats::LdMoments>>>
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairMoments>
       moments_cache_;  // per pair: per-GDO moments (absent for dead GDOs)
   std::map<std::pair<std::uint32_t, std::uint32_t>, stats::LdMoments>
       reference_moments_cache_;
+  /// Monotone id for MomentsRequests (one per fetch round, not per pair).
+  std::uint32_t next_moments_request_ = 0;
 
   // Phase 3 state.
   std::vector<std::uint32_t> l_double_prime_;

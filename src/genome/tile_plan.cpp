@@ -5,8 +5,9 @@ namespace gendpr::genome {
 TilePlan TilePlan::over(std::uint32_t total, std::uint32_t requested_width) {
   TilePlan plan;
   plan.total_ = total;
+  if (total == 0) return plan;  // empty plan: zero tiles, nothing to stream
   if (requested_width == 0 || requested_width >= total) {
-    plan.width_ = total == 0 ? 1 : total;
+    plan.width_ = total;
     plan.tile_count_ = 1;
     return plan;
   }

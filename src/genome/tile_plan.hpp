@@ -23,12 +23,13 @@ class TilePlan {
   TilePlan() = default;
 
   /// Plan over `total` items with the requested width; width 0 (or >= total)
-  /// collapses to a single tile. total == 0 still yields one empty tile so
-  /// streaming protocols always exchange at least one record per phase.
+  /// collapses to a single tile. total == 0 yields an *empty* plan (zero
+  /// tiles): there is nothing to stream, so the phase protocols exchange no
+  /// records at all rather than a phantom 1-wide tile over nothing.
   static TilePlan over(std::uint32_t total, std::uint32_t requested_width);
 
   std::uint32_t total() const noexcept { return total_; }
-  /// Effective tile width (>= 1 unless total == 0).
+  /// Effective tile width (>= 1 unless the plan is empty).
   std::uint32_t width() const noexcept { return width_; }
   std::uint32_t tile_count() const noexcept { return tile_count_; }
 
@@ -55,7 +56,7 @@ class TilePlan {
  private:
   std::uint32_t total_ = 0;
   std::uint32_t width_ = 0;
-  std::uint32_t tile_count_ = 1;
+  std::uint32_t tile_count_ = 0;
 };
 
 }  // namespace gendpr::genome

@@ -223,7 +223,8 @@ TEST(FailureInjectionTest, MissingMomentsAbortLdPhase) {
   ASSERT_TRUE(coordinator.add_summary(1, member_stats).ok());
   ASSERT_TRUE(coordinator.run_maf_phase().ok());
 
-  auto silent_fetch = [](const MomentsRequest&) {
+  auto silent_fetch = [](const MomentsRequest&,
+                         const std::vector<std::uint32_t>&) {
     return std::vector<std::optional<stats::LdMoments>>{};  // no responses
   };
   const auto result = coordinator.run_ld_phase(silent_fetch);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "common/rng.hpp"
 #include "genome/cohort.hpp"
 
@@ -284,7 +287,7 @@ TEST(CoordinatorTest, SingleGdoPipelineRunsEndToEnd) {
   ASSERT_TRUE(phase1.ok());
   EXPECT_FALSE(phase1.value().retained.empty());
 
-  auto fetch = [](const MomentsRequest&) {
+  auto fetch = [](const MomentsRequest&, const std::vector<std::uint32_t>&) {
     return std::vector<std::optional<stats::LdMoments>>{};
   };
   const auto phase2 = coordinator.run_ld_phase(fetch);
@@ -309,7 +312,7 @@ TEST(CoordinatorTest, LrMatrixValidation) {
   member_stats.n_case = 50;
   ASSERT_TRUE(coordinator.add_summary(1, member_stats).ok());
   ASSERT_TRUE(coordinator.run_maf_phase().ok());
-  auto fetch = [&](const MomentsRequest&) {
+  auto fetch = [&](const MomentsRequest&, const std::vector<std::uint32_t>&) {
     std::vector<std::optional<stats::LdMoments>> per_gdo(2);
     per_gdo[1] = stats::LdMoments{5, 5, 1, 5, 5, 50};
     return per_gdo;
@@ -324,6 +327,88 @@ TEST(CoordinatorTest, LrMatrixValidation) {
   wrong_rows.entries.push_back(
       {0, stats::LrMatrix(3, coordinator.outcome().l_double_prime.size())});
   EXPECT_FALSE(coordinator.add_lr_matrices(1, wrong_rows).ok());
+}
+
+/// Three-GDO coordinator with identical member summaries: every combination
+/// ranks SNPs identically, so the greedy walks of {0,1} and {0,2} visit the
+/// same pairs and the second walk hits moments_cache_ entries created by the
+/// first. Shared by the stale-slot regression tests below.
+struct RefetchFixture {
+  Fixture f;
+  GdoEnclave leader{f.platform, 0};
+  std::optional<Coordinator> coordinator;
+
+  explicit RefetchFixture(bool prune) {
+    EXPECT_TRUE(leader.provision_dataset(f.cohort.cases).ok());
+    StudyAnnounce announce = f.make_announce(3, CollusionPolicy::fixed(1));
+    announce.config.prune = prune;
+    coordinator.emplace(leader, f.cohort.controls, 3, announce);
+    SummaryStats member_stats;
+    member_stats.case_counts.assign(f.cohort.cases.num_snps(), 5);
+    // Larger than the leader's population so the pruning order visits the
+    // leader-bearing pairs {0,1} and {0,2} before {1,2}.
+    member_stats.n_case = 400;
+    EXPECT_TRUE(coordinator->add_summary(1, member_stats).ok());
+    EXPECT_TRUE(coordinator->add_summary(2, member_stats).ok());
+    EXPECT_TRUE(coordinator->run_maf_phase().ok());
+  }
+};
+
+TEST(CoordinatorTest, StaleMomentsSlotRefetchedForLiveMember) {
+  // Legacy (unpruned) mode: the first touch of a pair broadcasts to all
+  // live members. If GDO 2's response is lost in transit (without GDO 2
+  // being unresponsive at the network layer, so it is never marked dead),
+  // the cached entry keeps an empty slot. When combination {0,2} later
+  // aggregates the same pair, the coordinator must re-request the missing
+  // slot from the live member instead of replaying MissingMomentsError
+  // from the stale cache entry - which used to kill combination {0,2} and
+  // {1,2} and silently shrink the assessment.
+  RefetchFixture rf(/*prune=*/false);
+  std::vector<std::vector<std::uint32_t>> calls;
+  auto fetch = [&](const MomentsRequest&,
+                   const std::vector<std::uint32_t>& targets) {
+    calls.push_back(targets);
+    std::vector<std::optional<stats::LdMoments>> per_gdo(3);
+    for (std::uint32_t g : targets) {
+      if (calls.size() == 1 && g == 2) continue;  // drop GDO 2's response
+      per_gdo[g] = stats::LdMoments{5, 5, 1, 5, 5, 50};
+    }
+    return per_gdo;
+  };
+  ASSERT_TRUE(rf.coordinator->run_ld_phase(fetch).ok());
+  EXPECT_TRUE(rf.coordinator->dead_gdos().empty());
+  ASSERT_FALSE(calls.empty());
+  // First touch broadcast to both members; the lost slot was later
+  // re-requested from GDO 2 alone.
+  EXPECT_EQ(calls.front(), (std::vector<std::uint32_t>{1, 2}));
+  bool refetched = false;
+  for (std::size_t i = 1; i < calls.size(); ++i) {
+    refetched |= calls[i] == std::vector<std::uint32_t>{2};
+  }
+  EXPECT_TRUE(refetched);
+}
+
+TEST(CoordinatorTest, PrunedSweepFillsCachedPairSlotsLazily) {
+  // Pruned mode fetches per combination: {0,1} creates the cache entry with
+  // only slot 1 filled, and {0,2}'s later touch of the same pair must fetch
+  // slot 2 on the cache HIT path rather than trusting the entry complete.
+  RefetchFixture rf(/*prune=*/true);
+  bool single_member_fill = false;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  auto fetch = [&](const MomentsRequest& request,
+                   const std::vector<std::uint32_t>& targets) {
+    single_member_fill |= targets == std::vector<std::uint32_t>{2};
+    std::vector<std::optional<stats::LdMoments>> per_gdo(3);
+    for (std::uint32_t g : targets) {
+      // A filled slot is never re-requested.
+      EXPECT_TRUE(seen.insert({request.snp_a, request.snp_b, g}).second);
+      per_gdo[g] = stats::LdMoments{5, 5, 1, 5, 5, 50};
+    }
+    return per_gdo;
+  };
+  ASSERT_TRUE(rf.coordinator->run_ld_phase(fetch).ok());
+  EXPECT_TRUE(rf.coordinator->dead_gdos().empty());
+  EXPECT_TRUE(single_member_fill);
 }
 
 }  // namespace

@@ -29,11 +29,24 @@ TEST(TilePlanTest, WidthAtLeastTotalIsOneTile) {
   EXPECT_EQ(TilePlan::over(100, 5000).tile_count(), 1u);
 }
 
-TEST(TilePlanTest, EmptyRangeStillYieldsOneTile) {
-  const TilePlan plan = TilePlan::over(0, 64);
-  EXPECT_EQ(plan.tile_count(), 1u);
+TEST(TilePlanTest, EmptyRangeYieldsEmptyPlan) {
+  // total == 0 used to emit a phantom 1-wide tile over nothing; an empty
+  // range now plans zero tiles so the phase protocols stream no records.
+  for (std::uint32_t width : {0u, 1u, 64u}) {
+    const TilePlan plan = TilePlan::over(0, width);
+    EXPECT_EQ(plan.tile_count(), 0u) << "width " << width;
+    EXPECT_EQ(plan.total(), 0u);
+    EXPECT_EQ(plan.width(), 0u);
+  }
+  EXPECT_EQ(TilePlan().tile_count(), 0u);  // default-constructed == empty
+}
+
+TEST(TilePlanTest, WidthBeyondTotalStillCoversTheRange) {
+  const TilePlan plan = TilePlan::over(7, 1u << 20);
+  ASSERT_EQ(plan.tile_count(), 1u);
   EXPECT_EQ(plan.begin(0), 0u);
-  EXPECT_EQ(plan.end(0), 0u);
+  EXPECT_EQ(plan.end(0), 7u);
+  EXPECT_EQ(plan.width_of(0), 7u);
 }
 
 TEST(TilePlanTest, TilesPartitionTheRange) {

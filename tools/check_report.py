@@ -69,10 +69,13 @@ def check_run_report(doc):
     network = doc.get("network")
     require(isinstance(network, dict), "missing network section")
     require(network.get("total_bytes", 0) > 0, "no network traffic recorded")
-    require(
-        network.get("phase2_body_bytes", 0) > 0,
-        "no phase-2 broadcast body recorded",
-    )
+    if selection["l_double_prime"] > 0:
+        # An empty phase-2 funnel (every SNP filtered before the LR test)
+        # legitimately broadcasts no phase-2 tiles at all.
+        require(
+            network.get("phase2_body_bytes", 0) > 0,
+            "no phase-2 broadcast body recorded",
+        )
     links = network.get("links")
     require(isinstance(links, list) and links, "missing per-link byte counts")
     for link in links:
@@ -127,13 +130,22 @@ def check_run_report(doc):
     tiles = doc.get("tiles")
     require(isinstance(tiles, dict), "missing tiles section")
     require(tiles.get("count", 0) >= 1, "tiles.count must be at least 1")
-    require(tiles.get("lr_count", 0) >= 1, "tiles.lr_count must be at least 1")
+    if selection["l_double_prime"] == 0:
+        # Nothing survived phase 2: the phase-3 plan is empty, zero tiles.
+        require(
+            tiles.get("lr_count", -1) == 0,
+            "empty L'' must report zero LR tiles",
+        )
+    else:
+        require(
+            tiles.get("lr_count", 0) >= 1, "tiles.lr_count must be at least 1"
+        )
     width = tiles.get("width")
     require(isinstance(width, int) and width >= 0, "tiles.width missing")
     if width == 0:
         require(
-            tiles["count"] == 1 and tiles["lr_count"] == 1,
-            "monolithic run (width 0) must report exactly one tile per phase",
+            tiles["count"] == 1 and tiles["lr_count"] <= 1,
+            "monolithic run (width 0) must report at most one tile per phase",
         )
 
     pipeline = doc.get("pipeline")
@@ -151,33 +163,95 @@ def check_run_report(doc):
             f"pipeline.{key} missing or negative",
         )
 
+    pruning = doc.get("pruning")
+    require(isinstance(pruning, dict), "missing pruning section")
+    require(isinstance(pruning.get("enabled"), bool), "pruning.enabled missing")
+    for key in ("maf_mask_sizes", "ld_mask_sizes", "lr_mask_sizes"):
+        sizes = pruning.get(key)
+        require(isinstance(sizes, list), f"pruning.{key} missing")
+        if not pruning["enabled"]:
+            require(not sizes, f"pruning.{key} must be empty when pruning is off")
+        # The running intersection only ever shrinks: each recorded mask size
+        # must be monotone non-increasing across the evaluation order.
+        for earlier, later in zip(sizes, sizes[1:]):
+            require(
+                later <= earlier,
+                f"pruning.{key} is not monotone non-increasing: {sizes}",
+            )
+    if pruning["enabled"]:
+        # The folds land exactly on the intersected selection sets.
+        if pruning["maf_mask_sizes"]:
+            require(
+                pruning["maf_mask_sizes"][-1] == selection["l_prime"],
+                "final MAF mask size disagrees with selection.l_prime",
+            )
+        if pruning["ld_mask_sizes"] and not pruning["ld_walks_skipped"]:
+            require(
+                pruning["ld_mask_sizes"][-1] == selection["l_double_prime"],
+                "final LD mask size disagrees with selection.l_double_prime",
+            )
+        if pruning["lr_mask_sizes"] and not pruning["lr_selections_skipped"]:
+            require(
+                pruning["lr_mask_sizes"][-1] == selection["l_safe"],
+                "final LR mask size disagrees with selection.l_safe",
+            )
+    for key in (
+        "maf_reassessments",
+        "ld_reassessments",
+        "ld_walks_skipped",
+        "lr_selections_skipped",
+    ):
+        value = pruning.get(key)
+        require(
+            isinstance(value, (int, float)) and value >= 0,
+            f"pruning.{key} missing or negative",
+        )
+        if not pruning["enabled"]:
+            require(value == 0, f"pruning.{key} nonzero with pruning off")
+
     events = doc.get("events")
     require(isinstance(events, dict), "missing events section")
     require(isinstance(events.get("dead_gdos"), list), "missing events.dead_gdos")
 
-    check_lr_counters(doc, study, tiles, degraded=bool(events["dead_gdos"]))
+    check_lr_counters(
+        doc, study, tiles, pruning, degraded=bool(events["dead_gdos"])
+    )
 
     trace = doc.get("trace")
     if trace is not None:
         check_trace(
-            trace, study["num_combinations"], set(events["dead_gdos"]), tiles
+            trace,
+            study["num_combinations"],
+            set(events["dead_gdos"]),
+            tiles,
+            pruning,
         )
 
 
-def check_lr_counters(doc, study, tiles, degraded):
+def check_lr_counters(doc, study, tiles, pruning, degraded):
     """LR-phase accounting invariants over the exported counters.
 
     Every node that receives a phase-2 tile expands one genotype-fixed LR
     basis over that tile's columns (``lr.basis_builds``) and derives one
-    matrix slice per live combination it belongs to
-    (``lr.combination_matvecs``). With T = tiles.lr_count, a clean run pins
-    both counters exactly:
+    matrix slice per live combination it belongs to. With T = tiles.lr_count
+    and pruning off, a clean run pins the counters exactly:
         basis_builds == num_gdos * T
         combination_matvecs == combination_members_total * T
-    and the leader builds the reference panel's basis once per tile. A
-    degraded run only bounds them: a member may build bases (and derive
-    matrices) and then be declared dead afterwards, so the counters can
-    reach the clean-run values but never pin to the post-mortem live set.
+    and the leader builds the reference panel's basis once per tile.
+
+    Under the intersection-aware sweep only each per-node chain head is a
+    full derivation (``lr.combination_matvecs``); the rest are in-place
+    delta updates (``lr.combination_delta_updates``). Pruned work never
+    exceeds the unpruned budget, and full + delta derivations together
+    still conserve it on a clean run:
+        combination_matvecs <= combination_members_total * T
+        combination_matvecs + combination_delta_updates
+            == combination_members_total * T
+
+    A degraded run only bounds the totals: a member may build bases (and
+    derive matrices) and then be declared dead afterwards, so the counters
+    can reach the clean-run values but never pin to the post-mortem live
+    set.
     """
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -186,9 +260,29 @@ def check_lr_counters(doc, study, tiles, degraded):
     require(isinstance(counters, dict), "metrics.counters missing")
     basis = counters.get("lr.basis_builds", 0)
     matvecs = counters.get("lr.combination_matvecs", 0)
+    deltas = counters.get("lr.combination_delta_updates", 0)
+    ref_matvecs = counters.get("lr.reference_matvecs", 0)
+    ref_deltas = counters.get("lr.reference_delta_updates", 0)
     num_gdos = study["num_gdos"]
     members_total = study["combination_members_total"]
+    live_combinations = study["live_combinations"]
     lr_tiles = tiles["lr_count"]
+    pruned = pruning["enabled"]
+    if not pruned:
+        require(
+            deltas == 0 and ref_deltas == 0,
+            "delta-update counters must be zero with pruning off",
+        )
+    if lr_tiles == 0:
+        require(
+            basis == 0 and matvecs == 0 and deltas == 0,
+            "LR derivation counters must be zero with an empty phase-3 plan",
+        )
+        require(
+            counters.get("lr.reference_basis_builds", 0) == 0,
+            "no reference basis with an empty phase-3 plan",
+        )
+        return
     if degraded:
         require(
             1 <= basis <= num_gdos * lr_tiles,
@@ -196,8 +290,8 @@ def check_lr_counters(doc, study, tiles, degraded):
             f"(degraded run)",
         )
         require(
-            matvecs >= members_total * lr_tiles,
-            f"lr.combination_matvecs {matvecs} below the live-combination "
+            matvecs + deltas >= members_total * lr_tiles,
+            f"lr derivations {matvecs}+{deltas} below the live-combination "
             f"member-tile total {members_total * lr_tiles}",
         )
     else:
@@ -206,18 +300,48 @@ def check_lr_counters(doc, study, tiles, degraded):
             f"lr.basis_builds {basis}: expected one basis build per GDO per "
             f"tile ({num_gdos} * {lr_tiles})",
         )
-        require(
-            matvecs == members_total * lr_tiles,
-            f"lr.combination_matvecs {matvecs}: expected one derivation per "
-            f"combination member per tile ({members_total} * {lr_tiles})",
-        )
+        if pruned:
+            require(
+                1 <= matvecs <= members_total * lr_tiles,
+                f"lr.combination_matvecs {matvecs} outside "
+                f"[1, {members_total * lr_tiles}] (pruned run)",
+            )
+            require(
+                matvecs + deltas == members_total * lr_tiles,
+                f"lr derivations {matvecs}+{deltas}: full + delta updates "
+                f"must conserve the member-tile total "
+                f"({members_total} * {lr_tiles})",
+            )
+            require(
+                ref_matvecs == lr_tiles,
+                f"lr.reference_matvecs {ref_matvecs}: expected one chain "
+                f"head per tile ({lr_tiles})",
+            )
+            require(
+                ref_matvecs + ref_deltas == live_combinations * lr_tiles,
+                f"reference derivations {ref_matvecs}+{ref_deltas} must "
+                f"conserve the combination-tile total "
+                f"({live_combinations} * {lr_tiles})",
+            )
+        else:
+            require(
+                matvecs == members_total * lr_tiles,
+                f"lr.combination_matvecs {matvecs}: expected one derivation "
+                f"per combination member per tile "
+                f"({members_total} * {lr_tiles})",
+            )
+            require(
+                ref_matvecs == live_combinations * lr_tiles,
+                f"lr.reference_matvecs {ref_matvecs}: expected one per live "
+                f"combination per tile ({live_combinations} * {lr_tiles})",
+            )
     require(
         counters.get("lr.reference_basis_builds", 0) == lr_tiles,
         "reference panel basis must be built exactly once per LR tile",
     )
 
 
-def check_trace(trace, num_combinations, dead_gdos, tiles):
+def check_trace(trace, num_combinations, dead_gdos, tiles, pruning):
     require(isinstance(trace, list) and trace, "trace section is empty")
     by_name = {}
     for span in trace:
@@ -229,7 +353,7 @@ def check_trace(trace, num_combinations, dead_gdos, tiles):
     require("study" in by_name, "trace has no root study span")
     require(len(by_name["study"]) == 1, "more than one study span")
 
-    def check_children(phase, prefix, expected, exact):
+    def check_children(phase, prefix, expected, exact, repeats=1, may_be_empty=False):
         children = [name for name in by_name if name.startswith(prefix)]
         if exact:
             require(
@@ -237,21 +361,23 @@ def check_trace(trace, num_combinations, dead_gdos, tiles):
                 f"{phase}: {len(children)} {prefix}* spans, expected {expected}",
             )
         else:
+            lower = 0 if may_be_empty else min(1, expected)
             require(
-                0 < len(children) <= expected,
+                lower <= len(children) <= expected,
                 f"{phase}: {len(children)} {prefix}* spans, "
                 f"expected at most {expected}",
             )
         for name in children:
             require(
-                len(by_name[name]) == 1,
-                f"{name} recorded {len(by_name[name])} times, expected once",
+                1 <= len(by_name[name]) <= repeats,
+                f"{name} recorded {len(by_name[name])} times, "
+                f"expected at most {repeats}",
             )
-            parent = by_name[name][0].get("parent")
-            require(
-                parent == by_name[phase][0]["id"],
-                f"{name} is not a child of {phase}",
-            )
+            for span in by_name[name]:
+                require(
+                    span.get("parent") == by_name[phase][0]["id"],
+                    f"{name} is not a child of {phase}",
+                )
 
     for phase in PHASES:
         require(phase in by_name, f"trace missing {phase}")
@@ -262,13 +388,29 @@ def check_trace(trace, num_combinations, dead_gdos, tiles):
     # the LR phase additionally records the leader's per-tile derivations.
     # Combinations naming a dead GDO are skipped, so a degraded run may
     # trace fewer combination spans than the announced count — never more.
-    # Tile spans are exact in either case: dead members drop out of the
-    # readiness requirement, not the plan.
-    check_children("phase.maf", "maf.tile.", tiles["count"], exact=True)
-    check_children("phase.lr", "lr.tile.", tiles["lr_count"], exact=True)
-    for phase in ("phase.ld", "phase.lr"):
-        prefix = phase.split(".", 1)[1] + ".combination."
-        check_children(phase, prefix, num_combinations, exact=not dead_gdos)
+    # Under the intersection-aware sweep a clean run may also trace fewer:
+    # combinations past an already-empty running intersection are skipped,
+    # and phase-1/2 reassessments forced by mid-phase deaths re-open the
+    # affected tile / combination spans (never more than once per restart).
+    pruned = pruning["enabled"]
+    maf_repeats = 1 + (pruning["maf_reassessments"] if pruned else 0)
+    ld_repeats = 1 + (pruning["ld_reassessments"] if pruned else 0)
+    check_children(
+        "phase.maf", "maf.tile.", tiles["count"],
+        exact=maf_repeats == 1, repeats=maf_repeats,
+    )
+    if tiles["lr_count"] > 0:
+        check_children("phase.lr", "lr.tile.", tiles["lr_count"], exact=True)
+    combination_exact = not dead_gdos and not pruned
+    check_children(
+        "phase.ld", "ld.combination.", num_combinations,
+        exact=combination_exact, repeats=ld_repeats,
+        may_be_empty=pruned,
+    )
+    check_children(
+        "phase.lr", "lr.combination.", num_combinations,
+        exact=combination_exact, may_be_empty=pruned and tiles["lr_count"] == 0,
+    )
 
 
 def check_google_benchmark(doc):

@@ -57,6 +57,8 @@ void usage() {
                "           --fpr R --power P --seed S --report FILE\n"
                "           --tile-width W (SNPs per pipeline tile, 0 = off)\n"
                "           --epc-mb M (per-enclave EPC limit, MiB)\n"
+               "           --no-prune (disable intersection-aware sweep "
+               "pruning)\n"
                "  release: assess options plus --out FILE --dp-epsilon E\n");
 }
 
@@ -72,6 +74,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     const char* value = nullptr;
     if (flag == "--conservative") {
       args.conservative = true;
+    } else if (flag == "--no-prune") {
+      args.config.prune = false;
     } else if ((value = next()) == nullptr) {
       return false;
     } else if (flag == "--cases") {
