@@ -1,0 +1,153 @@
+// Minimal coroutine task type for the sans-IO protocol engine.
+//
+// `Task<T>` is a lazily-started, single-awaiter coroutine: creating one
+// allocates the frame but runs nothing; `co_await`ing it starts the body via
+// symmetric transfer and resumes the awaiter when the body co_returns.
+// Exceptions thrown inside the body are captured and rethrown at the await
+// site, so error signalling (e.g. the coordinator's MissingMomentsError)
+// crosses suspension points exactly like it crosses ordinary calls.
+//
+// The protocol layer is written once as coroutines that suspend at its
+// receive points; `run_sync` drives such a chain to completion when every
+// awaitable in it completes without an external event (the compatibility
+// path for callers that still supply blocking callbacks).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace gendpr::common {
+
+template <typename T>
+class Task;
+
+namespace coro_detail {
+
+/// Resumes the parent coroutine (if any) when a task body finishes.
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> handle) noexcept {
+    std::coroutine_handle<> continuation = handle.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase<T> {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T take_value() {
+    if (this->error) std::rethrow_exception(this->error);
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase<void> {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+  void take_value() {
+    if (this->error) std::rethrow_exception(this->error);
+  }
+};
+
+}  // namespace coro_detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = coro_detail::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Starts (or continues) the body on the current stack. Used by run_sync;
+  /// awaiting callers start the body through symmetric transfer instead.
+  void resume() { handle_.resume(); }
+
+  /// Result of a finished task; rethrows an exception captured in the body.
+  T result() { return handle_.promise().take_value(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // start the child body
+      }
+      T await_resume() { return handle.promise().take_value(); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace coro_detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace coro_detail
+
+/// Drives `task` to completion on the current stack and returns its result.
+/// Valid only when no awaitable in the chain suspends on an external event
+/// (every co_await completes synchronously); a task that is still pending
+/// after its synchronous run is a caller contract violation.
+template <typename T>
+T run_sync(Task<T> task) {
+  task.resume();
+  if (!task.done()) {
+    throw std::logic_error(
+        "run_sync: task suspended on an external event; it needs a driver");
+  }
+  return task.result();
+}
+
+}  // namespace gendpr::common

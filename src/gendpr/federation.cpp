@@ -1,19 +1,218 @@
 #include "gendpr/federation.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/csprng.hpp"
+#include "gendpr/session_driver.hpp"
+#include "net/epoll_hub.hpp"
+#include "net/event_loop.hpp"
 #include "net/network.hpp"
 #include "tee/attestation.hpp"
 
 namespace gendpr::core {
 
 using common::Result;
+
+namespace {
+
+/// Resolves the effective transport: GENDPR_TRANSPORT overrides the spec.
+FederationSpec::TransportMode transport_mode_of(const FederationSpec& spec) {
+  const char* env = std::getenv("GENDPR_TRANSPORT");
+  if (env != nullptr) {
+    if (std::strcmp(env, "epoll") == 0) {
+      return FederationSpec::TransportMode::epoll;
+    }
+    if (std::strcmp(env, "in_process") == 0) {
+      return FederationSpec::TransportMode::in_process;
+    }
+    common::log_warn("federation", "unknown GENDPR_TRANSPORT value '", env,
+                     "'; using the spec's transport");
+  }
+  return spec.transport;
+}
+
+/// Runs the whole federation as sans-IO sessions on one epoll thread: one
+/// EpollHub per GDO on loopback TCP (members dial the leader — the star
+/// topology the protocol already assumes), one EpollSessionDriver per
+/// session, a single EventLoop dispatching all of them. Fills
+/// `member_compute_ms` for the distributed-wall-time model.
+Result<StudyResult> run_epoll_federation(
+    const genome::Cohort& cohort, const FederationSpec& spec,
+    std::vector<std::unique_ptr<tee::Platform>>& platforms,
+    std::uint32_t leader_gdo,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    const StudyAnnounce& announce, common::ThreadPool* pool,
+    obs::SpanId study_span, std::chrono::milliseconds receive_timeout,
+    std::vector<double>& member_compute_ms) {
+  net::EventLoop loop;
+  if (!loop.valid()) {
+    return common::make_error(common::Errc::io_error,
+                              "epoll_create1 failed");
+  }
+
+  auto leader_hub_result =
+      net::EpollHub::create(loop, node_id_of(leader_gdo), 0);
+  if (!leader_hub_result.ok()) return leader_hub_result.error();
+  std::unique_ptr<net::EpollHub> leader_hub =
+      std::move(leader_hub_result).take();
+
+  LeaderSession leader(*platforms[leader_gdo], leader_gdo, spec.num_gdos,
+                       cohort.cases.slice_rows(ranges[leader_gdo].first,
+                                               ranges[leader_gdo].second),
+                       cohort.controls, announce);
+  leader.set_receive_timeout(receive_timeout);
+  leader.set_observability(spec.obs, study_span);
+  leader.set_pool(pool);
+
+  std::vector<std::unique_ptr<net::EpollHub>> member_hubs;
+  std::vector<std::unique_ptr<MemberSession>> members;
+  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    if (g == leader_gdo) continue;
+    auto hub = net::EpollHub::create(loop, node_id_of(g), 0);
+    if (!hub.ok()) return hub.error();
+    member_hubs.push_back(std::move(hub).take());
+    members.push_back(std::make_unique<MemberSession>(
+        *platforms[g], g, leader_gdo,
+        cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+    members.back()->set_receive_timeout(receive_timeout);
+    members.back()->set_observability(spec.obs);
+    members.back()->set_pool(pool);
+  }
+  // A member that failed to provision (EPC limit) would never handshake and
+  // the leader would wait forever - surface the error up front.
+  for (const auto& member : members) {
+    if (!member->provision_status().ok()) {
+      return member->provision_status().error();
+    }
+  }
+
+  EpollSessionDriver leader_driver(loop, *leader_hub, leader);
+  std::vector<std::unique_ptr<EpollSessionDriver>> member_drivers;
+  member_drivers.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    member_drivers.push_back(std::make_unique<EpollSessionDriver>(
+        loop, *member_hubs[i], *members[i]));
+  }
+
+  const auto all_finished = [&] {
+    if (!leader_driver.finished()) return false;
+    for (const auto& driver : member_drivers) {
+      if (!driver->finished()) return false;
+    }
+    return true;
+  };
+
+  // When the leader fails, surviving members normally learn it from the
+  // abort notice; a member whose connection (or handshake) never came up
+  // would wait forever with no timeout configured. Give the notices half a
+  // second to flush, then force the stragglers' transports closed.
+  leader_driver.set_on_finished([&] {
+    if (leader.status().ok()) return;
+    loop.add_timer_after(std::chrono::milliseconds{500}, [&] {
+      for (auto& driver : member_drivers) {
+        if (!driver->finished()) driver->close();
+      }
+    });
+  });
+
+  // Members first: their dials buffer the attestation handshakes, which
+  // flush as soon as the leader's listener accepts.
+  for (std::size_t i = 0; i < member_drivers.size(); ++i) {
+    member_hubs[i]->connect_peer(node_id_of(leader_gdo), "127.0.0.1",
+                                 leader_hub->port());
+    member_drivers[i]->start();
+  }
+  leader_driver.start();
+  loop.run_until(all_finished);
+
+  if (!leader.status().ok()) return leader.status().error();
+  // Surface any member-side failure (e.g. tampering detected) even when the
+  // leader finished: a correct run requires every node to have succeeded.
+  for (const auto& member : members) {
+    if (!member->status().ok()) return member->status().error();
+  }
+
+  StudyResult study = leader.result();
+  // The leader hub terminates both directions of every link in the star, so
+  // its meter sees all protocol traffic — same vantage as a TCP leader.
+  study.network_bytes_total = leader_hub->meter().total_bytes();
+  study.leader_bytes_received =
+      leader_hub->meter().bytes_received_by(node_id_of(leader_gdo));
+  study.network_links = leader_hub->meter().snapshot();
+  for (const auto& member : members) {
+    member_compute_ms.push_back(member->compute_ms());
+  }
+  return study;
+}
+
+/// The classic thread-per-node fabric: MemberNode service threads plus the
+/// LeaderNode study on the caller's thread, over in-process mailboxes.
+Result<StudyResult> run_threaded_federation(
+    const genome::Cohort& cohort, const FederationSpec& spec,
+    std::vector<std::unique_ptr<tee::Platform>>& platforms,
+    std::uint32_t leader_gdo,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    const StudyAnnounce& announce, common::ThreadPool* pool,
+    obs::SpanId study_span, std::chrono::milliseconds receive_timeout,
+    std::vector<double>& member_compute_ms) {
+  net::Network network;
+
+  LeaderNode leader(network, *platforms[leader_gdo], leader_gdo,
+                    spec.num_gdos,
+                    cohort.cases.slice_rows(ranges[leader_gdo].first,
+                                            ranges[leader_gdo].second),
+                    cohort.controls, announce);
+  leader.set_receive_timeout(receive_timeout);
+  leader.set_observability(spec.obs, study_span);
+
+  std::vector<std::unique_ptr<MemberNode>> members;
+  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+    if (g == leader_gdo) continue;
+    members.push_back(std::make_unique<MemberNode>(
+        network, *platforms[g], g, leader_gdo,
+        cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
+    members.back()->set_receive_timeout(receive_timeout);
+    members.back()->set_observability(spec.obs);
+    members.back()->set_pool(pool);
+  }
+  // A member that failed at construction (EPC limit) would never handshake
+  // and the leader would wait forever - surface the error up front.
+  for (const auto& member : members) {
+    if (!member->status().ok()) return member->status().error();
+  }
+  for (auto& member : members) member->start();
+
+  auto result = leader.run_study(pool);
+
+  if (!result.ok()) {
+    // Unblock members still waiting on their mailboxes before joining.
+    for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
+      if (g != leader_gdo) network.detach(node_id_of(g));
+    }
+  }
+  for (auto& member : members) member->join();
+  if (!result.ok()) return result;
+
+  // Surface any member-side failure (e.g. tampering detected) even when the
+  // leader finished: a correct run requires every node to have succeeded.
+  for (const auto& member : members) {
+    if (!member->status().ok()) return member->status().error();
+  }
+  for (const auto& member : members) {
+    member_compute_ms.push_back(member->compute_ms());
+  }
+  return result;
+}
+
+}  // namespace
 
 Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
                                         const FederationSpec& spec) {
@@ -61,20 +260,11 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   announce.combinations =
       Coordinator::build_combinations(spec.num_gdos, spec.policy);
 
-  net::Network network;
   const std::chrono::milliseconds receive_timeout(spec.receive_timeout_ms);
 
   // AEAD counters are process-wide; a per-run snapshot delta isolates this
   // study's sealing work (federation runs in one process are sequential).
   const crypto::AeadCounters aead_before = crypto::aead_counters();
-
-  LeaderNode leader(network, *platforms[leader_gdo], leader_gdo,
-                    spec.num_gdos,
-                    cohort.cases.slice_rows(ranges[leader_gdo].first,
-                                            ranges[leader_gdo].second),
-                    cohort.controls, announce);
-  leader.set_receive_timeout(receive_timeout);
-  leader.set_observability(spec.obs, study_span.id());
 
   // One pool shared by the leader's per-combination LR selection and every
   // member's per-combination basis derivations (parallel_for is safe to
@@ -83,26 +273,18 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   if (spec.parallel_combinations && announce.combinations.size() > 1) {
     pool = std::make_unique<common::ThreadPool>();
   }
-
-  std::vector<std::unique_ptr<MemberNode>> members;
-  for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
-    if (g == leader_gdo) continue;
-    members.push_back(std::make_unique<MemberNode>(
-        network, *platforms[g], g, leader_gdo,
-        cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
-    members.back()->set_receive_timeout(receive_timeout);
-    members.back()->set_observability(spec.obs);
-    members.back()->set_pool(pool.get());
-  }
-  // A member that failed at construction (EPC limit) would never handshake
-  // and the leader would wait forever - surface the error up front.
-  for (const auto& member : members) {
-    if (!member->status().ok()) return member->status().error();
-  }
   setup_span.end();
-  for (auto& member : members) member->start();
 
-  auto result = leader.run_study(pool.get());
+  std::vector<double> member_compute_ms;
+  auto result =
+      transport_mode_of(spec) == FederationSpec::TransportMode::epoll
+          ? run_epoll_federation(cohort, spec, platforms, leader_gdo, ranges,
+                                 announce, pool.get(), study_span.id(),
+                                 receive_timeout, member_compute_ms)
+          : run_threaded_federation(cohort, spec, platforms, leader_gdo,
+                                    ranges, announce, pool.get(),
+                                    study_span.id(), receive_timeout,
+                                    member_compute_ms);
   if (spec.obs != nullptr && pool != nullptr) {
     spec.obs->metrics.add_counter("pool.tasks_completed",
                                   pool->tasks_completed());
@@ -110,28 +292,14 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
     spec.obs->metrics.set_gauge("pool.threads",
                                 static_cast<double>(pool->size()));
   }
-
-  if (!result.ok()) {
-    // Unblock members still waiting on their mailboxes before joining.
-    for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
-      if (g != leader_gdo) network.detach(node_id_of(g));
-    }
-  }
-  for (auto& member : members) member->join();
   if (!result.ok()) return result;
-
-  // Surface any member-side failure (e.g. tampering detected) even when the
-  // leader finished: a correct run requires every node to have succeeded.
-  for (const auto& member : members) {
-    if (!member->status().ok()) return member->status().error();
-  }
 
   StudyResult study = std::move(result).take();
   double member_compute_sum = 0;
   double member_compute_max = 0;
-  for (const auto& member : members) {
-    member_compute_sum += member->compute_ms();
-    member_compute_max = std::max(member_compute_max, member->compute_ms());
+  for (const double compute_ms : member_compute_ms) {
+    member_compute_sum += compute_ms;
+    member_compute_max = std::max(member_compute_max, compute_ms);
   }
   study.modelled_distributed_ms =
       study.timings.total_ms - member_compute_sum + member_compute_max;
@@ -174,16 +342,17 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
           "epc.gdo" + std::to_string(g) + ".peak_bytes",
           static_cast<double>(study.epc_peak_per_gdo[g]));
     }
-    for (const auto& link : network.meter().snapshot()) {
+    std::uint64_t total_messages = 0;
+    for (const auto& link : study.network_links) {
       spec.obs->metrics.add_counter("net.link." + std::to_string(link.from) +
                                         "to" + std::to_string(link.to) +
                                         ".bytes",
                                     link.bytes);
+      total_messages += link.messages;
     }
     spec.obs->metrics.add_counter("net.total_bytes",
-                                  network.meter().total_bytes());
-    spec.obs->metrics.add_counter("net.total_messages",
-                                  network.meter().total_messages());
+                                  study.network_bytes_total);
+    spec.obs->metrics.add_counter("net.total_messages", total_messages);
   }
   return study;
 }

@@ -15,6 +15,15 @@
 namespace gendpr::core {
 
 struct FederationSpec {
+  /// How the nodes talk to each other. `in_process` is the classic fabric:
+  /// one thread per node over net::Network mailboxes. `epoll` runs every
+  /// GDO as a sans-IO session on EpollHub sockets (loopback TCP), all
+  /// driven by one event-loop thread — same sessions, same bytes, same
+  /// results. The GENDPR_TRANSPORT environment variable ("epoll" /
+  /// "in_process") overrides this field when set.
+  enum class TransportMode { in_process, epoll };
+  TransportMode transport = TransportMode::in_process;
+
   std::uint32_t num_gdos = 3;
   /// Study thresholds, plus the engine shape: `config.snp_tile_width`
   /// rides in the announce, so setting it here turns the whole federation

@@ -1,27 +1,76 @@
 #include "gendpr/node.hpp"
 
-#include <string>
+#include <functional>
 #include <utility>
-
-#include "common/log.hpp"
-#include "common/stopwatch.hpp"
-#include "crypto/aead.hpp"
-#include "genome/kernels/kernels.hpp"
+#include <vector>
 
 namespace gendpr::core {
 
 using common::Errc;
-using common::make_error;
 using common::Result;
 using common::Status;
-using common::Stopwatch;
 
 namespace {
 
-/// True for failures that mean "this peer is gone", as opposed to protocol
-/// or crypto violations that must abort the study.
-bool is_peer_loss(const common::Error& error) {
-  return error.code == Errc::unknown_peer || error.code == Errc::io_error;
+using Clock = ProtocolSession::Clock;
+
+/// Pumps a session to completion against a blocking transport mailbox: the
+/// bridge between the sans-IO engine and the thread-per-node hosts. Losses
+/// reported by transport threads are folded in through `drain_losses` at
+/// the top of every iteration (paired with the kNoNode wake sentinel the
+/// hook pushes to interrupt a blocking receive).
+void pump_blocking(ProtocolSession& session, net::Transport& network,
+                   net::Mailbox& mailbox, std::uint32_t self_gdo,
+                   const std::function<void()>& drain_losses) {
+  session.start(Clock::now());
+  for (;;) {
+    if (drain_losses) drain_losses();
+    switch (session.wants()) {
+      case SessionWants::done:
+      case SessionWants::failed:
+      case SessionWants::idle:
+        return;
+      case SessionWants::send: {
+        std::vector<SendFailure> failures;
+        for (OutFrame& frame : session.take_output()) {
+          const Status sent = network.send(node_id_of(self_gdo),
+                                           node_id_of(frame.to_gdo),
+                                           std::move(frame.payload));
+          if (!sent.ok()) {
+            failures.push_back(SendFailure{frame.to_gdo, sent.error()});
+          }
+        }
+        session.on_sends_complete(std::move(failures), Clock::now());
+        break;
+      }
+      case SessionWants::recv: {
+        std::chrono::milliseconds wait = kNoDeadline;
+        if (const auto deadline = session.next_deadline()) {
+          const auto remaining = *deadline - Clock::now();
+          if (remaining <= Clock::duration::zero()) {
+            session.on_tick(Clock::now());
+            break;
+          }
+          // Ceil so the wait never undershoots the armed deadline (an early
+          // tick would be ignored and turn this loop into a busy spin).
+          wait = std::chrono::ceil<std::chrono::milliseconds>(remaining);
+        }
+        auto envelope_msg = mailbox.receive_for(wait);
+        if (!envelope_msg.ok()) {
+          if (envelope_msg.error().code == Errc::timeout) {
+            session.on_tick(Clock::now());
+          } else {
+            session.on_transport_closed(Clock::now());
+          }
+          break;
+        }
+        net::Envelope& env = envelope_msg.value();
+        if (env.from == net::kNoNode) break;  // peer-lost wake sentinel
+        session.on_frame(env.from - 1, std::move(env.payload), Clock::now());
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -36,10 +85,8 @@ MemberNode::MemberNode(net::Transport& network, tee::Platform& platform,
     : network_(&network),
       mailbox_(network.attach(node_id_of(gdo_index))),
       gdo_index_(gdo_index),
-      leader_gdo_(leader_gdo),
-      enclave_(platform, gdo_index) {
-  const Status provisioned = enclave_.provision_dataset(std::move(cases));
-  if (!provisioned.ok()) status_ = provisioned;
+      session_(platform, gdo_index, leader_gdo, std::move(cases)) {
+  if (!session_.provision_status().ok()) status_ = session_.provision_status();
 }
 
 MemberNode::~MemberNode() {
@@ -57,205 +104,8 @@ void MemberNode::join() {
 
 void MemberNode::run() {
   if (!status_.ok()) return;
-
-  // Translates a bounded-wait failure into the member's study status:
-  // expiry names the leader (the only peer this node waits on).
-  const auto wait_error = [this](const common::Error& error,
-                                 const char* where) -> common::Error {
-    if (error.code == Errc::timeout) {
-      return make_error(Errc::timeout,
-                        "gdo " + std::to_string(gdo_index_) +
-                            ": leader gdo " + std::to_string(leader_gdo_) +
-                            " unresponsive (" + where + " deadline expired)");
-    }
-    return make_error(Errc::state_violation,
-                      std::string("mailbox closed ") + where);
-  };
-
-  // Attested handshake: member initiates toward the leader's enclave.
-  channel_ = enclave_.channel_to(trusted_module_measurement(),
-                                 /*initiator=*/true);
-  network_->send(node_id_of(gdo_index_), node_id_of(leader_gdo_),
-                 channel_->handshake_message());
-  auto leader_handshake = mailbox_->receive_for(receive_timeout_);
-  if (!leader_handshake.ok()) {
-    status_ = wait_error(leader_handshake.error(), "in handshake");
-    return;
-  }
-  if (Status s = channel_->complete(leader_handshake.value().payload);
-      !s.ok()) {
-    status_ = s;
-    return;
-  }
-  common::log_debug("member", "gdo ", gdo_index_, " channel established");
-
-  // Serve phase requests until the study completes. One scratch buffer is
-  // reused across records so the hot loop does not allocate per message.
-  common::Bytes plaintext_scratch;
-  while (!enclave_.study_complete()) {
-    auto envelope_msg = mailbox_->receive_for(receive_timeout_);
-    if (!envelope_msg.ok()) {
-      status_ = wait_error(envelope_msg.error(), "mid-study");
-      return;
-    }
-    if (Status s =
-            channel_->open_to(envelope_msg.value().payload, plaintext_scratch);
-        !s.ok()) {
-      status_ = s;
-      return;
-    }
-    auto opened = open_envelope(plaintext_scratch);
-    if (!opened.ok()) {
-      status_ = opened.error();
-      return;
-    }
-    const auto& [type, body] = opened.value();
-    obs::add_counter(obs_,
-                     "member." + std::to_string(gdo_index_) + ".requests");
-
-    auto reply = [&](MsgType reply_type,
-                     common::BytesView reply_body) -> Status {
-      auto record = channel_->seal(envelope(reply_type, reply_body));
-      if (!record.ok()) return record.error();
-      return network_->send(node_id_of(gdo_index_), node_id_of(leader_gdo_),
-                            std::move(record).take());
-    };
-
-    switch (type) {
-      case MsgType::study_announce: {
-        auto announce = StudyAnnounce::deserialize(body);
-        if (!announce.ok()) {
-          status_ = announce.error();
-          return;
-        }
-        if (Status s = enclave_.on_study_announce(announce.value()); !s.ok()) {
-          status_ = s;
-          return;
-        }
-        // One summary per tile of the announce-derived plan (a single tile
-        // when tiling is off). Each reply goes out as soon as its tile is
-        // counted, so the leader assesses tile k while this member is still
-        // computing tile k+1.
-        const genome::TilePlan plan = genome::TilePlan::over(
-            announce.value().num_snps, announce.value().config.snp_tile_width);
-        for (std::uint32_t k = 0; k < plan.tile_count(); ++k) {
-          const Stopwatch compute_watch;
-          const SummaryStats stats =
-              enclave_.make_summary_tile(plan.begin(k), plan.end(k), k);
-          compute_ms_ += compute_watch.elapsed_ms();
-          if (Status s = reply(MsgType::summary_stats, stats.serialize());
-              !s.ok()) {
-            status_ = s;
-            return;
-          }
-        }
-        break;
-      }
-      case MsgType::phase1_result: {
-        auto result = Phase1Result::deserialize(body);
-        if (!result.ok()) {
-          status_ = result.error();
-          return;
-        }
-        if (Status s = enclave_.on_phase1(result.value()); !s.ok()) {
-          status_ = s;
-          return;
-        }
-        break;
-      }
-      case MsgType::moments_request: {
-        auto request = MomentsRequest::deserialize(body);
-        if (!request.ok()) {
-          status_ = request.error();
-          return;
-        }
-        const Stopwatch compute_watch;
-        auto response = enclave_.on_moments_request(request.value());
-        compute_ms_ += compute_watch.elapsed_ms();
-        if (!response.ok()) {
-          status_ = response.error();
-          return;
-        }
-        if (Status s = reply(MsgType::moments_response,
-                             response.value().serialize());
-            !s.ok()) {
-          status_ = s;
-          return;
-        }
-        break;
-      }
-      case MsgType::phase2_result: {
-        auto result = Phase2Result::deserialize(body);
-        if (!result.ok()) {
-          status_ = result.error();
-          return;
-        }
-        const Stopwatch compute_watch;
-        auto matrices = enclave_.on_phase2(result.value(), pool_);
-        compute_ms_ += compute_watch.elapsed_ms();
-        if (!matrices.ok()) {
-          status_ = matrices.error();
-          return;
-        }
-        // One basis build per tile iff this GDO sat in any live combination,
-        // plus one basis-times-weights derivation per entry. The per-tile
-        // basis bounds this member's transient EPC footprint at O(tile).
-        // Under the intersection-aware sweep only the chain head is a full
-        // derivation; the rest are in-place delta updates.
-        if (!matrices.value().entries.empty()) {
-          obs::add_counter(obs_, "lr.basis_builds");
-          if (enclave_.prune_enabled()) {
-            obs::add_counter(obs_, "lr.combination_matvecs");
-            obs::add_counter(obs_, "lr.combination_delta_updates",
-                             matrices.value().entries.size() - 1);
-          } else {
-            obs::add_counter(obs_, "lr.combination_matvecs",
-                             matrices.value().entries.size());
-          }
-        }
-        obs::max_gauge(obs_, "epc.member.peak_bytes",
-                       static_cast<double>(enclave_.platform().epc().peak()));
-        if (Status s = reply(MsgType::lr_matrices,
-                             matrices.value().serialize());
-            !s.ok()) {
-          status_ = s;
-          return;
-        }
-        break;
-      }
-      case MsgType::phase3_result: {
-        auto result = Phase3Result::deserialize(body);
-        if (!result.ok()) {
-          status_ = result.error();
-          return;
-        }
-        if (Status s = enclave_.on_phase3(result.value()); !s.ok()) {
-          status_ = s;
-          return;
-        }
-        break;
-      }
-      case MsgType::abort_notice: {
-        auto notice = AbortNotice::deserialize(body);
-        if (!notice.ok()) {
-          status_ = notice.error();
-          return;
-        }
-        std::string reason = "study aborted by leader";
-        if (notice.value().failed_gdo != AbortNotice::kNoFailedGdo) {
-          reason += " (gdo " + std::to_string(notice.value().failed_gdo) +
-                    " unresponsive)";
-        }
-        reason += ": " + notice.value().reason;
-        status_ = make_error(Errc::aborted, std::move(reason));
-        return;
-      }
-      default:
-        status_ = make_error(Errc::bad_message, "unexpected message type");
-        return;
-    }
-  }
-  obs::observe(obs_, "member.compute_ms", compute_ms_);
+  pump_blocking(session_, *network_, *mailbox_, gdo_index_, nullptr);
+  status_ = session_.status();
 }
 
 // ---------------------------------------------------------------------------
@@ -271,13 +121,8 @@ LeaderNode::LeaderNode(net::Transport& network, tee::Platform& platform,
       mailbox_(network.attach(node_id_of(gdo_index))),
       gdo_index_(gdo_index),
       num_gdos_(num_gdos),
-      enclave_(platform, gdo_index),
-      coordinator_(enclave_, std::move(reference), num_gdos,
-                   std::move(announce)),
-      channels_(num_gdos) {
-  // Provisioning failures (EPC limit) surface from run_study, which checks
-  // that the dataset is present before announcing.
-  provision_status_ = enclave_.provision_dataset(std::move(cases));
+      session_(platform, gdo_index, num_gdos, std::move(cases),
+               std::move(reference), std::move(announce)) {
   network_->set_peer_lost_handler(
       [this](net::NodeId node) { note_peer_lost(node); });
 }
@@ -294,474 +139,32 @@ void LeaderNode::note_peer_lost(net::NodeId node) {
     std::lock_guard<std::mutex> lock(hook_mutex_);
     hook_dead_.insert(gdo);
   }
-  // Wake the protocol thread if it is blocked in a gather: receive loops
-  // skip envelopes from kNoNode after syncing the dead set.
+  // Wake the protocol thread if it is blocked in a gather: the pump skips
+  // envelopes from kNoNode and drains the loss set at the loop top.
   mailbox_->push(net::Envelope{net::kNoNode, node_id_of(gdo_index_), {}});
 }
 
-void LeaderNode::sync_dead_peers() {
-  std::set<std::uint32_t> lost;
-  {
-    std::lock_guard<std::mutex> lock(hook_mutex_);
-    lost.swap(hook_dead_);
-  }
-  for (std::uint32_t gdo : lost) {
-    if (coordinator_.dead_gdos().count(gdo) != 0) continue;
-    common::log_warn("leader", "connection to gdo ", gdo,
-                     " lost; marking unresponsive");
-    (void)coordinator_.mark_gdo_dead(gdo);
-  }
-}
-
-void LeaderNode::mark_pending_dead(std::set<std::uint32_t>& pending,
-                                   const char* phase) {
-  for (std::uint32_t gdo : pending) {
-    common::log_warn("leader", phase, ": gdo ", gdo,
-                     " unresponsive (deadline expired); marking dead");
-    (void)coordinator_.mark_gdo_dead(gdo);
-  }
-  pending.clear();
-}
-
-common::Error LeaderNode::dead_peers_error(const char* phase) const {
-  std::string message(phase);
-  message += " timed out: unresponsive gdo(s):";
-  for (std::uint32_t gdo : coordinator_.dead_gdos()) {
-    message += ' ';
-    message += std::to_string(gdo);
-  }
-  return make_error(Errc::timeout, std::move(message));
-}
-
-std::set<std::uint32_t> LeaderNode::live_members() const {
-  std::set<std::uint32_t> members;
-  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
-    if (g == gdo_index_ || channels_[g] == nullptr) continue;
-    if (coordinator_.dead_gdos().count(g) != 0) continue;
-    members.insert(g);
-  }
-  return members;
-}
-
-Status LeaderNode::establish_channels() {
-  std::set<std::uint32_t> pending;
-  for (std::uint32_t g = 0; g < num_gdos_; ++g) {
-    if (g != gdo_index_) pending.insert(g);
-  }
-  for (;;) {
-    sync_dead_peers();
-    for (std::uint32_t gdo : coordinator_.dead_gdos()) pending.erase(gdo);
-    if (pending.empty()) break;
-    auto handshake = mailbox_->receive_for(receive_timeout_);
-    if (!handshake.ok()) {
-      if (handshake.error().code == Errc::timeout) {
-        mark_pending_dead(pending, "handshake");
-        break;
-      }
-      return make_error(Errc::state_violation, "mailbox closed in handshake");
-    }
-    const net::Envelope& env = handshake.value();
-    if (env.from == net::kNoNode) continue;  // peer-lost wake sentinel
-    const std::uint32_t member = env.from - 1;
-    if (member >= num_gdos_ || member == gdo_index_) {
-      return make_error(Errc::unknown_peer, "handshake from unknown node");
-    }
-    if (coordinator_.dead_gdos().count(member) != 0) continue;
-    auto channel = enclave_.channel_to(trusted_module_measurement(),
-                                       /*initiator=*/false);
-    if (Status s = channel->complete(env.payload); !s.ok()) return s;
-    if (Status s = network_->send(node_id_of(gdo_index_), env.from,
-                                  channel->handshake_message());
-        !s.ok()) {
-      if (!is_peer_loss(s.error())) return s;
-      // The member vanished between handshake halves.
-      (void)coordinator_.mark_gdo_dead(member);
-      pending.erase(member);
-      continue;
-    }
-    channels_[member] = std::move(channel);
-    pending.erase(member);
-  }
-  // Any established channel is reachable for abort notices from here on,
-  // even if the handshake round itself ends in a timeout below.
-  channels_established_ = true;
-  if (coordinator_.live_combination_count() == 0) {
-    return dead_peers_error("handshake");
-  }
-  return Status::success();
-}
-
-Status LeaderNode::send_to(std::uint32_t gdo_index, MsgType type,
-                           common::BytesView body) {
-  if (channels_[gdo_index] == nullptr) {
-    return make_error(Errc::unknown_peer,
-                      "no channel to gdo " + std::to_string(gdo_index));
-  }
-  auto record = channels_[gdo_index]->seal(envelope(type, body));
-  if (!record.ok()) return record.error();
-  return network_->send(node_id_of(gdo_index_), node_id_of(gdo_index),
-                        std::move(record).take());
-}
-
-Status LeaderNode::broadcast(MsgType type, common::BytesView body) {
-  sync_dead_peers();
-  for (std::uint32_t g : live_members()) {
-    Status s = send_to(g, type, body);
-    if (s.ok()) continue;
-    if (!is_peer_loss(s.error())) return s;
-    common::log_warn("leader", "send to gdo ", g,
-                     " failed: ", s.error().to_string());
-    (void)coordinator_.mark_gdo_dead(g);
-  }
-  if (coordinator_.live_combination_count() == 0) {
-    return dead_peers_error("broadcast");
-  }
-  return Status::success();
-}
-
-void LeaderNode::broadcast_abort(const common::Error& error) {
-  AbortNotice notice;
-  const auto& dead = coordinator_.dead_gdos();
-  if (!dead.empty()) notice.failed_gdo = *dead.begin();
-  notice.reason = error.to_string();
-  const common::Bytes body = notice.serialize();
-  for (std::uint32_t g : live_members()) {
-    (void)send_to(g, MsgType::abort_notice, body);  // best effort
-  }
-}
-
-Result<LeaderNode::GatherStep> LeaderNode::next_record(
-    const char* phase, std::set<std::uint32_t>& pending) {
-  for (;;) {
-    sync_dead_peers();
-    for (std::uint32_t gdo : coordinator_.dead_gdos()) pending.erase(gdo);
-    if (pending.empty()) return GatherStep{};
-    auto envelope_msg = mailbox_->receive_for(receive_timeout_);
-    if (!envelope_msg.ok()) {
-      if (envelope_msg.error().code == Errc::timeout) {
-        mark_pending_dead(pending, phase);
-        return GatherStep{};
-      }
-      return make_error(Errc::state_violation, "mailbox closed mid-study");
-    }
-    const net::Envelope& env = envelope_msg.value();
-    if (env.from == net::kNoNode) continue;  // peer-lost wake sentinel
-    const std::uint32_t member = env.from - 1;
-    if (member >= num_gdos_) {
-      return make_error(Errc::unknown_peer, "record from unknown node");
-    }
-    // A record from a declared-dead member means it was slow, not gone;
-    // its combinations are already skipped, so drop the late arrival.
-    if (coordinator_.dead_gdos().count(member) != 0) continue;
-    if (channels_[member] == nullptr) {
-      return make_error(Errc::unknown_peer, "record from unknown node");
-    }
-    auto plaintext = channels_[member]->open(env.payload);
-    if (!plaintext.ok()) return plaintext.error();
-    GatherStep step;
-    step.got = true;
-    step.member = member;
-    step.plaintext = std::move(plaintext).take();
-    return step;
-  }
-}
-
 Result<StudyResult> LeaderNode::run_study(common::ThreadPool* pool) {
-  auto result = run_study_impl(pool);
-  if (!result.ok() && channels_established_) {
-    broadcast_abort(result.error());
-  }
-  return result;
-}
-
-Result<StudyResult> LeaderNode::run_study_impl(common::ThreadPool* pool) {
-  const Stopwatch total_watch;
-  const crypto::AeadCounters aead_before = crypto::aead_counters();
-  PhaseTimings timings;
-
-  if (!provision_status_.ok()) return provision_status_.error();
-  {
-    const obs::ScopedSpan handshake_span(obs::recorder_of(obs_),
-                                         "step.handshake", study_span_);
-    if (Status s = establish_channels(); !s.ok()) return s.error();
-  }
-
-  // --- Announce + Phase 1 input gathering ("Data Aggregation"). ---
-  obs::ScopedSpan gather_span(obs::recorder_of(obs_), "step.gather_summaries",
-                              study_span_);
-  Stopwatch aggregation_watch;
-  if (Status s = broadcast(MsgType::study_announce,
-                           coordinator_.announce().serialize());
-      !s.ok()) {
-    return s.error();
-  }
-  // Each member streams one summary per tile of the phase-1 plan; a member
-  // stays pending until its last tile lands. After every arrival the leader
-  // assesses whatever tiles are now complete across all live members, so
-  // MAF math overlaps the remaining transfers (the pipelined engine's
-  // phase-1 half). Inline assessment time is attributed to indexing, not
-  // aggregation, to keep the Figure 5/6 categories honest.
-  const std::uint32_t maf_tile_count = coordinator_.maf_plan().tile_count();
-  std::vector<std::uint32_t> summary_tiles_left(num_gdos_, maf_tile_count);
-  double inline_assess_ms = 0;
-  std::size_t maf_tiles_inline = 0;
-  std::set<std::uint32_t> pending = live_members();
-  // An empty phase-1 plan (zero SNPs) streams no summaries at all.
-  if (maf_tile_count == 0) pending.clear();
-  while (!pending.empty()) {
-    auto step = next_record("data aggregation", pending);
-    if (!step.ok()) return step.error();
-    if (!step.value().got) break;
-    auto opened = open_envelope(step.value().plaintext);
-    if (!opened.ok()) return opened.error();
-    if (opened.value().first != MsgType::summary_stats) {
-      return make_error(Errc::state_violation, "expected summary stats");
+  session_.set_pool(pool);
+  const auto drain = [this] {
+    std::set<std::uint32_t> lost;
+    {
+      std::lock_guard<std::mutex> lock(hook_mutex_);
+      lost.swap(hook_dead_);
     }
-    auto stats = SummaryStats::deserialize(opened.value().second);
-    if (!stats.ok()) return stats.error();
-    if (Status s = coordinator_.add_summary(step.value().member,
-                                            stats.value());
-        !s.ok()) {
-      return s.error();
-    }
-    if (--summary_tiles_left[step.value().member] == 0) {
-      pending.erase(step.value().member);
-    }
-    const Stopwatch assess_watch;
-    maf_tiles_inline += coordinator_.assess_ready_maf_tiles();
-    inline_assess_ms += assess_watch.elapsed_ms();
-    if (pending.empty()) break;
-  }
-  if (coordinator_.live_combination_count() == 0) {
-    return dead_peers_error("data aggregation");
-  }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms() - inline_assess_ms;
-  timings.indexing_ms += inline_assess_ms;
-  obs::observe(obs_, "pipeline.leader_assess_ms", inline_assess_ms);
-  obs::add_counter(obs_, "pipeline.maf_tiles_assessed_inline",
-                   maf_tiles_inline);
-  gather_span.end();
-
-  // --- Phase 1: MAF analysis ("Indexing/Sorting/AlleleFreq."). ---
-  Stopwatch indexing_watch;
-  auto phase1 = coordinator_.run_maf_phase();
-  if (!phase1.ok()) return phase1.error();
-  timings.indexing_ms += indexing_watch.elapsed_ms();
-
-  aggregation_watch.restart();
-  {
-    const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
-                                         "step.broadcast_phase1", study_span_);
-    if (Status s = broadcast(MsgType::phase1_result,
-                             phase1.value().serialize());
-        !s.ok()) {
-      return s.error();
-    }
-  }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms();
-
-  // --- Phase 2: LD analysis. ---
-  fetch_wait_ms_ = 0;
-  Stopwatch ld_watch;
-  auto fetch = [this](const MomentsRequest& request,
-                      const std::vector<std::uint32_t>& targets)
-      -> std::vector<std::optional<stats::LdMoments>> {
-    const Stopwatch fetch_watch;
-    std::vector<std::optional<stats::LdMoments>> per_gdo(num_gdos_);
-    const common::Bytes body = request.serialize();
-    sync_dead_peers();
-    // The coordinator names the recipients (all live members on a legacy
-    // first touch, just the combination at hand under pruning); members that
-    // died since the request was composed are dropped here.
-    const std::set<std::uint32_t> live = live_members();
-    std::set<std::uint32_t> fetch_pending;
-    for (std::uint32_t g : targets) {
-      if (live.count(g) == 0) continue;
-      const Status s = send_to(g, MsgType::moments_request, body);
-      if (!s.ok()) {
-        if (!is_peer_loss(s.error())) {
-          fetch_error_ = s.error();
-          break;
-        }
-        common::log_warn("leader", "moments request to gdo ", g,
-                         " failed: ", s.error().to_string());
-        (void)coordinator_.mark_gdo_dead(g);
-        continue;
-      }
-      fetch_pending.insert(g);
-    }
-    while (!fetch_error_.has_value() && !fetch_pending.empty()) {
-      auto step = next_record("LD moments fetch", fetch_pending);
-      if (!step.ok()) {
-        fetch_error_ = step.error();
-        break;
-      }
-      if (!step.value().got) break;
-      auto opened = open_envelope(step.value().plaintext);
-      if (!opened.ok()) {
-        fetch_error_ = opened.error();
-        break;
-      }
-      if (opened.value().first != MsgType::moments_response) {
-        fetch_error_ =
-            make_error(Errc::state_violation, "expected moments response");
-        break;
-      }
-      auto response = MomentsResponse::deserialize(opened.value().second);
-      if (!response.ok()) {
-        fetch_error_ = response.error();
-        break;
-      }
-      per_gdo[step.value().member] = response.value().moments;
-      fetch_pending.erase(step.value().member);
-    }
-    fetch_wait_ms_ += fetch_watch.elapsed_ms();
-    return per_gdo;
+    for (std::uint32_t gdo : lost) session_.on_peer_lost(gdo, Clock::now());
   };
-  auto phase2 = coordinator_.run_ld_phase(fetch);
-  if (fetch_error_.has_value()) return *fetch_error_;
-  if (!phase2.ok()) return phase2.error();
-  timings.ld_ms += ld_watch.elapsed_ms() - fetch_wait_ms_;
-  timings.aggregation_ms += fetch_wait_ms_;
-  obs::observe(obs_, "leader.ld_fetch_wait_ms", fetch_wait_ms_);
-
-  aggregation_watch.restart();
-  obs::ScopedSpan lr_gather_span(obs::recorder_of(obs_),
-                                 "step.gather_lr_matrices", study_span_);
-  // Phase-2 inputs go out as one self-contained message per tile of the
-  // phase-3 plan (a single message when tiling is off): each body is
-  // O(G·tile) with per-GDO counts. Members start deriving on their own
-  // threads as soon as tile 0 lands, so the leader's own per-tile
-  // derivations right after the broadcast overlap the members' work.
-  std::uint64_t phase2_body_bytes = 0;
-  for (const Phase2Result& tile : coordinator_.phase2_tiles()) {
-    const common::Bytes body = tile.serialize();
-    phase2_body_bytes += body.size();
-    obs::add_counter(obs_, "leader.phase2_body_bytes", body.size());
-    obs::add_counter(obs_, "leader.phase2_broadcast_bytes",
-                     body.size() * live_members().size());
-    if (Status s = broadcast(MsgType::phase2_result, body); !s.ok()) {
-      return s.error();
-    }
-  }
-
-  // --- Phase 3: derive leader tiles, gather LR matrices, select. ---
-  const Stopwatch lr_derive_watch;
-  if (Status s = coordinator_.derive_leader_lr_tiles(); !s.ok()) {
-    return s.error();
-  }
-  const double lr_derive_ms = lr_derive_watch.elapsed_ms();
-  obs::observe(obs_, "pipeline.lr_derive_ms", lr_derive_ms);
-
-  // Each member answers every phase-2 tile with one LrMatrices reply.
-  const std::uint32_t lr_tile_count = coordinator_.lr_plan().tile_count();
-  std::vector<std::uint32_t> lr_tiles_left(num_gdos_, lr_tile_count);
-  pending = live_members();
-  // An empty phase-3 plan (every SNP filtered before the LR test) was never
-  // broadcast, so members have nothing to answer.
-  if (lr_tile_count == 0) pending.clear();
-  while (!pending.empty()) {
-    auto step = next_record("LR gather", pending);
-    if (!step.ok()) return step.error();
-    if (!step.value().got) break;
-    auto opened = open_envelope(step.value().plaintext);
-    if (!opened.ok()) return opened.error();
-    if (opened.value().first != MsgType::lr_matrices) {
-      return make_error(Errc::state_violation, "expected LR matrices");
-    }
-    auto matrices = LrMatrices::deserialize(opened.value().second);
-    if (!matrices.ok()) return matrices.error();
-    if (Status s = coordinator_.add_lr_matrices(step.value().member,
-                                                matrices.value());
-        !s.ok()) {
-      return s.error();
-    }
-    if (--lr_tiles_left[step.value().member] == 0) {
-      pending.erase(step.value().member);
-    }
-    if (pending.empty()) break;
-  }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms() - lr_derive_ms;
-  timings.lr_ms += lr_derive_ms;
-  lr_gather_span.end();
-
-  Stopwatch lr_watch;
-  auto phase3 = coordinator_.run_lr_phase(pool);
-  if (!phase3.ok()) return phase3.error();
-  timings.lr_ms += lr_watch.elapsed_ms();
-
-  aggregation_watch.restart();
-  {
-    const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
-                                         "step.broadcast_phase3", study_span_);
-    if (Status s = broadcast(MsgType::phase3_result,
-                             phase3.value().serialize());
-        !s.ok()) {
-      return s.error();
-    }
-  }
-  timings.aggregation_ms += aggregation_watch.elapsed_ms();
-  timings.total_ms = total_watch.elapsed_ms();
-
-  StudyResult result;
-  result.outcome = coordinator_.outcome();
-  result.timings = timings;
-  result.dead_gdos.assign(coordinator_.dead_gdos().begin(),
-                          coordinator_.dead_gdos().end());
-  result.leader_gdo = gdo_index_;
-  result.num_gdos = num_gdos_;
-  result.num_combinations = coordinator_.announce().combinations.size();
-  result.live_combinations = coordinator_.live_combination_count();
-  result.combination_members_total = coordinator_.combination_members_total();
-  result.phase2_body_bytes = phase2_body_bytes;
-  result.ld_pairs_fetched = coordinator_.ld_pairs_fetched();
+  pump_blocking(session_, *network_, *mailbox_, gdo_index_, drain);
+  if (!session_.status().ok()) return session_.status().error();
+  StudyResult result = session_.result();
+  // The transport meter is host-side state the sans-IO session cannot see;
+  // snapshot it here, at the same protocol point (after the phase-3
+  // broadcast) the threaded leader did.
   if (net::TrafficMeter* meter = network_->meter_or_null()) {
     result.network_bytes_total = meter->total_bytes();
     result.leader_bytes_received =
         meter->bytes_received_by(node_id_of(gdo_index_));
     result.network_links = meter->snapshot();
-  }
-  const tee::EpcMeter& epc = enclave_.platform().epc();
-  result.epc_peak_per_gdo.assign(num_gdos_, 0);
-  result.epc_peak_per_gdo[gdo_index_] = epc.peak();
-  result.epc_limit_bytes = epc.limit();
-  result.epc_peak_leader = epc.peak();
-  // In-process federations overwrite these with a run-wide delta; for a
-  // standalone (TCP) leader this process-local delta is the leader's own
-  // sealing volume.
-  const crypto::AeadCounters aead_after = crypto::aead_counters();
-  result.crypto_backend =
-      crypto::aead_backend_name(crypto::default_aead_backend());
-  result.crypto_records_sealed =
-      aead_after.records_sealed - aead_before.records_sealed;
-  result.crypto_bytes_sealed =
-      aead_after.bytes_sealed - aead_before.bytes_sealed;
-  result.kernel_backend = genome::kernels::kernel_backend_name(
-      genome::kernels::active_kernel_backend());
-  result.snp_tile_width = coordinator_.announce().config.snp_tile_width;
-  result.maf_tiles = maf_tile_count;
-  result.lr_tiles = lr_tile_count;
-  result.maf_tiles_assessed_inline = maf_tiles_inline;
-  result.leader_inline_assess_ms = inline_assess_ms;
-  result.leader_lr_derive_ms = lr_derive_ms;
-  result.pruning = coordinator_.pruning_stats();
-  if (obs_ != nullptr) {
-    // Counters are exported by the federation runner from a run-wide delta
-    // (which also covers provisioning-time sealing); only the label is set
-    // here so standalone-leader reports still name their backend.
-    obs_->metrics.set_label("crypto.backend", result.crypto_backend);
-    obs_->metrics.set_label("kernel.backend", result.kernel_backend);
-    obs_->metrics.set_gauge("tiles.width",
-                            static_cast<double>(result.snp_tile_width));
-    obs_->metrics.set_gauge("tiles.count",
-                            static_cast<double>(result.maf_tiles));
-    obs_->metrics.set_gauge("tiles.lr_count",
-                            static_cast<double>(result.lr_tiles));
-    obs_->metrics.observe("leader.phase.aggregation_ms",
-                          timings.aggregation_ms);
-    obs_->metrics.observe("leader.phase.indexing_ms", timings.indexing_ms);
-    obs_->metrics.observe("leader.phase.ld_ms", timings.ld_ms);
-    obs_->metrics.observe("leader.phase.lr_ms", timings.lr_ms);
   }
   return result;
 }

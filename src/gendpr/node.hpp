@@ -1,116 +1,27 @@
 // Untrusted host processes of the federation.
 //
-// A host owns a platform's enclave object but sees only sealed blobs and
-// SecureChannel ciphertext; every protocol decision happens inside
-// gendpr/trusted.hpp. `MemberNode` services the leader's requests on its own
-// thread; `LeaderNode` drives the three phases and produces the study result
-// with the per-phase timing breakdown of the paper's Figures 5-6.
+// A host owns a protocol session (session.hpp) and pumps it against a
+// blocking transport: it owns the thread, the mailbox and the node-id
+// translation, while every protocol decision lives in the sans-IO session.
+// `MemberNode` services the leader's requests on its own thread;
+// `LeaderNode` drives the three phases and produces the study result with
+// the per-phase timing breakdown of the paper's Figures 5-6.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <memory>
 #include <mutex>
-#include <optional>
 #include <set>
-#include <string>
 #include <thread>
-#include <vector>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
-#include "gendpr/trusted.hpp"
+#include "gendpr/session.hpp"
 #include "net/network.hpp"
 #include "obs/observability.hpp"
 #include "tee/enclave.hpp"
 
 namespace gendpr::core {
-
-/// Network node id of GDO `gdo_index` (0 is reserved).
-inline net::NodeId node_id_of(std::uint32_t gdo_index) {
-  return gdo_index + 1;
-}
-
-/// No deadline: every protocol wait blocks forever (the paper's original
-/// semantics — no liveness guarantee). Configure a positive timeout to get
-/// bounded waits that abort with Errc::timeout naming the silent peer.
-inline constexpr std::chrono::milliseconds kNoDeadline{0};
-
-/// Per-phase CPU/wall time breakdown, matching the stacked categories of the
-/// paper's Figures 5-6.
-struct PhaseTimings {
-  double aggregation_ms = 0;  // "Data Aggregation": transfer + decrypt + merge
-  double indexing_ms = 0;     // "Indexing/Sorting/AlleleFreq.": MAF phase math
-  double ld_ms = 0;           // "LD analysis"
-  double lr_ms = 0;           // "LR-test analysis"
-  double total_ms = 0;        // end-to-end including setup
-};
-
-struct StudyResult {
-  SelectionOutcome outcome;
-  PhaseTimings timings;
-  /// GDOs declared unresponsive during the run. Empty for a clean study; a
-  /// non-empty list means the selection came from the surviving
-  /// combinations only (collusion policies with redundancy keep going).
-  std::vector<std::uint32_t> dead_gdos;
-  /// Wall time modelled for a real multi-host deployment: members compute
-  /// concurrently there, so serialized member compute collapses to the
-  /// slowest member: total - sum(member compute) + max(member compute).
-  /// On a single-core simulation host total_ms serializes everything.
-  double modelled_distributed_ms = 0;
-  std::uint32_t leader_gdo = 0;
-  std::uint32_t num_gdos = 0;
-  std::size_t num_combinations = 0;
-  /// Combinations with no dead member (== num_combinations on clean runs).
-  std::size_t live_combinations = 0;
-  /// Sum of |members(c)| over live combinations: the expected number of
-  /// per-member LR basis derivations (`lr.combination_matvecs`).
-  std::size_t combination_members_total = 0;
-  /// Serialized size of the phase-2 result each member receives. With
-  /// per-GDO counts this is O(G·m) instead of the old O(C·m) frequency
-  /// vectors.
-  std::uint64_t phase2_body_bytes = 0;
-  std::size_t ld_pairs_fetched = 0;
-  std::uint64_t network_bytes_total = 0;
-  std::uint64_t leader_bytes_received = 0;
-  std::uint64_t epc_peak_leader = 0;
-  std::uint64_t epc_peak_members_max = 0;
-  /// Per-link traffic snapshot from the leader's transport meter, taken
-  /// before teardown. The in-process fabric's meter sees every link; a TCP
-  /// hub's meter sees both directions of every link the leader terminates,
-  /// which in the star topology is likewise all protocol traffic.
-  std::vector<net::TrafficMeter::Link> network_links;
-  /// EPC peak per GDO, indexed by GDO. The leader fills its own entry; the
-  /// single-host runner fills every entry before tearing platforms down.
-  /// Entries for GDOs whose platform was unobservable stay 0.
-  std::vector<std::uint64_t> epc_peak_per_gdo;
-  /// The per-platform EPC limit the run was configured with (0 = unknown).
-  std::uint64_t epc_limit_bytes = 0;
-  /// AEAD backend the run dispatched to ("portable" / "native") and the
-  /// run's sealing volume (records = AEAD invocations across channels and
-  /// sealed blobs, bytes = plaintext protected).
-  std::string crypto_backend;
-  std::uint64_t crypto_records_sealed = 0;
-  std::uint64_t crypto_bytes_sealed = 0;
-  /// SIMD kernel backend the bit-plane hot loops dispatched to
-  /// ("portable" / "avx2" / "avx512").
-  std::string kernel_backend;
-  /// Tiling shape of the pipelined phase engine: the configured width
-  /// (0 = monolithic) and the resulting phase-1 / phase-3 tile counts.
-  std::uint32_t snp_tile_width = 0;
-  std::uint32_t maf_tiles = 1;
-  std::uint32_t lr_tiles = 1;
-  /// Pipeline overlap: leader-side work done while members were still
-  /// streaming — MAF tiles assessed mid-gather and the time spent on them,
-  /// plus the leader's own LR tile derivations run right after the phase-2
-  /// tile broadcast (overlapping the members' derivations).
-  std::size_t maf_tiles_assessed_inline = 0;
-  double leader_inline_assess_ms = 0;
-  double leader_lr_derive_ms = 0;
-  /// Intersection-aware sweep bookkeeping (zeros / empty when pruning off).
-  PruningStats pruning;
-};
 
 /// Non-leader GDO host: handshakes with the leader, then answers phase
 /// requests until the study completes (or its mailbox closes).
@@ -127,26 +38,28 @@ class MemberNode {
   /// Bounds every protocol wait (kNoDeadline = block forever). A deadline
   /// expiry surfaces as Errc::timeout naming the leader. Call before start().
   void set_receive_timeout(std::chrono::milliseconds timeout) {
-    receive_timeout_ = timeout;
+    session_.set_receive_timeout(timeout);
   }
 
   /// Attaches the run's observability bundle (nullptr = unobserved). The
   /// service loop counts requests served per GDO and records its compute
   /// time. Call before start(); the registry is thread-safe.
-  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+  void set_observability(obs::Observability* obs) noexcept {
+    session_.set_observability(obs);
+  }
 
   /// Thread pool the phase-2 handler fans its per-combination LR
   /// derivations out on (nullptr = serial). The pool may be shared across
   /// members and with the leader: parallel_for is safe to call concurrently
   /// from distinct caller threads. Call before start().
-  void set_pool(common::ThreadPool* pool) noexcept { pool_ = pool; }
+  void set_pool(common::ThreadPool* pool) noexcept { session_.set_pool(pool); }
 
   /// Starts the service thread.
   void start();
   /// Waits for the service thread to finish (after phase 3 or close).
   void join();
 
-  const GdoEnclave& enclave() const noexcept { return enclave_; }
+  const GdoEnclave& enclave() const noexcept { return session_.enclave(); }
   /// Error encountered by the service loop, if any.
   const common::Status& status() const noexcept { return status_; }
 
@@ -154,7 +67,7 @@ class MemberNode {
   /// stats, LD moments, LR matrices). On a real multi-host deployment this
   /// work overlaps across members; the single-host runner uses it to model
   /// the distributed wall time (StudyResult::modelled_distributed_ms).
-  double compute_ms() const noexcept { return compute_ms_; }
+  double compute_ms() const noexcept { return session_.compute_ms(); }
 
  private:
   void run();
@@ -162,15 +75,9 @@ class MemberNode {
   net::Transport* network_;
   std::shared_ptr<net::Mailbox> mailbox_;
   std::uint32_t gdo_index_;
-  std::uint32_t leader_gdo_;
-  GdoEnclave enclave_;
-  std::unique_ptr<tee::SecureChannel> channel_;
+  MemberSession session_;
   std::thread thread_;
   common::Status status_;
-  std::chrono::milliseconds receive_timeout_{kNoDeadline};
-  double compute_ms_ = 0;
-  obs::Observability* obs_ = nullptr;
-  common::ThreadPool* pool_ = nullptr;
 };
 
 /// Leader GDO host: establishes channels to all members, then drives the
@@ -191,7 +98,7 @@ class LeaderNode {
   /// combinations containing it are skipped, and the study aborts with
   /// Errc::timeout naming the dead peers only when no combination survives.
   void set_receive_timeout(std::chrono::milliseconds timeout) {
-    receive_timeout_ = timeout;
+    session_.set_receive_timeout(timeout);
   }
 
   /// Attaches the run's observability bundle (nullptr = unobserved): the
@@ -200,9 +107,7 @@ class LeaderNode {
   /// run_study().
   void set_observability(obs::Observability* obs,
                          obs::SpanId study_span = obs::kNoSpan) noexcept {
-    obs_ = obs;
-    study_span_ = study_span;
-    coordinator_.set_observability(obs, study_span);
+    session_.set_observability(obs, study_span);
   }
 
   /// Runs the full study. `pool` parallelizes per-combination evaluation in
@@ -211,59 +116,21 @@ class LeaderNode {
   /// waiting instead of running into their own deadlines.
   common::Result<StudyResult> run_study(common::ThreadPool* pool);
 
-  const GdoEnclave& enclave() const noexcept { return enclave_; }
+  const GdoEnclave& enclave() const noexcept { return session_.enclave(); }
 
  private:
-  /// One arrival during a phase gather: either a decrypted record from a
-  /// live member (`got == true`) or the news that every still-pending
-  /// member has been declared dead (`got == false`, gather is over).
-  struct GatherStep {
-    bool got = false;
-    std::uint32_t member = 0;
-    common::Bytes plaintext;
-  };
-
-  common::Result<StudyResult> run_study_impl(common::ThreadPool* pool);
-  common::Status establish_channels();
-  common::Status send_to(std::uint32_t gdo_index, MsgType type,
-                         common::BytesView body);
-  common::Status broadcast(MsgType type, common::BytesView body);
-  void broadcast_abort(const common::Error& error);
-  /// Waits for the next record from any member in `pending`, with the
-  /// configured deadline. Deadline expiry (and transport-reported peer loss)
-  /// marks the silent members dead rather than failing the call; hard
-  /// protocol errors (closed mailbox, bad record) are returned.
-  common::Result<GatherStep> next_record(const char* phase,
-                                         std::set<std::uint32_t>& pending);
-  /// Members with an established channel that are not (yet) dead.
-  std::set<std::uint32_t> live_members() const;
   /// Transport peer-lost hook; runs on a transport thread.
   void note_peer_lost(net::NodeId node);
-  /// Folds hook-reported losses into the coordinator (protocol thread only).
-  void sync_dead_peers();
-  void mark_pending_dead(std::set<std::uint32_t>& pending, const char* phase);
-  common::Error dead_peers_error(const char* phase) const;
 
   net::Transport* network_;
   std::shared_ptr<net::Mailbox> mailbox_;
   std::uint32_t gdo_index_;
   std::uint32_t num_gdos_;
-  GdoEnclave enclave_;
-  Coordinator coordinator_;
-  std::vector<std::unique_ptr<tee::SecureChannel>> channels_;  // per GDO
-  common::Status provision_status_;
-  std::chrono::milliseconds receive_timeout_{kNoDeadline};
-  bool channels_established_ = false;
-  /// Fatal error detected inside the phase-2 fetch callback (its signature
-  /// cannot return one); checked after run_ld_phase returns.
-  std::optional<common::Error> fetch_error_;
-  /// Peers reported lost by the transport, pending sync_dead_peers(). The
-  /// hook runs on transport threads; the coordinator is not thread-safe.
+  LeaderSession session_;
+  /// Peers reported lost by the transport, pending the pump's drain. The
+  /// hook runs on transport threads; the session is single-threaded.
   std::mutex hook_mutex_;
   std::set<std::uint32_t> hook_dead_;
-  double fetch_wait_ms_ = 0;  // time spent gathering member responses
-  obs::Observability* obs_ = nullptr;
-  obs::SpanId study_span_ = obs::kNoSpan;
 };
 
 }  // namespace gendpr::core

@@ -1,0 +1,63 @@
+// Epoll front-end for the sans-IO protocol sessions.
+//
+// An EpollSessionDriver binds one ProtocolSession to one EpollHub on a
+// shared EventLoop: hub frames become session on_frame events, hub losses
+// become on_peer_lost, the session's recv deadline is mirrored into a loop
+// timer that fires on_tick, and every wants()==send flush is pushed into
+// the hub's write buffers. Any number of drivers (a whole federation) can
+// share one loop thread — the single-threaded counterpart of the
+// thread-per-node hosts in node.hpp, running the exact same sessions.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "gendpr/session.hpp"
+#include "net/epoll_hub.hpp"
+#include "net/event_loop.hpp"
+
+namespace gendpr::core {
+
+class EpollSessionDriver {
+ public:
+  /// Binds `session` to `hub` on `loop`; all three must outlive the driver.
+  /// The hub's frame/peer-lost handlers are claimed by this driver.
+  EpollSessionDriver(net::EventLoop& loop, net::EpollHub& hub,
+                     ProtocolSession& session);
+  ~EpollSessionDriver();
+
+  EpollSessionDriver(const EpollSessionDriver&) = delete;
+  EpollSessionDriver& operator=(const EpollSessionDriver&) = delete;
+
+  /// Invoked (once) on the loop thread when the session reaches done or
+  /// failed. Set before start().
+  void set_on_finished(std::function<void()> on_finished) {
+    on_finished_ = std::move(on_finished);
+  }
+
+  /// Starts the session and pumps it to its first suspension.
+  void start();
+
+  /// Forces the session's transport closed (e.g. loop shutdown): the
+  /// current and all later recv waits resume with a closed event.
+  void close();
+
+  bool finished() const noexcept {
+    return session_->wants() == SessionWants::done ||
+           session_->wants() == SessionWants::failed;
+  }
+
+ private:
+  void pump();
+  void rearm_deadline();
+
+  net::EventLoop* loop_;
+  net::EpollHub* hub_;
+  ProtocolSession* session_;
+  std::optional<net::EventLoop::TimerId> deadline_timer_;
+  std::function<void()> on_finished_;
+  bool notified_ = false;
+  bool pumping_ = false;
+};
+
+}  // namespace gendpr::core

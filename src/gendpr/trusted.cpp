@@ -658,9 +658,9 @@ std::vector<double> Coordinator::combination_chi2_p_values(
   return p_values;
 }
 
-stats::LdMoments Coordinator::aggregate_pair(
+common::Task<stats::LdMoments> Coordinator::aggregate_pair_async(
     const std::vector<std::uint32_t>& members, std::uint32_t a,
-    std::uint32_t b, const FetchMoments& fetch) {
+    std::uint32_t b, const AsyncFetchMoments& fetch) {
   const auto key = std::make_pair(a, b);
   auto cached = moments_cache_.find(key);
   if (cached == moments_cache_.end()) {
@@ -704,27 +704,45 @@ stats::LdMoments Coordinator::aggregate_pair(
     request.snp_a = a;
     request.snp_b = b;
     std::vector<std::optional<stats::LdMoments>> fetched =
-        fetch(request, targets);
+        co_await fetch(request, targets);
     fetched.resize(num_gdos_);
+    // The fetch may have suspended; re-resolve the cache slot in case the
+    // driver touched other pairs meanwhile (map nodes are stable, but stay
+    // defensive against a future cache policy).
+    PairMoments& slot = moments_cache_.at(key);
     for (std::uint32_t g : targets) {
-      if (fetched[g].has_value()) entry.slots[g] = fetched[g];
+      if (fetched[g].has_value()) slot.slots[g] = fetched[g];
     }
     obs::add_counter(obs_, "coordinator.ld_member_requests", targets.size());
   }
+  const PairMoments& final_entry = moments_cache_.at(key);
   stats::LdMoments total = reference_moments_cache_.at(key);
   for (std::uint32_t g : members) {
-    if (!entry.slots[g].has_value()) {
+    if (!final_entry.slots[g].has_value()) {
       // A missing response from a combination member must never silently
       // skew the aggregate with zero moments: the walk for this combination
       // aborts (run_ld_phase marks the GDO dead and drops the combination).
       throw MissingMomentsError{g};
     }
-    total += *entry.slots[g];
+    total += *final_entry.slots[g];
   }
-  return total;
+  co_return total;
 }
 
 Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
+  // Adapt the blocking callback onto the canonical sans-IO phase: nothing in
+  // the adapted chain ever suspends, so run_sync drives it to completion on
+  // this stack (trusted-module tests and local baselines use this path).
+  return common::run_sync(run_ld_phase_async(
+      [&fetch](const MomentsRequest& request,
+               const std::vector<std::uint32_t>& targets)
+          -> common::Task<std::vector<std::optional<stats::LdMoments>>> {
+        co_return fetch(request, targets);
+      }));
+}
+
+common::Task<Result<Phase2Result>> Coordinator::run_ld_phase_async(
+    AsyncFetchMoments fetch) {
   const obs::ScopedSpan phase_span(obs::recorder_of(obs_), "phase.ld",
                                    study_span_);
   const std::size_t num_combinations = announce_.combinations.size();
@@ -742,10 +760,13 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
       try {
         const std::vector<double> p_values =
             combination_chi2_p_values(members);
-        auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
-          return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
+        auto pair_p_value = [this, &members, &fetch](
+                                std::uint32_t a,
+                                std::uint32_t b) -> common::Task<double> {
+          co_return stats::ld_p_value(
+              co_await aggregate_pair_async(members, a, b, fetch));
         };
-        per_combination[c] = stats::greedy_ld_prune(
+        per_combination[c] = co_await stats::greedy_ld_prune_async(
             l_prime_, announce_.config.ld_cutoff, p_values, pair_p_value);
         computed[c] = true;
       } catch (const MissingMomentsError& missing) {
@@ -765,7 +786,7 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
       }
     }
     if (live_lists.empty()) {
-      return no_live_combination_error("LD phase");
+      co_return no_live_combination_error("LD phase");
     }
     l_double_prime_ = intersect_sorted(live_lists);
   } else {
@@ -785,7 +806,7 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
     for (;;) {
       const auto order = pruning_order();
       if (order.empty()) {
-        return no_live_combination_error("LD phase");
+        co_return no_live_combination_error("LD phase");
       }
       fold = l_prime_;
       pruning_.ld_mask_sizes.clear();
@@ -806,11 +827,14 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
         try {
           const std::vector<double> p_values =
               combination_chi2_p_values(members, &l_prime_);
-          auto pair_p_value = [&](std::uint32_t a, std::uint32_t b) {
-            return stats::ld_p_value(aggregate_pair(members, a, b, fetch));
+          auto pair_p_value = [this, &members, &fetch](
+                                  std::uint32_t a,
+                                  std::uint32_t b) -> common::Task<double> {
+            co_return stats::ld_p_value(
+                co_await aggregate_pair_async(members, a, b, fetch));
           };
           const std::vector<std::uint32_t> walked =
-              stats::greedy_ld_prune_resolving(
+              co_await stats::greedy_ld_prune_resolving_async(
                   l_prime_, announce_.config.ld_cutoff, p_values,
                   pair_p_value, fold.back());
           fold = intersect_sorted({fold, walked});
@@ -886,7 +910,7 @@ Result<Phase2Result> Coordinator::run_ld_phase(const FetchMoments& fetch) {
       num_combinations, std::vector<stats::LrMatrix>(lr_plan_.tile_count()));
   next_lr_tile_ = 0;
   phase2_full_ = result;
-  return result;
+  co_return result;
 }
 
 std::vector<Phase2Result> Coordinator::phase2_tiles() const {

@@ -20,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "common/coro.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "gendpr/config.hpp"
@@ -172,6 +173,15 @@ class Coordinator {
   using FetchMoments = std::function<std::vector<std::optional<stats::LdMoments>>(
       const MomentsRequest&, const std::vector<std::uint32_t>&)>;
 
+  /// Sans-IO form of FetchMoments: returns a Task so the protocol session
+  /// can suspend the LD phase mid-walk while member responses are in flight
+  /// (the event-loop driver resumes it frame by frame). Same contract
+  /// otherwise. The blocking FetchMoments overload of run_ld_phase adapts
+  /// onto this one.
+  using AsyncFetchMoments =
+      std::function<common::Task<std::vector<std::optional<stats::LdMoments>>>(
+          const MomentsRequest&, const std::vector<std::uint32_t>&)>;
+
   Coordinator(GdoEnclave& leader_enclave, genome::GenotypeMatrix reference,
               std::uint32_t num_gdos, StudyAnnounce announce);
 
@@ -239,6 +249,12 @@ class Coordinator {
   /// per-pair messages are already O(1). Also fixes the phase-3 tile plan
   /// over L'' and the full-width phase-2 state the tile slices come from.
   common::Result<Phase2Result> run_ld_phase(const FetchMoments& fetch);
+  /// Canonical (sans-IO) LD phase: identical decisions, counters, and cache
+  /// behavior to the blocking overload, but every member fetch suspends the
+  /// returned task instead of blocking a thread. `fetch` is taken by value:
+  /// the coroutine frame owns its copy across suspensions.
+  common::Task<common::Result<Phase2Result>> run_ld_phase_async(
+      AsyncFetchMoments fetch);
   /// Per-tile Phase2Result bodies (column slices of run_ld_phase's return
   /// value; one entry per lr_plan() tile). Valid after run_ld_phase.
   std::vector<Phase2Result> phase2_tiles() const;
@@ -281,9 +297,9 @@ class Coordinator {
     bool broadcast_done = false;
   };
 
-  stats::LdMoments aggregate_pair(const std::vector<std::uint32_t>& members,
-                                  std::uint32_t a, std::uint32_t b,
-                                  const FetchMoments& fetch);
+  common::Task<stats::LdMoments> aggregate_pair_async(
+      const std::vector<std::uint32_t>& members, std::uint32_t a,
+      std::uint32_t b, const AsyncFetchMoments& fetch);
   common::Error no_live_combination_error(const std::string& phase) const;
   /// Chi-squared association p-values for the combination's pooled cases vs
   /// the reference. `only` (optional) restricts the computation to the

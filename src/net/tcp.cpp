@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "wire/frame.hpp"
 
 namespace gendpr::net {
 
@@ -50,28 +51,22 @@ Status read_all(int fd, std::uint8_t* data, std::size_t size) {
   return Status::success();
 }
 
-void store_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
 std::uint32_t load_u32(const std::uint8_t* p) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
   return v;
 }
 
-/// Sends one frame: [u32 len][u32 from][payload]; len covers from+payload.
-/// Callers must hold the connection's write mutex: interleaved write_all
-/// calls from two senders would corrupt the framing for every later message.
+/// Sends one frame in the shared wire format (wire/frame.hpp). Callers must
+/// hold the connection's write mutex: interleaved write_all calls from two
+/// senders would corrupt the framing for every later message.
 Status send_frame(int fd, NodeId from, common::BytesView payload) {
-  std::uint8_t header[8];
-  store_u32(header, static_cast<std::uint32_t>(payload.size() + 4));
-  store_u32(header + 4, from);
-  if (Status s = write_all(fd, header, 8); !s.ok()) return s;
+  const auto header = wire::encode_frame_header(from, payload.size());
+  if (Status s = write_all(fd, header.data(), header.size()); !s.ok()) {
+    return s;
+  }
   return write_all(fd, payload.data(), payload.size());
 }
-
-constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
 
 }  // namespace
 
@@ -232,21 +227,29 @@ void TcpHub::reader_loop(NodeId peer,
   // close it, so a plain read is safe for the whole loop.
   const int fd = connection->fd;
   if (fd < 0) return;
-  for (;;) {
-    std::uint8_t header[8];
-    if (!read_all(fd, header, 8).ok()) break;
-    const std::uint32_t frame_len = load_u32(header);
-    const NodeId from = load_u32(header + 4);
-    if (frame_len < 4 || frame_len - 4 > kMaxFrameBytes) {
-      common::log_warn("tcp", "oversized/undersized frame from peer ", peer);
+  wire::FrameDecoder decoder;
+  std::uint8_t buf[64 * 1024];
+  bool stream_ok = true;
+  while (stream_ok) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
       break;
     }
-    common::Bytes payload(frame_len - 4);
-    if (!payload.empty() && !read_all(fd, payload.data(), payload.size()).ok()) {
-      break;
+    decoder.feed(common::BytesView(buf, static_cast<std::size_t>(n)));
+    for (;;) {
+      auto frame = decoder.next();
+      if (!frame.ok()) {
+        common::log_warn("tcp", "malformed frame from peer ", peer);
+        stream_ok = false;
+        break;
+      }
+      if (!frame.value().has_value()) break;
+      wire::FrameDecoder::Frame f = std::move(*frame.value());
+      meter_.record(f.from, self_, f.payload.size());
+      mailbox_->push(Envelope{f.from, self_, std::move(f.payload)});
     }
-    meter_.record(from, self_, payload.size());
-    mailbox_->push(Envelope{from, self_, std::move(payload)});
   }
   drop_connection(peer, connection);
   {

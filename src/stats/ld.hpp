@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/coro.hpp"
 #include "genome/bitplanes.hpp"
 #include "genome/genotype.hpp"
 
@@ -58,19 +60,23 @@ double ld_p_value(const LdMoments& moments);
 /// SNP (smaller association p-value) and continues the scan from the next
 /// position. `pair_p_value(a, b)` supplies the LD p-value of a pair and
 /// abstracts who owns the genomes (local matrix or federated aggregation).
-template <typename PairPValueFn>
-std::vector<std::uint32_t> greedy_ld_prune(
-    const std::vector<std::uint32_t>& snps, double ld_cutoff,
-    const std::vector<double>& association_p_values,
-    PairPValueFn&& pair_p_value) {
+///
+/// This is the canonical (sans-IO) form: `pair_p_value` returns a
+/// `Task<double>`, so a federated caller may suspend mid-walk while member
+/// moments are in flight. The blocking wrapper below adapts synchronous
+/// p-value callbacks onto the same walk.
+template <typename AsyncPairPValueFn>
+common::Task<std::vector<std::uint32_t>> greedy_ld_prune_async(
+    std::vector<std::uint32_t> snps, double ld_cutoff,
+    std::vector<double> association_p_values, AsyncPairPValueFn pair_p_value) {
   std::vector<std::uint32_t> retained;
-  if (snps.empty()) return retained;
-  if (snps.size() == 1) return snps;
+  if (snps.empty()) co_return retained;
+  if (snps.size() == 1) co_return snps;
 
   std::uint32_t current = snps[0];
   for (std::size_t i = 1; i < snps.size(); ++i) {
     const std::uint32_t next = snps[i];
-    const double p = pair_p_value(current, next);
+    const double p = co_await pair_p_value(current, next);
     if (p > ld_cutoff) {
       // Independent: current survives; next becomes the comparison anchor.
       retained.push_back(current);
@@ -83,7 +89,22 @@ std::vector<std::uint32_t> greedy_ld_prune(
     }
   }
   retained.push_back(current);
-  return retained;
+  co_return retained;
+}
+
+/// Blocking-callback adapter over greedy_ld_prune_async (local baselines and
+/// property tests; nothing in the adapted walk ever suspends).
+template <typename PairPValueFn>
+std::vector<std::uint32_t> greedy_ld_prune(
+    const std::vector<std::uint32_t>& snps, double ld_cutoff,
+    const std::vector<double>& association_p_values,
+    PairPValueFn&& pair_p_value) {
+  return common::run_sync(greedy_ld_prune_async(
+      snps, ld_cutoff, association_p_values,
+      [&pair_p_value](std::uint32_t a,
+                      std::uint32_t b) -> common::Task<double> {
+        co_return pair_p_value(a, b);
+      }));
 }
 
 /// Truncated walk for the intersection-aware combination sweep. Runs the
@@ -97,19 +118,19 @@ std::vector<std::uint32_t> greedy_ld_prune(
 /// walk (and its pair fetches) is skipped entirely. The returned list may
 /// omit retained SNPs > resolve_through; use it only for such
 /// intersections.
-template <typename PairPValueFn>
-std::vector<std::uint32_t> greedy_ld_prune_resolving(
-    const std::vector<std::uint32_t>& snps, double ld_cutoff,
-    const std::vector<double>& association_p_values,
-    PairPValueFn&& pair_p_value, std::uint32_t resolve_through) {
+template <typename AsyncPairPValueFn>
+common::Task<std::vector<std::uint32_t>> greedy_ld_prune_resolving_async(
+    std::vector<std::uint32_t> snps, double ld_cutoff,
+    std::vector<double> association_p_values, AsyncPairPValueFn pair_p_value,
+    std::uint32_t resolve_through) {
   std::vector<std::uint32_t> retained;
-  if (snps.empty() || snps[0] > resolve_through) return retained;
-  if (snps.size() == 1) return snps;
+  if (snps.empty() || snps[0] > resolve_through) co_return retained;
+  if (snps.size() == 1) co_return snps;
 
   std::uint32_t current = snps[0];
   for (std::size_t i = 1; i < snps.size(); ++i) {
     const std::uint32_t next = snps[i];
-    const double p = pair_p_value(current, next);
+    const double p = co_await pair_p_value(current, next);
     if (p > ld_cutoff) {
       retained.push_back(current);
       current = next;
@@ -118,10 +139,25 @@ std::vector<std::uint32_t> greedy_ld_prune_resolving(
                     ? next
                     : current;
     }
-    if (current > resolve_through) return retained;
+    if (current > resolve_through) co_return retained;
   }
   retained.push_back(current);
-  return retained;
+  co_return retained;
+}
+
+/// Blocking-callback adapter over greedy_ld_prune_resolving_async.
+template <typename PairPValueFn>
+std::vector<std::uint32_t> greedy_ld_prune_resolving(
+    const std::vector<std::uint32_t>& snps, double ld_cutoff,
+    const std::vector<double>& association_p_values,
+    PairPValueFn&& pair_p_value, std::uint32_t resolve_through) {
+  return common::run_sync(greedy_ld_prune_resolving_async(
+      snps, ld_cutoff, association_p_values,
+      [&pair_p_value](std::uint32_t a,
+                      std::uint32_t b) -> common::Task<double> {
+        co_return pair_p_value(a, b);
+      },
+      resolve_through));
 }
 
 }  // namespace gendpr::stats

@@ -1,0 +1,74 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+
+namespace gendpr::wire {
+
+namespace {
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    std::uint32_t from, std::size_t payload_size) {
+  std::array<std::uint8_t, kFrameHeaderBytes> header{};
+  store_u32(header.data(), static_cast<std::uint32_t>(payload_size + 4));
+  store_u32(header.data() + 4, from);
+  return header;
+}
+
+common::Bytes encode_frame(std::uint32_t from, common::BytesView payload) {
+  common::Bytes frame(kFrameHeaderBytes + payload.size());
+  const auto header = encode_frame_header(from, payload.size());
+  std::memcpy(frame.data(), header.data(), kFrameHeaderBytes);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+void FrameDecoder::feed(common::BytesView data) {
+  // Compact before growing: once everything parsed so far is consumed the
+  // buffer restarts at zero, so steady-state streaming never accumulates.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+common::Result<std::optional<FrameDecoder::Frame>> FrameDecoder::next() {
+  if (buffered() < kFrameHeaderBytes) return std::optional<Frame>{};
+  const std::uint8_t* base = buffer_.data() + consumed_;
+  const std::uint32_t frame_len = load_u32(base);
+  if (frame_len < 4 || frame_len - 4 > kMaxFramePayload) {
+    return common::make_error(common::Errc::bad_message,
+                              "malformed frame header");
+  }
+  const std::size_t payload_size = frame_len - 4;
+  if (buffered() < kFrameHeaderBytes + payload_size) {
+    return std::optional<Frame>{};
+  }
+  Frame frame;
+  frame.from = load_u32(base + 4);
+  frame.payload.assign(base + kFrameHeaderBytes,
+                       base + kFrameHeaderBytes + payload_size);
+  consumed_ += kFrameHeaderBytes + payload_size;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+}  // namespace gendpr::wire

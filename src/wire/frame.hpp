@@ -1,0 +1,62 @@
+// Transport frame codec shared by every socket front-end.
+//
+// A frame is [u32 len][u32 from][payload] (little-endian), where len covers
+// the from field plus the payload. A frame with an empty payload is the
+// "hello" that opens every connection, announcing the sender's node id.
+// TcpHub's blocking reader threads and the epoll hub's incremental reads
+// both parse this layout through FrameDecoder, so the two transports stay
+// wire-compatible by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace gendpr::wire {
+
+/// Frame header size: [u32 len][u32 from].
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a single frame's payload. Anything larger is treated as a
+/// corrupt stream, not a request for 4 GiB of buffer.
+inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+/// Header for a frame carrying `payload_size` bytes from `from`.
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    std::uint32_t from, std::size_t payload_size);
+
+/// Whole frame (header + payload) as one contiguous buffer — the shape a
+/// queued nonblocking write wants.
+common::Bytes encode_frame(std::uint32_t from, common::BytesView payload);
+
+/// Incremental frame parser over an arbitrary chunking of the byte stream.
+/// feed() appends raw bytes; next() yields completed frames in order.
+class FrameDecoder {
+ public:
+  struct Frame {
+    std::uint32_t from = 0;
+    common::Bytes payload;
+    /// True for the connection-opening hello (empty payload).
+    bool is_hello() const noexcept { return payload.empty(); }
+  };
+
+  void feed(common::BytesView data);
+
+  /// Next completed frame: a Frame when one is fully buffered, nullopt when
+  /// more bytes are needed, or Errc::bad_message on a malformed header
+  /// (len < 4 or payload over kMaxFramePayload) — the stream is then
+  /// unrecoverable and the connection must be dropped.
+  common::Result<std::optional<Frame>> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  common::Bytes buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace gendpr::wire

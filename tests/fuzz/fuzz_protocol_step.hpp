@@ -1,0 +1,15 @@
+// Shared entry point of the protocol-step fuzz harness: libFuzzer's
+// LLVMFuzzerTestOneInput forwards here, and so do the standalone replay
+// main (non-Clang builds) and the corpus generator's self-check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gendpr::fuzz {
+
+/// Runs one fuzz input through a member or leader session (first byte picks
+/// the role). Returns 0; aborts on a driver-contract violation.
+int run_one_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace gendpr::fuzz

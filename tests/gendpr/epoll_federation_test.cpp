@@ -1,0 +1,146 @@
+// Federation over the epoll front-end: every GDO is a sans-IO session on
+// its own EpollHub (loopback TCP), all driven by ONE event-loop thread — the
+// caller's. The results must be bit-identical to the thread-per-node fabric.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "gendpr/federation.hpp"
+#include "gendpr/session.hpp"
+#include "gendpr/session_driver.hpp"
+#include "net/epoll_hub.hpp"
+#include "net/event_loop.hpp"
+#include "tee/attestation.hpp"
+
+namespace gendpr::core {
+namespace {
+
+genome::Cohort test_cohort(std::size_t cases, std::size_t controls,
+                           std::size_t snps, std::uint64_t seed) {
+  genome::CohortSpec spec;
+  spec.num_case = cases;
+  spec.num_control = controls;
+  spec.num_snps = snps;
+  spec.seed = seed;
+  return genome::generate_cohort(spec);
+}
+
+TEST(EpollFederationTest, EightGdoStudyOnOneThreadMatchesThreaded) {
+  const genome::Cohort cohort = test_cohort(400, 300, 60, 321);
+
+  FederationSpec spec;
+  spec.num_gdos = 8;
+  spec.seed = 17;
+  // Keep the epoll run strictly single-threaded: no compute pool either.
+  spec.parallel_combinations = false;
+
+  spec.transport = FederationSpec::TransportMode::in_process;
+  const auto threaded = run_federated_study(cohort, spec);
+  ASSERT_TRUE(threaded.ok()) << threaded.error().to_string();
+
+  spec.transport = FederationSpec::TransportMode::epoll;
+  const auto epoll = run_federated_study(cohort, spec);
+  ASSERT_TRUE(epoll.ok()) << epoll.error().to_string();
+
+  EXPECT_EQ(epoll.value().outcome.l_prime, threaded.value().outcome.l_prime);
+  EXPECT_EQ(epoll.value().outcome.l_double_prime,
+            threaded.value().outcome.l_double_prime);
+  EXPECT_EQ(epoll.value().outcome.l_safe, threaded.value().outcome.l_safe);
+
+  // The leader hub terminates every star link, so real traffic was metered.
+  EXPECT_GT(epoll.value().network_bytes_total, 0u);
+  EXPECT_GT(epoll.value().leader_bytes_received, 0u);
+  EXPECT_FALSE(epoll.value().network_links.empty());
+  // 7 members, two directions each.
+  EXPECT_EQ(epoll.value().network_links.size(), 14u);
+}
+
+TEST(EpollFederationTest, TransportEnvOverrideSelectsEpoll) {
+  const genome::Cohort cohort = test_cohort(150, 150, 40, 654);
+  FederationSpec spec;
+  spec.num_gdos = 3;
+
+  spec.transport = FederationSpec::TransportMode::in_process;
+  const auto threaded = run_federated_study(cohort, spec);
+  ASSERT_TRUE(threaded.ok());
+
+  ASSERT_EQ(::setenv("GENDPR_TRANSPORT", "epoll", 1), 0);
+  const auto epoll = run_federated_study(cohort, spec);
+  ::unsetenv("GENDPR_TRANSPORT");
+  ASSERT_TRUE(epoll.ok()) << epoll.error().to_string();
+  EXPECT_EQ(epoll.value().outcome.l_safe, threaded.value().outcome.l_safe);
+}
+
+TEST(EpollFederationTest, ObservabilityAndTimingsSurviveTheEpollPath) {
+  const genome::Cohort cohort = test_cohort(150, 150, 40, 777);
+  obs::Observability observability;
+  FederationSpec spec;
+  spec.num_gdos = 3;
+  spec.transport = FederationSpec::TransportMode::epoll;
+  spec.obs = &observability;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_GT(result.value().timings.total_ms, 0.0);
+  EXPECT_GT(result.value().epc_peak_leader, 0u);
+  // The member sessions ran for real: their request counters registered.
+  bool member_counter = false;
+  for (std::uint32_t g = 0; g < 3; ++g) {
+    member_counter = member_counter ||
+                     observability.metrics.counter(
+                         "member." + std::to_string(g) + ".requests") > 0;
+  }
+  EXPECT_TRUE(member_counter);
+}
+
+TEST(EpollFederationTest, SilentMemberTimesOutOverEpoll) {
+  // Leader expects 3 GDOs; only GDO 1 ever dials. The leader's session
+  // deadline fires through the driver's loop timer, the study aborts with a
+  // timeout naming GDO 2, and the survivor receives the abort notice over
+  // its socket instead of hanging — all on this one thread.
+  const genome::Cohort cohort = test_cohort(120, 120, 30, 42);
+  tee::QuotingAuthority authority(std::array<std::uint8_t, 32>{0x61});
+  tee::Platform leader_platform(
+      1, authority, crypto::Csprng(std::array<std::uint8_t, 32>{1}));
+  tee::Platform member_platform(
+      2, authority, crypto::Csprng(std::array<std::uint8_t, 32>{2}));
+
+  StudyAnnounce announce;
+  announce.num_snps = 30;
+  announce.combinations =
+      Coordinator::build_combinations(3, CollusionPolicy::none());
+
+  net::EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto leader_hub = net::EpollHub::create(loop, node_id_of(0), 0);
+  auto member_hub = net::EpollHub::create(loop, node_id_of(1), 0);
+  ASSERT_TRUE(leader_hub.ok());
+  ASSERT_TRUE(member_hub.ok());
+
+  LeaderSession leader(leader_platform, 0, 3, cohort.cases.slice_rows(0, 60),
+                       cohort.controls, announce);
+  leader.set_receive_timeout(std::chrono::milliseconds(300));
+  MemberSession member(member_platform, 1, 0,
+                       cohort.cases.slice_rows(60, 120));
+
+  EpollSessionDriver leader_driver(loop, *leader_hub.value(), leader);
+  EpollSessionDriver member_driver(loop, *member_hub.value(), member);
+  member_hub.value()->connect_peer(node_id_of(0), "127.0.0.1",
+                                   leader_hub.value()->port());
+  member_driver.start();
+  leader_driver.start();
+  loop.run_until(
+      [&] { return leader_driver.finished() && member_driver.finished(); });
+
+  ASSERT_EQ(leader.wants(), SessionWants::failed);
+  EXPECT_EQ(leader.status().error().code, common::Errc::timeout);
+  EXPECT_NE(leader.status().error().message.find("2"), std::string::npos)
+      << leader.status().error().to_string();
+  ASSERT_EQ(member.wants(), SessionWants::failed);
+  EXPECT_EQ(member.status().error().code, common::Errc::aborted)
+      << member.status().error().to_string();
+}
+
+}  // namespace
+}  // namespace gendpr::core

@@ -1,0 +1,122 @@
+// EpollHub tests: nonblocking dial + hello identity exchange, ordered
+// buffering of frames sent while a dial is in flight, peer-loss reporting on
+// both connection death and dial exhaustion, and traffic metering — all on
+// a single thread.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/epoll_hub.hpp"
+#include "net/event_loop.hpp"
+
+namespace gendpr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+common::Bytes bytes_of(std::initializer_list<std::uint8_t> values) {
+  return common::Bytes(values);
+}
+
+TEST(EpollHubTest, DialHelloAndFramesBothWays) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto a = EpollHub::create(loop, 1, 0);
+  auto b = EpollHub::create(loop, 2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  std::map<NodeId, std::vector<common::Bytes>> a_received;
+  std::map<NodeId, std::vector<common::Bytes>> b_received;
+  a.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
+    a_received[from].push_back(std::move(payload));
+  });
+  b.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
+    b_received[from].push_back(std::move(payload));
+  });
+
+  // Frames queued before the dial completes must arrive after the hello, in
+  // send order.
+  b.value()->connect_peer(1, "127.0.0.1", a.value()->port());
+  ASSERT_TRUE(b.value()->send(1, bytes_of({10})).ok());
+  ASSERT_TRUE(b.value()->send(1, bytes_of({11, 12})).ok());
+
+  loop.run_until([&] { return a_received[2].size() == 2; });
+  ASSERT_EQ(a_received[2].size(), 2u);
+  EXPECT_EQ(a_received[2][0], bytes_of({10}));
+  EXPECT_EQ(a_received[2][1], bytes_of({11, 12}));
+  EXPECT_TRUE(a.value()->is_connected(2));
+
+  // The hello identified the dialer, so the accepting side can answer.
+  ASSERT_TRUE(a.value()->send(2, bytes_of({20})).ok());
+  loop.run_until([&] { return b_received[1].size() == 1; });
+  EXPECT_EQ(b_received[1][0], bytes_of({20}));
+
+  // Payload bytes were metered on both hubs (hellos carry no payload).
+  EXPECT_EQ(b.value()->meter().total_bytes(), 4u);
+  EXPECT_EQ(a.value()->meter().total_bytes(), 4u);
+  EXPECT_EQ(a.value()->meter().bytes_received_by(1), 3u);
+}
+
+TEST(EpollHubTest, SendToUnknownPeerFails) {
+  EventLoop loop;
+  auto hub = EpollHub::create(loop, 1, 0);
+  ASSERT_TRUE(hub.ok());
+  const common::Status sent = hub.value()->send(9, bytes_of({1}));
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.error().code, common::Errc::unknown_peer);
+}
+
+TEST(EpollHubTest, PeerHubDestructionReportsLoss) {
+  EventLoop loop;
+  auto a = EpollHub::create(loop, 1, 0);
+  auto b = EpollHub::create(loop, 2, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<NodeId> lost;
+  a.value()->set_peer_lost_handler([&](NodeId peer) { lost.push_back(peer); });
+  b.value()->connect_peer(1, "127.0.0.1", a.value()->port());
+  ASSERT_TRUE(b.value()->send(1, bytes_of({1})).ok());
+  a.value()->set_frame_handler([](NodeId, common::Bytes) {});
+  loop.run_until([&] { return a.value()->is_connected(2); });
+
+  b.value().reset();  // the peer "machine" goes away
+  loop.run_until([&] { return !lost.empty(); });
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], 2u);
+  EXPECT_FALSE(a.value()->is_connected(2));
+  // Further sends to the dead peer fail as lost, not as never-known.
+  const common::Status sent = a.value()->send(2, bytes_of({3}));
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.error().code, common::Errc::unknown_peer);
+  EXPECT_NE(sent.error().message.find("was lost"), std::string::npos);
+}
+
+TEST(EpollHubTest, ExhaustedDialReportsPeerLost) {
+  EventLoop loop;
+  auto hub = EpollHub::create(loop, 1, 0);
+  ASSERT_TRUE(hub.ok());
+  // Find a loopback port with no listener: bind-then-close frees it.
+  auto probe = EpollHub::create(loop, 7, 0);
+  ASSERT_TRUE(probe.ok());
+  const std::uint16_t dead_port = probe.value()->port();
+  probe.value().reset();
+
+  std::vector<NodeId> lost;
+  hub.value()->set_peer_lost_handler([&](NodeId peer) { lost.push_back(peer); });
+  EpollHub::DialOptions options;
+  options.max_attempts = 2;
+  options.initial_backoff = 5ms;
+  hub.value()->connect_peer(9, "127.0.0.1", dead_port, options);
+  // Frames sent during the dial ride its fate.
+  ASSERT_TRUE(hub.value()->send(9, bytes_of({1})).ok());
+  loop.run_until([&] { return !lost.empty(); });
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], 9u);
+}
+
+}  // namespace
+}  // namespace gendpr::net
