@@ -1,10 +1,12 @@
 #include "gendpr/federation.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -14,7 +16,9 @@
 #include "gendpr/session_driver.hpp"
 #include "net/epoll_hub.hpp"
 #include "net/event_loop.hpp"
+#include "net/hub.hpp"
 #include "net/network.hpp"
+#include "net/uring_hub.hpp"
 #include "tee/attestation.hpp"
 
 namespace gendpr::core {
@@ -30,6 +34,9 @@ FederationSpec::TransportMode transport_mode_of(const FederationSpec& spec) {
     if (std::strcmp(env, "epoll") == 0) {
       return FederationSpec::TransportMode::epoll;
     }
+    if (std::strcmp(env, "uring") == 0) {
+      return FederationSpec::TransportMode::uring;
+    }
     if (std::strcmp(env, "in_process") == 0) {
       return FederationSpec::TransportMode::in_process;
     }
@@ -39,30 +46,94 @@ FederationSpec::TransportMode transport_mode_of(const FederationSpec& spec) {
   return spec.transport;
 }
 
-/// Runs the whole federation as sans-IO sessions on one epoll thread: one
-/// EpollHub per GDO on loopback TCP (members dial the leader — the star
-/// topology the protocol already assumes), one EpollSessionDriver per
-/// session, a single EventLoop dispatching all of them. Fills
-/// `member_compute_ms` for the distributed-wall-time model.
-Result<StudyResult> run_epoll_federation(
+/// Resolves the event-loop count: GENDPR_EVENT_LOOPS overrides the spec.
+std::uint32_t event_loops_of(const FederationSpec& spec) {
+  std::uint32_t loops = spec.event_loops;
+  const char* env = std::getenv("GENDPR_EVENT_LOOPS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 64) {
+      loops = static_cast<std::uint32_t>(parsed);
+    } else {
+      common::log_warn("federation", "invalid GENDPR_EVENT_LOOPS value '",
+                       env, "'; using the spec's event_loops");
+    }
+  }
+  return loops == 0 ? 1 : loops;
+}
+
+/// Stable loop assignment for a GDO: a Fibonacci-hash of the index, so the
+/// placement depends only on (gdo, num_loops) — never on thread timing —
+/// and every run shards (and therefore behaves) identically.
+std::size_t loop_index_of(std::uint32_t gdo, std::size_t num_loops) {
+  const std::uint64_t mixed =
+      (std::uint64_t{gdo} * 0x9E3779B97F4A7C15ull) >> 32;
+  return static_cast<std::size_t>(mixed % num_loops);
+}
+
+/// Creates the hub flavor for `transport` (epoll or uring) on `loop`.
+Result<std::unique_ptr<net::Hub>> make_hub(FederationSpec::TransportMode mode,
+                                           net::EventLoop& loop,
+                                           net::NodeId node) {
+  if (mode == FederationSpec::TransportMode::uring) {
+    auto hub = net::UringHub::create(loop, node, 0);
+    if (!hub.ok()) return hub.error();
+    return std::unique_ptr<net::Hub>(std::move(hub).take());
+  }
+  auto hub = net::EpollHub::create(loop, node, 0);
+  if (!hub.ok()) return hub.error();
+  return std::unique_ptr<net::Hub>(std::move(hub).take());
+}
+
+/// Runs the whole federation as sans-IO sessions on event-loop threads: one
+/// hub (epoll- or io_uring-backed) per GDO on loopback TCP (members dial
+/// the leader — the star topology the protocol already assumes), one
+/// EpollSessionDriver per session, sessions sharded across
+/// `spec.event_loops` EventLoops by a stable hash of the GDO index. With
+/// one loop everything runs on the calling thread (the classic PR 8 mode);
+/// with more, each loop gets its own thread and cross-loop work travels
+/// only through EventLoop::post. Fills `member_compute_ms` for the
+/// distributed-wall-time model.
+Result<StudyResult> run_event_loop_federation(
     const genome::Cohort& cohort, const FederationSpec& spec,
+    FederationSpec::TransportMode transport,
     std::vector<std::unique_ptr<tee::Platform>>& platforms,
     std::uint32_t leader_gdo,
     const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
     const StudyAnnounce& announce, common::ThreadPool* pool,
     obs::SpanId study_span, std::chrono::milliseconds receive_timeout,
     std::vector<double>& member_compute_ms) {
-  net::EventLoop loop;
-  if (!loop.valid()) {
-    return common::make_error(common::Errc::io_error,
-                              "epoll_create1 failed");
+  if (transport == FederationSpec::TransportMode::uring &&
+      !net::UringHub::available()) {
+    common::log_warn("federation",
+                     "io_uring unavailable on this kernel; falling back to "
+                     "the epoll transport");
+    transport = FederationSpec::TransportMode::epoll;
   }
+  const std::size_t num_loops = std::max<std::size_t>(
+      1, std::min<std::size_t>(event_loops_of(spec), spec.num_gdos));
 
+  std::vector<std::unique_ptr<net::EventLoop>> loops;
+  loops.reserve(num_loops);
+  for (std::size_t i = 0; i < num_loops; ++i) {
+    loops.push_back(std::make_unique<net::EventLoop>());
+    if (!loops.back()->valid()) {
+      return common::make_error(common::Errc::io_error,
+                                "epoll_create1/eventfd failed");
+    }
+  }
+  const auto loop_of = [&](std::uint32_t gdo) -> net::EventLoop& {
+    return *loops[loop_index_of(gdo, num_loops)];
+  };
+
+  // All loop-owned objects (hubs, sessions, drivers) are built and wired on
+  // this thread BEFORE any loop thread starts; thread creation publishes
+  // them. After that, each object is touched only by its loop's thread.
   auto leader_hub_result =
-      net::EpollHub::create(loop, node_id_of(leader_gdo), 0);
+      make_hub(transport, loop_of(leader_gdo), node_id_of(leader_gdo));
   if (!leader_hub_result.ok()) return leader_hub_result.error();
-  std::unique_ptr<net::EpollHub> leader_hub =
-      std::move(leader_hub_result).take();
+  std::unique_ptr<net::Hub> leader_hub = std::move(leader_hub_result).take();
 
   LeaderSession leader(*platforms[leader_gdo], leader_gdo, spec.num_gdos,
                        cohort.cases.slice_rows(ranges[leader_gdo].first,
@@ -72,12 +143,14 @@ Result<StudyResult> run_epoll_federation(
   leader.set_observability(spec.obs, study_span);
   leader.set_pool(pool);
 
-  std::vector<std::unique_ptr<net::EpollHub>> member_hubs;
+  std::vector<std::uint32_t> member_gdos;
+  std::vector<std::unique_ptr<net::Hub>> member_hubs;
   std::vector<std::unique_ptr<MemberSession>> members;
   for (std::uint32_t g = 0; g < spec.num_gdos; ++g) {
     if (g == leader_gdo) continue;
-    auto hub = net::EpollHub::create(loop, node_id_of(g), 0);
+    auto hub = make_hub(transport, loop_of(g), node_id_of(g));
     if (!hub.ok()) return hub.error();
+    member_gdos.push_back(g);
     member_hubs.push_back(std::move(hub).take());
     members.push_back(std::make_unique<MemberSession>(
         *platforms[g], g, leader_gdo,
@@ -94,34 +167,45 @@ Result<StudyResult> run_epoll_federation(
     }
   }
 
-  EpollSessionDriver leader_driver(loop, *leader_hub, leader);
+  EpollSessionDriver leader_driver(loop_of(leader_gdo), *leader_hub, leader);
   std::vector<std::unique_ptr<EpollSessionDriver>> member_drivers;
   member_drivers.reserve(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     member_drivers.push_back(std::make_unique<EpollSessionDriver>(
-        loop, *member_hubs[i], *members[i]));
+        loop_of(member_gdos[i]), *member_hubs[i], *members[i]));
   }
 
-  const auto all_finished = [&] {
-    if (!leader_driver.finished()) return false;
-    for (const auto& driver : member_drivers) {
-      if (!driver->finished()) return false;
+  // Completion accounting that works across loop threads: every driver's
+  // on_finished (running on its own loop's thread) decrements `remaining`;
+  // the last one flips `all_done` and wakes every loop so the pollers exit.
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(1 + member_drivers.size())};
+  std::atomic<bool> all_done{false};
+  const auto note_finished = [&] {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      all_done.store(true, std::memory_order_release);
+      for (auto& loop : loops) loop->post([] {});
     }
-    return true;
   };
 
   // When the leader fails, surviving members normally learn it from the
   // abort notice; a member whose connection (or handshake) never came up
   // would wait forever with no timeout configured. Give the notices half a
-  // second to flush, then force the stragglers' transports closed.
+  // second to flush, then force the stragglers' transports closed — each on
+  // its own loop thread, reached through post().
   leader_driver.set_on_finished([&] {
-    if (leader.status().ok()) return;
-    loop.add_timer_after(std::chrono::milliseconds{500}, [&] {
-      for (auto& driver : member_drivers) {
-        if (!driver->finished()) driver->close();
+    const bool leader_failed = !leader.status().ok();
+    note_finished();
+    if (!leader_failed) return;
+    loop_of(leader_gdo).add_timer_after(std::chrono::milliseconds{500}, [&] {
+      for (std::size_t i = 0; i < member_drivers.size(); ++i) {
+        loop_of(member_gdos[i]).post([driver = member_drivers[i].get()] {
+          if (!driver->finished()) driver->close();
+        });
       }
     });
   });
+  for (auto& driver : member_drivers) driver->set_on_finished(note_finished);
 
   // Members first: their dials buffer the attestation handshakes, which
   // flush as soon as the leader's listener accepts.
@@ -131,7 +215,61 @@ Result<StudyResult> run_epoll_federation(
     member_drivers[i]->start();
   }
   leader_driver.start();
-  loop.run_until(all_finished);
+
+  if (num_loops == 1) {
+    loops[0]->run_until(
+        [&] { return all_done.load(std::memory_order_acquire); });
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_loops);
+    for (std::size_t i = 0; i < num_loops; ++i) {
+      threads.emplace_back([&all_done, loop = loops[i].get()] {
+        // poll_once (not run_until): a loop whose sessions all finished
+        // still has nothing to tear down until every loop is done, and the
+        // bounded wait means even a lost wakeup cannot hang the join.
+        while (!all_done.load(std::memory_order_acquire)) {
+          loop->poll_once(std::chrono::milliseconds{100});
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  // Loop threads are joined (or the single loop returned): session and hub
+  // state is safely readable from this thread again.
+  if (spec.obs != nullptr) {
+    std::uint64_t pauses = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t stalled = leader_driver.stalled_flushes();
+    std::vector<std::uint64_t> loop_peaks(num_loops, 0);
+    const auto harvest = [&](std::uint32_t gdo, const net::Hub& hub) {
+      const net::Hub::BackpressureStats& bp = hub.backpressure();
+      pauses += bp.pauses;
+      resumes += bp.resumes;
+      auto& peak = loop_peaks[loop_index_of(gdo, num_loops)];
+      peak = std::max(peak, bp.peak_queued_bytes);
+    };
+    harvest(leader_gdo, *leader_hub);
+    for (std::size_t i = 0; i < member_hubs.size(); ++i) {
+      harvest(member_gdos[i], *member_hubs[i]);
+      stalled += member_drivers[i]->stalled_flushes();
+    }
+    spec.obs->metrics.set_label(
+        "net.transport",
+        transport == FederationSpec::TransportMode::uring ? "uring"
+                                                          : "epoll");
+    spec.obs->metrics.set_gauge("net.event_loops",
+                                static_cast<double>(num_loops));
+    spec.obs->metrics.add_counter("net.backpressure.pauses", pauses);
+    spec.obs->metrics.add_counter("net.backpressure.resumes", resumes);
+    spec.obs->metrics.add_counter("net.backpressure.stalled_flushes",
+                                  stalled);
+    for (std::size_t i = 0; i < num_loops; ++i) {
+      spec.obs->metrics.max_gauge(
+          "net.loop" + std::to_string(i) + ".peak_queued_bytes",
+          static_cast<double>(loop_peaks[i]));
+    }
+  }
 
   if (!leader.status().ok()) return leader.status().error();
   // Surface any member-side failure (e.g. tampering detected) even when the
@@ -276,11 +414,13 @@ Result<StudyResult> run_federated_study(const genome::Cohort& cohort,
   setup_span.end();
 
   std::vector<double> member_compute_ms;
+  const FederationSpec::TransportMode transport = transport_mode_of(spec);
   auto result =
-      transport_mode_of(spec) == FederationSpec::TransportMode::epoll
-          ? run_epoll_federation(cohort, spec, platforms, leader_gdo, ranges,
-                                 announce, pool.get(), study_span.id(),
-                                 receive_timeout, member_compute_ms)
+      transport != FederationSpec::TransportMode::in_process
+          ? run_event_loop_federation(cohort, spec, transport, platforms,
+                                      leader_gdo, ranges, announce,
+                                      pool.get(), study_span.id(),
+                                      receive_timeout, member_compute_ms)
           : run_threaded_federation(cohort, spec, platforms, leader_gdo,
                                     ranges, announce, pool.get(),
                                     study_span.id(), receive_timeout,

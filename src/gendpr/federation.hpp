@@ -17,12 +17,22 @@ namespace gendpr::core {
 struct FederationSpec {
   /// How the nodes talk to each other. `in_process` is the classic fabric:
   /// one thread per node over net::Network mailboxes. `epoll` runs every
-  /// GDO as a sans-IO session on EpollHub sockets (loopback TCP), all
-  /// driven by one event-loop thread — same sessions, same bytes, same
-  /// results. The GENDPR_TRANSPORT environment variable ("epoll" /
+  /// GDO as a sans-IO session on EpollHub sockets (loopback TCP) driven by
+  /// event loops — same sessions, same bytes, same results. `uring` is the
+  /// same wiring on io_uring-backed hubs (completion model), falling back
+  /// to epoll with a log line on kernels without io_uring. The
+  /// GENDPR_TRANSPORT environment variable ("epoll" / "uring" /
   /// "in_process") overrides this field when set.
-  enum class TransportMode { in_process, epoll };
+  enum class TransportMode { in_process, epoll, uring };
   TransportMode transport = TransportMode::in_process;
+
+  /// Number of event-loop threads the epoll/uring transports shard their
+  /// sessions across (sessions are assigned by a stable hash of the GDO
+  /// index, so the placement — and every protocol byte — is independent of
+  /// thread timing). 1 = the classic single-loop mode, run on the calling
+  /// thread. Capped at the number of GDOs. The GENDPR_EVENT_LOOPS
+  /// environment variable overrides this field when set.
+  std::uint32_t event_loops = 1;
 
   std::uint32_t num_gdos = 3;
   /// Study thresholds, plus the engine shape: `config.snp_tile_width`

@@ -74,9 +74,14 @@ common::Result<std::unique_ptr<EpollHub>> EpollHub::create(EventLoop& loop,
   return hub;
 }
 
+std::unique_ptr<EpollHub> EpollHub::create_adopt_only(EventLoop& loop,
+                                                      NodeId self) {
+  return std::unique_ptr<EpollHub>(new EpollHub(loop, self, -1, 0));
+}
+
 EpollHub::EpollHub(EventLoop& loop, NodeId self, int listen_fd,
                    std::uint16_t port)
-    : loop_(&loop), self_(self), listen_fd_(listen_fd), port_(port) {}
+    : Hub(self, port), loop_(&loop), listen_fd_(listen_fd) {}
 
 EpollHub::~EpollHub() {
   for (auto& [peer, dial] : dials_) {
@@ -87,8 +92,10 @@ EpollHub::~EpollHub() {
     ::close(fd);
     conn->fd = -1;
   }
-  loop_->unwatch(listen_fd_);
-  ::close(listen_fd_);
+  if (listen_fd_ >= 0) {
+    loop_->unwatch(listen_fd_);
+    ::close(listen_fd_);
+  }
 }
 
 void EpollHub::Acceptor::on_ready(std::uint32_t events) {
@@ -110,6 +117,37 @@ void EpollHub::on_acceptable() {
       continue;
     }
     conns_[fd] = conn;
+  }
+}
+
+void EpollHub::adopt_inbound(int fd, NodeId peer, common::Bytes leftover) {
+  set_nodelay(fd);
+  auto conn = std::make_shared<Conn>(this, fd);
+  conn->peer = peer;
+  conn->watched_events = EPOLLIN;
+  if (!loop_->watch(fd, EPOLLIN, conn).ok()) {
+    ::close(fd);
+    report_peer_lost(peer);
+    return;
+  }
+  conns_[fd] = conn;
+  register_established(peer, conn);
+  if (!leftover.empty()) {
+    conn->decoder.feed(common::BytesView(leftover.data(), leftover.size()));
+    // Frames the acceptor read past the hello are delivered immediately so
+    // ordering is preserved before any fresh socket reads.
+    for (;;) {
+      auto frame = conn->decoder.next();
+      if (!frame.ok()) {
+        drop_conn(conn);
+        return;
+      }
+      if (!frame.value().has_value()) break;
+      wire::FrameDecoder::Frame f = std::move(*frame.value());
+      meter_.record(f.from, self_, f.payload.size());
+      if (frame_handler_) frame_handler_(f.from, std::move(f.payload));
+      if (conn->fd < 0) return;
+    }
   }
 }
 
@@ -165,8 +203,12 @@ void EpollHub::read_frames(const std::shared_ptr<Conn>& conn) {
       wire::FrameDecoder::Frame f = std::move(*frame.value());
       if (conn->awaiting_hello) {
         // First frame on an inbound connection must be the hello naming the
-        // peer; anything else is a protocol violation on a raw socket.
-        if (!f.is_hello() || f.from == kNoNode) {
+        // peer; anything else is a protocol violation on a raw socket. A
+        // hub accepting directly serves exactly one study, so a hello for a
+        // different study is a routing error.
+        const auto study = f.hello_study();
+        if (!study.has_value() || f.from == kNoNode ||
+            *study != study_id_) {
           drop_conn(conn);
           return;
         }
@@ -182,6 +224,13 @@ void EpollHub::read_frames(const std::shared_ptr<Conn>& conn) {
   }
 }
 
+void EpollHub::enqueue_frame(const std::shared_ptr<Conn>& conn,
+                             common::Bytes frame) {
+  conn->queued_bytes += frame.size();
+  conn->write_queue.push_back(std::move(frame));
+  note_enqueued(conn->peer, conn->queued_bytes, conn->paused);
+}
+
 void EpollHub::flush_writes(const std::shared_ptr<Conn>& conn) {
   while (!conn->write_queue.empty()) {
     const common::Bytes& front = conn->write_queue.front();
@@ -195,12 +244,16 @@ void EpollHub::flush_writes(const std::shared_ptr<Conn>& conn) {
       return;
     }
     conn->write_offset += static_cast<std::size_t>(n);
+    conn->queued_bytes -= static_cast<std::size_t>(n);
     if (conn->write_offset == front.size()) {
       conn->write_queue.pop_front();
       conn->write_offset = 0;
     }
   }
   update_events(conn);
+  // Resume last: the handler may synchronously queue more frames, which
+  // must observe a consistent epoll mask first.
+  note_drained(conn->peer, conn->queued_bytes, conn->paused);
 }
 
 void EpollHub::update_events(const std::shared_ptr<Conn>& conn) {
@@ -218,6 +271,7 @@ void EpollHub::drop_conn(const std::shared_ptr<Conn>& conn) {
   conn->fd = -1;
   const NodeId peer = conn->peer;
   if (peer == kNoNode) return;
+  release_pause_on_drop(peer, conn->paused);
   auto it = peers_.find(peer);
   if (it == peers_.end() || it->second != conn) return;
   peers_.erase(it);
@@ -329,7 +383,10 @@ void EpollHub::dial_attempt_failed(NodeId peer) {
     report_peer_lost(peer);
     return;
   }
-  const std::chrono::milliseconds backoff = dial.backoff;
+  // Jitter desynchronizes the retry schedules of peers that all lost the
+  // same endpoint at the same moment (a leader restart), so the reconnect
+  // storm does not arrive as one synchronized wave per backoff step.
+  const std::chrono::milliseconds backoff = jittered(dial.backoff);
   dial.backoff *= 2;
   dial.retry_timer = loop_->add_timer_after(
       backoff, [this, peer] { attempt_dial(peer); });
@@ -339,11 +396,11 @@ void EpollHub::finish_dial(NodeId peer, const std::shared_ptr<Conn>& conn) {
   auto it = dials_.find(peer);
   // Hello first, then everything queued while the dial was in flight,
   // preserving send order.
-  conn->write_queue.push_back(wire::encode_frame(self_, {}));
+  enqueue_frame(conn, wire::encode_hello(self_, study_id_));
   if (it != dials_.end()) {
     for (common::Bytes& frame : it->second.pending) {
       meter_.record(self_, peer, frame.size() - wire::kFrameHeaderBytes);
-      conn->write_queue.push_back(std::move(frame));
+      enqueue_frame(conn, std::move(frame));
     }
     dials_.erase(it);
   }
@@ -365,7 +422,7 @@ Status EpollHub::send(NodeId to, common::Bytes payload) {
   }
   const std::shared_ptr<Conn> conn = it->second;
   meter_.record(self_, to, payload.size());
-  conn->write_queue.push_back(wire::encode_frame(self_, payload));
+  enqueue_frame(conn, wire::encode_frame(self_, payload));
   // Opportunistic flush: most frames fit the socket buffer, so this usually
   // drains the queue without an epoll round trip.
   flush_writes(conn);

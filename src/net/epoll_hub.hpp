@@ -1,15 +1,16 @@
-// Nonblocking TCP endpoint driven by an EventLoop.
+// Nonblocking TCP endpoint driven by an EventLoop (readiness model).
 //
 // Where TcpHub spends one reader thread per peer plus an acceptor thread,
 // EpollHub is a callback front-end for a single-threaded epoll loop: frames
 // arrive through set_frame_handler, connection losses through
 // set_peer_lost_handler, and send() enqueues into a per-connection write
-// buffer flushed as EPOLLOUT allows. Dialing is nonblocking with
-// timer-driven exponential backoff, and frames sent while a dial is still
-// in flight are buffered and flushed in order once it completes — so any
-// number of GDO endpoints (and their protocol sessions) can share one
-// thread. The wire format (wire/frame.hpp, hello included) is exactly
-// TcpHub's: the two hubs interoperate frame-for-frame.
+// buffer flushed as EPOLLOUT allows. Crossing the per-connection write
+// watermark fires the backpressure handler (see net/hub.hpp). Dialing is
+// nonblocking with timer-driven, jittered exponential backoff, and frames
+// sent while a dial is still in flight are buffered and flushed in order
+// once it completes — so any number of GDO endpoints (and their protocol
+// sessions) can share one thread. The wire format (wire/frame.hpp, hello
+// included) is exactly TcpHub's: the hubs interoperate frame-for-frame.
 //
 // Threading: everything here, handlers included, runs on the loop thread.
 // No locks, no atomics — the event loop is the serialization point.
@@ -18,7 +19,6 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -26,24 +26,13 @@
 #include <string>
 
 #include "net/event_loop.hpp"
-#include "net/network.hpp"
+#include "net/hub.hpp"
 #include "wire/frame.hpp"
 
 namespace gendpr::net {
 
-class EpollHub {
+class EpollHub : public Hub {
  public:
-  using FrameHandler = std::function<void(NodeId from, common::Bytes payload)>;
-  using PeerLostHandler = std::function<void(NodeId peer)>;
-
-  /// Dial behaviour: attempts spaced by exponential backoff starting at
-  /// `initial_backoff` (doubling per retry), absorbing the startup race
-  /// where the peer's hub has not bound its port yet.
-  struct DialOptions {
-    int max_attempts = 5;
-    std::chrono::milliseconds initial_backoff{25};
-  };
-
   /// Binds a listening socket on 127.0.0.1:port (port 0 = ephemeral; see
   /// port()) for node `self` and accepts peer connections on `loop`. The
   /// loop must outlive the hub.
@@ -51,42 +40,23 @@ class EpollHub {
                                                           NodeId self,
                                                           std::uint16_t port);
 
-  ~EpollHub();
+  /// Hub with no listening socket of its own: every inbound connection is
+  /// handed over by a StudyAcceptor through adopt_inbound(). Dialing out
+  /// still works.
+  static std::unique_ptr<EpollHub> create_adopt_only(EventLoop& loop,
+                                                     NodeId self);
 
-  EpollHub(const EpollHub&) = delete;
-  EpollHub& operator=(const EpollHub&) = delete;
+  ~EpollHub() override;
 
-  std::uint16_t port() const noexcept { return port_; }
-  NodeId self() const noexcept { return self_; }
-
-  /// Delivery callback for every data frame (hellos are consumed here).
-  void set_frame_handler(FrameHandler handler) {
-    frame_handler_ = std::move(handler);
-  }
-  /// Loss callback: fires when an established connection dies or a dial
-  /// exhausts its attempts.
-  void set_peer_lost_handler(PeerLostHandler handler) {
-    peer_lost_handler_ = std::move(handler);
-  }
-
-  /// Starts a nonblocking dial to a peer hub. Frames sent to `peer` before
-  /// the dial completes are buffered and flushed (after the hello) once it
-  /// does; if every attempt fails the peer is reported lost.
   void connect_peer(NodeId peer, const std::string& host, std::uint16_t port,
-                    DialOptions options);
-  void connect_peer(NodeId peer, const std::string& host, std::uint16_t port) {
-    connect_peer(peer, host, port, DialOptions{});
-  }
+                    DialOptions options) override;
+  using Hub::connect_peer;
 
-  /// Enqueues one frame for `peer`. Success means accepted for delivery
-  /// (written as EPOLLOUT allows), not yet on the wire; unknown_peer means
-  /// there is no live or in-flight connection to the peer.
-  common::Status send(NodeId to, common::Bytes payload);
+  common::Status send(NodeId to, common::Bytes payload) override;
 
-  /// True while an established connection to `peer` is registered.
-  bool is_connected(NodeId peer) const;
+  bool is_connected(NodeId peer) const override;
 
-  TrafficMeter& meter() noexcept { return meter_; }
+  void adopt_inbound(int fd, NodeId peer, common::Bytes leftover) override;
 
  private:
   /// One TCP connection (inbound or dialed). Registered as the fd's
@@ -100,9 +70,11 @@ class EpollHub {
     NodeId peer = kNoNode;     // known after dial / after inbound hello
     bool connecting = false;   // dial awaiting EPOLLOUT + SO_ERROR check
     bool awaiting_hello = false;  // inbound: first frame must be the hello
+    bool paused = false;       // write queue above the high watermark
     wire::FrameDecoder decoder;
     std::deque<common::Bytes> write_queue;  // encoded frames
     std::size_t write_offset = 0;  // bytes of the front frame already written
+    std::size_t queued_bytes = 0;  // unsent bytes across the whole queue
     std::uint32_t watched_events = 0;
   };
 
@@ -130,6 +102,7 @@ class EpollHub {
   void on_conn_ready(const std::shared_ptr<Conn>& conn, std::uint32_t events);
   void on_dial_writable(const std::shared_ptr<Conn>& conn);
   void read_frames(const std::shared_ptr<Conn>& conn);
+  void enqueue_frame(const std::shared_ptr<Conn>& conn, common::Bytes frame);
   void flush_writes(const std::shared_ptr<Conn>& conn);
   void update_events(const std::shared_ptr<Conn>& conn);
   /// Tears the connection down; established peers are reported lost.
@@ -142,12 +115,7 @@ class EpollHub {
   void report_peer_lost(NodeId peer);
 
   EventLoop* loop_;
-  NodeId self_;
-  int listen_fd_;
-  std::uint16_t port_;
-  TrafficMeter meter_;
-  FrameHandler frame_handler_;
-  PeerLostHandler peer_lost_handler_;
+  int listen_fd_;  // -1 for an adopt-only hub
   std::map<int, std::shared_ptr<Conn>> conns_;   // every live fd
   std::map<NodeId, std::shared_ptr<Conn>> peers_;  // established only
   std::map<NodeId, Dial> dials_;

@@ -1,6 +1,7 @@
 #include "net/event_loop.hpp"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,9 +15,21 @@ using common::Errc;
 using common::make_error;
 using common::Status;
 
-EventLoop::EventLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+EventLoop::EventLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+  }
+}
 
 EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
@@ -65,6 +78,28 @@ void EventLoop::cancel_timer(TimerId id) {
   }
 }
 
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::run_posted_tasks() {
+  // Swap under the lock, run outside it: a task may post again (even to
+  // this loop) without deadlocking. Tasks posted mid-drain run next batch.
+  std::deque<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
 int EventLoop::wait_timeout_ms(std::chrono::milliseconds max_wait) const {
   if (timers_.empty()) {
     return max_wait.count() < 0 ? -1 : static_cast<int>(max_wait.count());
@@ -97,18 +132,40 @@ void EventLoop::poll_once(std::chrono::milliseconds max_wait) {
                              wait_timeout_ms(max_wait));
   if (n < 0 && errno != EINTR) return;
   for (int i = 0; i < n; ++i) {
-    auto it = handlers_.find(events[static_cast<std::size_t>(i)].data.fd);
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wake_fd_, &drained, sizeof(drained));
+      continue;  // the post queue is drained below regardless
+    }
+    auto it = handlers_.find(fd);
     if (it == handlers_.end()) continue;  // unwatched by an earlier handler
     // Keep the handler alive across the call: it may unwatch its own fd.
     const std::shared_ptr<IoHandler> handler = it->second;
     handler->on_ready(events[static_cast<std::size_t>(i)].events);
   }
+  run_posted_tasks();
   run_due_timers();
 }
 
 void EventLoop::run_until(const std::function<bool()>& done) {
   while (!done()) {
-    if (handlers_.empty() && timers_.empty()) return;  // nothing can wake us
+    if (handlers_.empty() && timers_.empty()) {
+      // Nothing watched and no timers: only a cross-thread post could wake
+      // us, and those drain here before we give up on the loop. A task may
+      // post further tasks mid-drain; those keep the loop alive too.
+      run_posted_tasks();
+      bool more_posted;
+      {
+        const std::lock_guard<std::mutex> lock(posted_mutex_);
+        more_posted = !posted_.empty();
+      }
+      if (done() || (handlers_.empty() && timers_.empty() && !more_posted)) {
+        return;
+      }
+      continue;
+    }
     poll_once(std::chrono::milliseconds{-1});
   }
 }

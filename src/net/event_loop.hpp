@@ -3,17 +3,24 @@
 // One EventLoop drives any number of fds and timers on the caller's thread:
 // handlers registered with watch() run when their fd is ready, timers run
 // when their due time passes, and run_until() dispatches both until a
-// predicate says the work is done. Nothing here locks — every method must be
-// called from the loop thread — which is exactly the execution model the
-// sans-IO sessions want: one thread, many sessions, no data races by
-// construction.
+// predicate says the work is done. Watch/modify/timer calls must come from
+// the loop thread — which is exactly the execution model the sans-IO
+// sessions want: one thread, many sessions, no data races by construction.
+//
+// The one cross-thread entry point is post(): any thread may enqueue a task,
+// an eventfd wakes the loop, and the task runs on the loop thread. This is
+// how a sharded federation (one loop per core) injects work into a sibling
+// loop — connection handoffs, straggler teardown, shutdown wakeups — without
+// ever sharing loop state across threads.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -39,7 +46,7 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  bool valid() const noexcept { return epoll_fd_ >= 0; }
+  bool valid() const noexcept { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
 
   /// Registers `fd` for `events`; the handler is kept alive by the loop
   /// while watched (and through its own dispatch even if it unwatches
@@ -59,6 +66,13 @@ class EventLoop {
   }
   void cancel_timer(TimerId id);
 
+  /// Enqueues `fn` to run on the loop thread and wakes the loop. The ONLY
+  /// entry point that is safe from any thread; everything a foreign thread
+  /// wants done to loop-owned state goes through here. Posted tasks never
+  /// count as pending work for run_until's nothing-can-wake-us exit (a task
+  /// already enqueued still runs first).
+  void post(std::function<void()> fn);
+
   /// Dispatches fd and timer events until `done()` returns true (checked
   /// after every dispatch batch) or nothing is left that could ever wake
   /// the loop (no watched fds and no timers).
@@ -70,8 +84,10 @@ class EventLoop {
  private:
   int wait_timeout_ms(std::chrono::milliseconds max_wait) const;
   void run_due_timers();
+  void run_posted_tasks();
 
   int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; watched directly, never in handlers_
   std::map<int, std::shared_ptr<IoHandler>> handlers_;
   struct Timer {
     TimerId id;
@@ -79,6 +95,8 @@ class EventLoop {
   };
   std::multimap<TimePoint, Timer> timers_;
   TimerId next_timer_id_ = 1;
+  std::mutex posted_mutex_;                       // guards posted_ only
+  std::deque<std::function<void()>> posted_;      // cross-thread task queue
 };
 
 }  // namespace gendpr::net

@@ -1,0 +1,232 @@
+#include "net/study_acceptor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/log.hpp"
+#include "wire/frame.hpp"
+
+namespace gendpr::net {
+
+using common::Errc;
+using common::make_error;
+using common::Status;
+
+namespace {
+
+/// A hello that has not completed within this window is a stuck or hostile
+/// connection; holding it longer only ties up acceptor state.
+constexpr std::chrono::milliseconds kHelloTimeout{5000};
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<StudyAcceptor>> StudyAcceptor::create(
+    EventLoop& loop, std::uint16_t port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return make_error(Errc::io_error,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("getsockname: ") + std::strerror(errno));
+  }
+  auto acceptor = std::unique_ptr<StudyAcceptor>(
+      new StudyAcceptor(loop, fd, ntohs(addr.sin_port)));
+  if (Status s = loop.watch(fd, EPOLLIN,
+                            std::make_shared<Acceptor>(acceptor.get()));
+      !s.ok()) {
+    return s.error();
+  }
+  return acceptor;
+}
+
+StudyAcceptor::StudyAcceptor(EventLoop& loop, int listen_fd,
+                             std::uint16_t port)
+    : loop_(&loop), listen_fd_(listen_fd), port_(port) {}
+
+StudyAcceptor::~StudyAcceptor() {
+  for (auto& [fd, pending] : pending_) {
+    if (pending->timeout.has_value()) loop_->cancel_timer(*pending->timeout);
+    loop_->unwatch(fd);
+    ::close(fd);
+    pending->fd = -1;
+  }
+  loop_->unwatch(listen_fd_);
+  ::close(listen_fd_);
+}
+
+void StudyAcceptor::add_study(std::uint64_t study_id, EventLoop& hub_loop,
+                              Hub& hub) {
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_[study_id] = Route{&hub_loop, &hub};
+}
+
+void StudyAcceptor::remove_study(std::uint64_t study_id) {
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_.erase(study_id);
+}
+
+void StudyAcceptor::Acceptor::on_ready(std::uint32_t events) {
+  (void)events;
+  self->on_acceptable();
+}
+
+void StudyAcceptor::on_acceptable() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or error; either way wait for epoll
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    auto pending = std::make_shared<Pending>(this, fd);
+    if (!loop_->watch(fd, EPOLLIN, pending).ok()) {
+      ::close(fd);
+      continue;
+    }
+    accepted_ += 1;
+    pending_[fd] = pending;
+    pending->timeout = loop_->add_timer_after(kHelloTimeout, [this, pending] {
+      pending->timeout.reset();
+      drop_pending(pending);
+    });
+  }
+}
+
+void StudyAcceptor::Pending::on_ready(std::uint32_t events) {
+  if (fd < 0) return;
+  auto it = self->pending_.find(fd);
+  if (it == self->pending_.end()) return;
+  const std::shared_ptr<Pending> self_ref = it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    self->drop_pending(self_ref);
+    return;
+  }
+  self->on_pending_readable(self_ref);
+}
+
+void StudyAcceptor::on_pending_readable(
+    const std::shared_ptr<Pending>& pending) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(pending->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      drop_pending(pending);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop_pending(pending);
+      return;
+    }
+    pending->buffer.insert(pending->buffer.end(), buf,
+                           buf + static_cast<std::size_t>(n));
+    if (try_dispatch(pending)) return;  // routed or dropped either way
+  }
+}
+
+bool StudyAcceptor::try_dispatch(const std::shared_ptr<Pending>& pending) {
+  const common::Bytes& buf = pending->buffer;
+  if (buf.size() < wire::kFrameHeaderBytes) return false;
+  const std::uint32_t frame_len = load_u32(buf.data());
+  if (frame_len < 4) {
+    drop_pending(pending);
+    return true;
+  }
+  const std::size_t payload_size = frame_len - 4;
+  // The first frame must be a hello: empty payload (study 0) or exactly the
+  // study-id bytes. Anything larger is a protocol violation on a raw
+  // socket, cut before buffering a single payload byte further.
+  if (payload_size != 0 && payload_size != wire::kHelloStudyBytes) {
+    drop_pending(pending);
+    return true;
+  }
+  const std::size_t hello_size = wire::kFrameHeaderBytes + payload_size;
+  if (buf.size() < hello_size) return false;
+  const NodeId from = load_u32(buf.data() + 4);
+  std::uint64_t study_id = 0;
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    study_id |= std::uint64_t{buf[wire::kFrameHeaderBytes + i]} << (8 * i);
+  }
+  if (from == kNoNode) {
+    drop_pending(pending);
+    return true;
+  }
+  Route route;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    auto it = routes_.find(study_id);
+    if (it != routes_.end()) route = it->second;
+  }
+  if (route.hub == nullptr) {
+    common::log_warn("acceptor", "hello for unregistered study ", study_id,
+                     " from node ", from);
+    drop_pending(pending);
+    return true;
+  }
+  common::Bytes leftover(buf.begin() + static_cast<std::ptrdiff_t>(hello_size),
+                         buf.end());
+  const int fd = pending->fd;
+  detach_pending(pending);
+  // The handoff must run on the hub's own loop thread; post() is the only
+  // cross-thread door. Captures raw pointers — the caller keeps the hub and
+  // its loop alive until remove_study.
+  Hub* hub = route.hub;
+  route.loop->post([hub, fd, from, leftover = std::move(leftover)]() mutable {
+    hub->adopt_inbound(fd, from, std::move(leftover));
+  });
+  return true;
+}
+
+void StudyAcceptor::detach_pending(const std::shared_ptr<Pending>& pending) {
+  if (pending->timeout.has_value()) {
+    loop_->cancel_timer(*pending->timeout);
+    pending->timeout.reset();
+  }
+  loop_->unwatch(pending->fd);
+  pending_.erase(pending->fd);
+  pending->fd = -1;
+}
+
+void StudyAcceptor::drop_pending(const std::shared_ptr<Pending>& pending) {
+  if (pending->fd < 0) return;
+  const int fd = pending->fd;
+  detach_pending(pending);
+  ::close(fd);
+}
+
+}  // namespace gendpr::net

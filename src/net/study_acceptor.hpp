@@ -1,0 +1,99 @@
+// Long-lived acceptor multiplexing several studies over one port.
+//
+// A federation that runs many assessments concurrently should not need one
+// listening port per study. StudyAcceptor owns the single shared listening
+// socket: it accepts every inbound connection, reads just far enough to
+// decode the hello frame (whose payload names the study — wire/frame.hpp),
+// then hands the established fd plus any bytes read past the hello to the
+// hub registered for that study via the hub loop's post() — so the handoff
+// lands on the hub's own thread even when the study's sessions are sharded
+// onto a different event loop. Connections whose hello names no registered
+// study, is malformed, or does not arrive within the hello timeout are
+// closed.
+//
+// Threading: accepting and hello parsing run on the acceptor's loop thread;
+// add_study/remove_study may be called from any thread (the route table is
+// the only shared state and is mutex-guarded). A registered hub and its
+// loop must stay alive until remove_study returns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "net/event_loop.hpp"
+#include "net/hub.hpp"
+
+namespace gendpr::net {
+
+class StudyAcceptor {
+ public:
+  /// Binds 127.0.0.1:port (port 0 = ephemeral; see port()) on `loop`. The
+  /// loop must outlive the acceptor.
+  static common::Result<std::unique_ptr<StudyAcceptor>> create(
+      EventLoop& loop, std::uint16_t port);
+
+  ~StudyAcceptor();
+
+  StudyAcceptor(const StudyAcceptor&) = delete;
+  StudyAcceptor& operator=(const StudyAcceptor&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Routes connections whose hello names `study_id` to `hub`, delivered by
+  /// posting adopt_inbound onto `hub_loop`. One hub per study.
+  void add_study(std::uint64_t study_id, EventLoop& hub_loop, Hub& hub);
+  /// Stops routing `study_id`; connections already handed off are the
+  /// hub's. Call before destroying the hub.
+  void remove_study(std::uint64_t study_id);
+
+  /// Connections accepted so far (acceptor loop thread only; test hook).
+  std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  struct Acceptor : EventLoop::IoHandler {
+    explicit Acceptor(StudyAcceptor* owner) : self(owner) {}
+    void on_ready(std::uint32_t events) override;
+    StudyAcceptor* self;
+  };
+
+  /// An accepted connection whose hello has not fully arrived yet.
+  struct Pending : EventLoop::IoHandler {
+    Pending(StudyAcceptor* owner, int conn_fd) : self(owner), fd(conn_fd) {}
+    void on_ready(std::uint32_t events) override;
+    StudyAcceptor* self;
+    int fd;
+    common::Bytes buffer;  // raw bytes read so far (hello + leftover)
+    std::optional<EventLoop::TimerId> timeout;
+  };
+
+  struct Route {
+    EventLoop* loop = nullptr;
+    Hub* hub = nullptr;
+  };
+
+  StudyAcceptor(EventLoop& loop, int listen_fd, std::uint16_t port);
+
+  void on_acceptable();
+  void on_pending_readable(const std::shared_ptr<Pending>& pending);
+  /// Tries to parse the hello out of pending->buffer; routes or drops the
+  /// connection once enough bytes arrived. Returns false while incomplete.
+  bool try_dispatch(const std::shared_ptr<Pending>& pending);
+  void drop_pending(const std::shared_ptr<Pending>& pending);
+  /// Detaches the fd from the acceptor loop without closing it.
+  void detach_pending(const std::shared_ptr<Pending>& pending);
+
+  EventLoop* loop_;
+  int listen_fd_;
+  std::uint16_t port_;
+  std::uint64_t accepted_ = 0;
+  std::map<int, std::shared_ptr<Pending>> pending_;
+  std::mutex routes_mutex_;  // guards routes_ only
+  std::map<std::uint64_t, Route> routes_;
+};
+
+}  // namespace gendpr::net

@@ -1,11 +1,13 @@
 // Transport frame codec shared by every socket front-end.
 //
 // A frame is [u32 len][u32 from][payload] (little-endian), where len covers
-// the from field plus the payload. A frame with an empty payload is the
-// "hello" that opens every connection, announcing the sender's node id.
-// TcpHub's blocking reader threads and the epoll hub's incremental reads
-// both parse this layout through FrameDecoder, so the two transports stay
-// wire-compatible by construction.
+// the from field plus the payload. The first frame on every connection is
+// the "hello" announcing the sender's node id: its payload is either empty
+// (study 0, the classic single-study wire format) or exactly 8 bytes of
+// little-endian study id — how a long-lived acceptor multiplexes several
+// concurrent studies over one port. TcpHub's blocking reader threads and
+// the epoll/io_uring hubs' incremental reads all parse this layout through
+// FrameDecoder, so every transport stays wire-compatible by construction.
 #pragma once
 
 #include <array>
@@ -32,6 +34,14 @@ std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
 /// queued nonblocking write wants.
 common::Bytes encode_frame(std::uint32_t from, common::BytesView payload);
 
+/// Payload size of a hello that names a study (8-byte little-endian id).
+inline constexpr std::size_t kHelloStudyBytes = 8;
+
+/// Connection-opening hello from `from`. Study 0 encodes as the classic
+/// empty-payload hello, so single-study deployments stay byte-identical on
+/// the wire.
+common::Bytes encode_hello(std::uint32_t from, std::uint64_t study_id);
+
 /// Incremental frame parser over an arbitrary chunking of the byte stream.
 /// feed() appends raw bytes; next() yields completed frames in order.
 class FrameDecoder {
@@ -39,8 +49,15 @@ class FrameDecoder {
   struct Frame {
     std::uint32_t from = 0;
     common::Bytes payload;
-    /// True for the connection-opening hello (empty payload).
-    bool is_hello() const noexcept { return payload.empty(); }
+    /// True for the connection-opening hello (empty payload or an 8-byte
+    /// study id). Only meaningful for the FIRST frame of a connection;
+    /// established-connection frames are never re-interpreted as hellos.
+    bool is_hello() const noexcept {
+      return payload.empty() || payload.size() == kHelloStudyBytes;
+    }
+    /// Study id carried by a hello: 0 for the classic empty hello, the
+    /// decoded id for an 8-byte hello, nullopt when the frame is no hello.
+    std::optional<std::uint64_t> hello_study() const noexcept;
   };
 
   void feed(common::BytesView data);

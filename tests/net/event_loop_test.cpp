@@ -1,13 +1,16 @@
 // EventLoop unit tests: timer ordering and cancellation, fd readiness
-// dispatch over a pipe, self-unwatch from inside a handler, and run_until's
-// exhaustion guarantee (no fds + no timers = return, not spin).
+// dispatch over a pipe, self-unwatch from inside a handler, run_until's
+// exhaustion guarantee (no fds + no timers = return, not spin), and post()'s
+// cross-thread wakeup and ordering contract.
 #include <gtest/gtest.h>
 
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "net/event_loop.hpp"
@@ -116,6 +119,46 @@ TEST(EventLoopTest, HandlerMayUnwatchItselfFromOnReady) {
   EXPECT_EQ(reader->received.size(), 1u);
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(EventLoopTest, PostedTasksRunInOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  std::vector<int> order;
+  loop.post([&] { order.push_back(1); });
+  loop.post([&] { order.push_back(2); });
+  loop.post([&] { order.push_back(3); });
+  loop.run_until([&] { return order.size() == 3; });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, PostFromAnotherThreadWakesABlockedLoop) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  std::atomic<bool> ran{false};
+  // With no fds and no timers the loop would exit immediately; a pending
+  // far-future timer keeps it blocked in epoll_wait so only the post()'s
+  // wake can get the task through.
+  loop.add_timer_after(std::chrono::seconds(30), [] {});
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    loop.post([&] { ran.store(true); });
+  });
+  loop.run_until([&] { return ran.load(); });
+  producer.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EventLoopTest, PostedTaskMayPostMore) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 3) loop.post(chain);
+  };
+  loop.post(chain);
+  loop.run_until([&] { return depth == 3; });
+  EXPECT_EQ(depth, 3);
 }
 
 }  // namespace

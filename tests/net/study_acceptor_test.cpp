@@ -1,0 +1,174 @@
+// StudyAcceptor tests: one long-lived listening port serves several
+// concurrent studies — the hello's study id routes each inbound connection
+// (plus any bytes that arrived right behind the hello) to that study's hub,
+// across hub flavors; unknown studies and malformed first frames are cut.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/epoll_hub.hpp"
+#include "net/event_loop.hpp"
+#include "net/study_acceptor.hpp"
+#include "net/uring_hub.hpp"
+
+namespace gendpr::net {
+namespace {
+
+common::Bytes bytes_of(std::initializer_list<std::uint8_t> values) {
+  return common::Bytes(values);
+}
+
+TEST(StudyAcceptorTest, RoutesConcurrentStudiesOverOnePort) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto acceptor = StudyAcceptor::create(loop, 0);
+  ASSERT_TRUE(acceptor.ok());
+
+  // Two studies, each with its own receiving hub behind the shared port.
+  // The receivers listen on no port of their own — every connection comes
+  // adopted from the acceptor.
+  auto study7_hub = EpollHub::create_adopt_only(loop, 1);
+  auto study9_hub = EpollHub::create_adopt_only(loop, 1);
+  study7_hub->set_study_id(7);
+  study9_hub->set_study_id(9);
+  acceptor.value()->add_study(7, loop, *study7_hub);
+  acceptor.value()->add_study(9, loop, *study9_hub);
+
+  std::map<NodeId, std::vector<common::Bytes>> at_study7;
+  std::map<NodeId, std::vector<common::Bytes>> at_study9;
+  study7_hub->set_frame_handler([&](NodeId from, common::Bytes payload) {
+    at_study7[from].push_back(std::move(payload));
+  });
+  study9_hub->set_frame_handler([&](NodeId from, common::Bytes payload) {
+    at_study9[from].push_back(std::move(payload));
+  });
+
+  // Both dialers target the SAME port; only their hellos differ. Frames
+  // sent while the dial is in flight land right behind the hello — the
+  // leftover handoff path.
+  auto dialer7 = EpollHub::create(loop, 2, 0);
+  auto dialer9 = EpollHub::create(loop, 3, 0);
+  ASSERT_TRUE(dialer7.ok());
+  ASSERT_TRUE(dialer9.ok());
+  dialer7.value()->set_study_id(7);
+  dialer9.value()->set_study_id(9);
+  dialer7.value()->connect_peer(1, "127.0.0.1", acceptor.value()->port());
+  dialer9.value()->connect_peer(1, "127.0.0.1", acceptor.value()->port());
+  ASSERT_TRUE(dialer7.value()->send(1, bytes_of({70, 71})).ok());
+  ASSERT_TRUE(dialer9.value()->send(1, bytes_of({90})).ok());
+
+  loop.run_until(
+      [&] { return !at_study7[2].empty() && !at_study9[3].empty(); });
+  // Routed by study id, not arrival order — and never cross-delivered.
+  ASSERT_EQ(at_study7[2].size(), 1u);
+  EXPECT_EQ(at_study7[2][0], bytes_of({70, 71}));
+  ASSERT_EQ(at_study9[3].size(), 1u);
+  EXPECT_EQ(at_study9[3][0], bytes_of({90}));
+  EXPECT_TRUE(at_study7[3].empty());
+  EXPECT_TRUE(at_study9[2].empty());
+  EXPECT_EQ(acceptor.value()->accepted(), 2u);
+
+  // The adopted connections are full duplex: the study hubs answer their
+  // peers over the same socket.
+  std::vector<common::Bytes> back_at_7;
+  dialer7.value()->set_frame_handler(
+      [&](NodeId, common::Bytes payload) { back_at_7.push_back(payload); });
+  ASSERT_TRUE(study7_hub->send(2, bytes_of({77})).ok());
+  loop.run_until([&] { return !back_at_7.empty(); });
+  EXPECT_EQ(back_at_7[0], bytes_of({77}));
+
+  acceptor.value()->remove_study(7);
+  acceptor.value()->remove_study(9);
+}
+
+TEST(StudyAcceptorTest, AdoptsIntoAUringHub) {
+  if (!UringHub::available()) {
+    GTEST_SKIP() << "io_uring not available on this kernel";
+  }
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto acceptor = StudyAcceptor::create(loop, 0);
+  ASSERT_TRUE(acceptor.ok());
+  auto receiver = UringHub::create_adopt_only(loop, 1);
+  ASSERT_TRUE(receiver.ok());
+  receiver.value()->set_study_id(5);
+  acceptor.value()->add_study(5, loop, *receiver.value());
+
+  std::vector<common::Bytes> received;
+  receiver.value()->set_frame_handler(
+      [&](NodeId, common::Bytes payload) { received.push_back(payload); });
+  auto dialer = EpollHub::create(loop, 2, 0);
+  ASSERT_TRUE(dialer.ok());
+  dialer.value()->set_study_id(5);
+  dialer.value()->connect_peer(1, "127.0.0.1", acceptor.value()->port());
+  ASSERT_TRUE(dialer.value()->send(1, bytes_of({5, 5})).ok());
+  loop.run_until([&] { return !received.empty(); });
+  EXPECT_EQ(received[0], bytes_of({5, 5}));
+  acceptor.value()->remove_study(5);
+}
+
+TEST(StudyAcceptorTest, UnregisteredStudyConnectionsAreCut) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto acceptor = StudyAcceptor::create(loop, 0);
+  ASSERT_TRUE(acceptor.ok());
+  auto hub = EpollHub::create_adopt_only(loop, 1);
+  hub->set_study_id(7);
+  acceptor.value()->add_study(7, loop, *hub);
+
+  // A dialer for a study nobody registered: the acceptor closes it, the
+  // dialer observes the loss.
+  auto dialer = EpollHub::create(loop, 2, 0);
+  ASSERT_TRUE(dialer.ok());
+  dialer.value()->set_study_id(42);
+  std::vector<NodeId> lost;
+  dialer.value()->set_peer_lost_handler(
+      [&](NodeId peer) { lost.push_back(peer); });
+  dialer.value()->connect_peer(1, "127.0.0.1", acceptor.value()->port());
+  ASSERT_TRUE(dialer.value()->send(1, bytes_of({1})).ok());
+  loop.run_until([&] { return !lost.empty(); });
+  EXPECT_EQ(lost[0], 1u);
+  acceptor.value()->remove_study(7);
+}
+
+TEST(StudyAcceptorTest, MalformedFirstFrameIsCut) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  auto acceptor = StudyAcceptor::create(loop, 0);
+  ASSERT_TRUE(acceptor.ok());
+
+  // A raw client whose first frame is no hello (payload larger than a study
+  // id): the acceptor must cut it before buffering further.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(acceptor.value()->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Frame header claiming a 100-byte payload (frame_len = 104), from = 2.
+  const std::uint8_t bogus[8] = {104, 0, 0, 0, 2, 0, 0, 0};
+  ASSERT_EQ(::send(fd, bogus, sizeof(bogus), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(bogus)));
+
+  // The acceptor closes its side; our blocking-free probe sees EOF.
+  std::uint8_t probe = 0;
+  ssize_t n = -1;
+  loop.run_until([&] {
+    n = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+    return n == 0;
+  });
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace gendpr::net

@@ -15,7 +15,14 @@ at GENDPR_BENCH_SCALE<<1 is the *shape* of the result:
     from);
   * the pruning-ablation invariants hold within the candidate itself:
     prune on/off certify the same SafeSnps, and the pruned row does
-    strictly less derivation and chi-squared work.
+    strictly less derivation and chi-squared work;
+  * the work-conservation ledger balances: pruning may only convert full
+    LR basis derivations (LrMatvecs) into cheaper rank-one delta updates
+    (LrDeltaUpdates), never create or destroy work —
+    on.LrMatvecs + on.LrDeltaUpdates == off.LrMatvecs, and the unpruned
+    sweep performs no delta updates at all;
+  * LD oracle traffic is monotone: the pruned sweep asks members for at
+    most as many LD windows (LdMemberRequests) as the unpruned one.
 
 Exits non-zero with a per-failure message on stderr.
 """
@@ -51,10 +58,42 @@ def check_ablation_invariants(rows, label, failures):
                 f"({on.get(counter)} >= {off.get(counter)})",
                 failures,
             )
-    if not on.get("LdPairsFetched", 0) <= off.get("LdPairsFetched", 0):
+    for counter in ("LdPairsFetched", "LdMemberRequests"):
+        if not on.get(counter, 0) <= off.get(counter, 0):
+            fail(
+                f"{label}: {counter} grew under pruning "
+                f"({on.get(counter)} > {off.get(counter)})",
+                failures,
+            )
+    check_conservation(on, off, label, failures)
+
+
+def check_conservation(on, off, label, failures):
+    """Pruning converts matvecs into delta updates; it never invents work.
+
+    Every combination the unpruned sweep derives with a full basis matvec
+    must appear in the pruned sweep as either a matvec or a rank-one delta
+    update — the ledger on.LrMatvecs + on.LrDeltaUpdates == off.LrMatvecs
+    balances exactly. The unpruned sweep, having nothing to reuse, performs
+    zero delta updates.
+    """
+    required = ("LrMatvecs", "LrDeltaUpdates")
+    if any(row.get(c) is None for row in (on, off) for c in required):
+        fail(f"{label}: conservation counters missing from ablation rows",
+             failures)
+        return
+    if off["LrDeltaUpdates"] != 0:
         fail(
-            f"{label}: LdPairsFetched grew under pruning "
-            f"({on.get('LdPairsFetched')} > {off.get('LdPairsFetched')})",
+            f"{label}: unpruned sweep performed delta updates "
+            f"({off['LrDeltaUpdates']} != 0)",
+            failures,
+        )
+    total_on = on["LrMatvecs"] + on["LrDeltaUpdates"]
+    if total_on != off["LrMatvecs"]:
+        fail(
+            f"{label}: LR work not conserved — pruned matvecs+deltas "
+            f"{on['LrMatvecs']}+{on['LrDeltaUpdates']}={total_on} != "
+            f"unpruned matvecs {off['LrMatvecs']}",
             failures,
         )
 

@@ -47,6 +47,8 @@ struct Args {
   std::optional<double> dp_epsilon;
   std::string out = "release.tsv";
   std::string report;
+  std::string transport;  // "", "in_process", "epoll", "uring"
+  std::uint32_t event_loops = 1;
 };
 
 void usage() {
@@ -59,6 +61,8 @@ void usage() {
                "           --epc-mb M (per-enclave EPC limit, MiB)\n"
                "           --no-prune (disable intersection-aware sweep "
                "pruning)\n"
+               "           --transport in_process|epoll|uring "
+               "--event-loops N\n"
                "  release: assess options plus --out FILE --dp-epsilon E\n");
 }
 
@@ -109,6 +113,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.out = value;
     } else if (flag == "--report") {
       args.report = value;
+    } else if (flag == "--transport") {
+      args.transport = value;
+    } else if (flag == "--event-loops") {
+      args.event_loops =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -211,6 +220,17 @@ common::Result<core::StudyResult> run_assessment(const Args& args,
   spec.seed = args.seed;
   spec.epc_limit = args.epc_limit;
   spec.obs = obs;
+  spec.event_loops = args.event_loops == 0 ? 1 : args.event_loops;
+  if (args.transport == "epoll") {
+    spec.transport = core::FederationSpec::TransportMode::epoll;
+  } else if (args.transport == "uring") {
+    spec.transport = core::FederationSpec::TransportMode::uring;
+  } else if (args.transport == "in_process") {
+    spec.transport = core::FederationSpec::TransportMode::in_process;
+  } else if (!args.transport.empty()) {
+    std::fprintf(stderr, "unknown --transport '%s', using in_process\n",
+                 args.transport.c_str());
+  }
   if (args.conservative) {
     spec.policy = core::CollusionPolicy::conservative();
   } else if (args.f.has_value()) {
