@@ -1,0 +1,218 @@
+// Ablation: what the pooled zero-copy frame path buys over the legacy
+// serialize/envelope/seal/frame chain (DESIGN.md §6.5). Both paths are
+// implemented side by side at the payload sizes the protocol ships — moment
+// responses, count vectors, and LR-matrix tiles — under a counting global
+// allocator, so each benchmark reports the two quantities the design cares
+// about next to its wall time:
+//   CopiesPerFrame  — full passes over the payload bytes (serialize writes
+//                     and explicit copies; the AEAD pass is common to both)
+//   AllocsPerFrame  — heap allocations per steady-state frame
+// The fan-out benches contrast per-peer re-serialization against the
+// serialize-once staging the broadcast path uses.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/bytes.hpp"
+#include "tee/secure_channel.hpp"
+#include "wire/buffer_pool.hpp"
+#include "wire/frame.hpp"
+#include "wire/serialize.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+// GCC pairs these replacements against the inlined defaults and warns about
+// the malloc/free crossover; the pairing here is exactly new->malloc,
+// delete->free, so the warning is a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace gendpr;
+
+struct ChannelFixture {
+  tee::QuotingAuthority authority{std::array<std::uint8_t, 32>{0x42}};
+  tee::Measurement module = tee::measure("gendpr.trusted", "1.0");
+  crypto::Csprng rng_a{std::array<std::uint8_t, 32>{1}};
+  crypto::Csprng rng_b{std::array<std::uint8_t, 32>{2}};
+  tee::SecureChannel sender{authority, {1, module}, module, true, rng_a};
+  tee::SecureChannel receiver{authority, {2, module}, module, false, rng_b};
+
+  ChannelFixture() {
+    if (!sender.complete(receiver.handshake_message()).ok() ||
+        !receiver.complete(sender.handshake_message()).ok()) {
+      std::abort();
+    }
+  }
+};
+
+common::Bytes make_body(std::size_t size) {
+  common::Bytes body(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    body[i] = static_cast<unsigned char>(i * 131 + 7);
+  }
+  return body;
+}
+
+/// The pre-pool chain: serialize to a fresh buffer, copy it behind a type
+/// byte (the envelope), seal into a fresh record, copy once more behind the
+/// frame header. Three payload passes, four allocations, per frame.
+void BM_Wire_LegacyFramePath(benchmark::State& state) {
+  ChannelFixture f;
+  const common::Bytes payload = make_body(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t allocs = 0;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    common::Bytes body(payload);  // serialize pass 1: message -> bytes
+    common::Bytes enveloped;      // pass 2: type byte + body copy
+    enveloped.reserve(1 + body.size());
+    enveloped.push_back(0x05);
+    enveloped.insert(enveloped.end(), body.begin(), body.end());
+    auto record = f.sender.seal(enveloped);  // AEAD into a fresh record
+    if (!record.ok()) {
+      state.SkipWithError("seal failed");
+      return;
+    }
+    // Pass 3: the whole record again, behind the frame header.
+    common::Bytes frame = wire::encode_frame(
+        1, common::BytesView(record.value().data(), record.value().size()));
+    benchmark::DoNotOptimize(frame.data());
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    frames += 1;
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.counters["CopiesPerFrame"] = 3.0;
+  state.counters["AllocsPerFrame"] =
+      frames ? static_cast<double>(allocs) / static_cast<double>(frames) : 0.0;
+}
+BENCHMARK(BM_Wire_LegacyFramePath)
+    ->Arg(56)         // one moments response
+    ->Arg(4096)       // count vector, 1,000 SNPs
+    ->Arg(64 << 10)   // phase-2 tile
+    ->Arg(1 << 20)    // LR matrix slice
+    ->Arg(4 << 20);   // LR matrix scale
+
+/// The pooled chain: serialize once into the buffer's final wire position,
+/// seal in place, stamp the header over the reserved headroom. One payload
+/// pass; the warm pool makes the steady state allocation-free.
+void BM_Wire_PooledFramePath(benchmark::State& state) {
+  ChannelFixture f;
+  const common::Bytes payload = make_body(static_cast<std::size_t>(state.range(0)));
+  const common::BytesView payload_view(payload.data(), payload.size());
+  wire::BufferPool pool(4);
+  std::uint64_t allocs = 0;
+  std::uint64_t frames = 0;
+  const auto send_one = [&](bool measured) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    wire::WireBuffer buf =
+        wire::WireBuffer::for_record(pool, 1 + payload_view.size());
+    wire::Writer w(std::move(buf).release_storage());
+    w.u8(0x05);              // envelope type byte, in place
+    w.raw(payload_view);     // the single payload pass
+    buf.adopt_storage(std::move(w).take());
+    if (!f.sender.seal_in_place(buf).ok()) {
+      state.SkipWithError("seal failed");
+      return;
+    }
+    buf.finish_frame(1);
+    benchmark::DoNotOptimize(buf.frame().data());
+    if (measured) {
+      allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+      frames += 1;
+    }
+  };
+  for (int i = 0; i < 8; ++i) send_one(false);  // warm the pool
+  for (auto _ : state) send_one(true);
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.counters["CopiesPerFrame"] = 1.0;
+  state.counters["AllocsPerFrame"] =
+      frames ? static_cast<double>(allocs) / static_cast<double>(frames) : 0.0;
+}
+BENCHMARK(BM_Wire_PooledFramePath)
+    ->Arg(56)
+    ->Arg(4096)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20);
+
+/// Broadcast to G-1 peers, re-serializing per recipient (the old loop).
+void BM_Wire_FanoutReserialize(benchmark::State& state) {
+  ChannelFixture f;
+  constexpr int kPeers = 7;  // G = 8 star
+  const common::Bytes payload = make_body(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int peer = 0; peer < kPeers; ++peer) {
+      common::Bytes enveloped;
+      enveloped.reserve(1 + payload.size());
+      enveloped.push_back(0x05);
+      enveloped.insert(enveloped.end(), payload.begin(), payload.end());
+      auto record = f.sender.seal(enveloped);
+      if (!record.ok()) {
+        state.SkipWithError("seal failed");
+        return;
+      }
+      benchmark::DoNotOptimize(record.value().data());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * kPeers);
+  state.counters["SerializationsPerBroadcast"] = kPeers;
+}
+BENCHMARK(BM_Wire_FanoutReserialize)->Arg(4096)->Arg(64 << 10);
+
+/// Broadcast to G-1 peers off one staged body: serialize exactly once, pay
+/// only the per-peer AEAD pass (the seal_from path the sessions use).
+void BM_Wire_FanoutSerializeOnce(benchmark::State& state) {
+  ChannelFixture f;
+  constexpr int kPeers = 7;
+  const common::Bytes payload = make_body(static_cast<std::size_t>(state.range(0)));
+  wire::BufferPool pool(4);
+  for (auto _ : state) {
+    wire::Writer w;
+    w.reserve(1 + payload.size());
+    w.u8(0x05);
+    w.raw(common::BytesView(payload.data(), payload.size()));
+    const common::Bytes staged = std::move(w).take();
+    const common::BytesView staged_view(staged.data(), staged.size());
+    for (int peer = 0; peer < kPeers; ++peer) {
+      wire::WireBuffer record;
+      if (!f.sender.seal_from(pool, staged_view, record).ok()) {
+        state.SkipWithError("seal failed");
+        return;
+      }
+      record.finish_frame(1);
+      benchmark::DoNotOptimize(record.frame().data());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * kPeers);
+  state.counters["SerializationsPerBroadcast"] = 1;
+}
+BENCHMARK(BM_Wire_FanoutSerializeOnce)->Arg(4096)->Arg(64 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "net/uring_hub.hpp"
 #include "tee/attestation.hpp"
+#include "wire/buffer_pool.hpp"
 
 namespace gendpr::core {
 
@@ -127,6 +128,12 @@ Result<StudyResult> run_event_loop_federation(
     return *loops[loop_index_of(gdo, num_loops)];
   };
 
+  // One buffer pool for the whole run: sessions serialize records into it,
+  // hubs return queued frame storage to it after the kernel writes. It is
+  // thread-safe, so sessions sharded across loops share it freely, and it
+  // must outlive every hub and session below.
+  wire::BufferPool run_pool;
+
   // All loop-owned objects (hubs, sessions, drivers) are built and wired on
   // this thread BEFORE any loop thread starts; thread creation publishes
   // them. After that, each object is touched only by its loop's thread.
@@ -134,6 +141,7 @@ Result<StudyResult> run_event_loop_federation(
       make_hub(transport, loop_of(leader_gdo), node_id_of(leader_gdo));
   if (!leader_hub_result.ok()) return leader_hub_result.error();
   std::unique_ptr<net::Hub> leader_hub = std::move(leader_hub_result).take();
+  leader_hub->set_buffer_pool(&run_pool);
 
   LeaderSession leader(*platforms[leader_gdo], leader_gdo, spec.num_gdos,
                        cohort.cases.slice_rows(ranges[leader_gdo].first,
@@ -142,6 +150,7 @@ Result<StudyResult> run_event_loop_federation(
   leader.set_receive_timeout(receive_timeout);
   leader.set_observability(spec.obs, study_span);
   leader.set_pool(pool);
+  leader.set_wire_pool(&run_pool);
 
   std::vector<std::uint32_t> member_gdos;
   std::vector<std::unique_ptr<net::Hub>> member_hubs;
@@ -152,12 +161,14 @@ Result<StudyResult> run_event_loop_federation(
     if (!hub.ok()) return hub.error();
     member_gdos.push_back(g);
     member_hubs.push_back(std::move(hub).take());
+    member_hubs.back()->set_buffer_pool(&run_pool);
     members.push_back(std::make_unique<MemberSession>(
         *platforms[g], g, leader_gdo,
         cohort.cases.slice_rows(ranges[g].first, ranges[g].second)));
     members.back()->set_receive_timeout(receive_timeout);
     members.back()->set_observability(spec.obs);
     members.back()->set_pool(pool);
+    members.back()->set_wire_pool(&run_pool);
   }
   // A member that failed to provision (EPC limit) would never handshake and
   // the leader would wait forever - surface the error up front.
@@ -268,6 +279,35 @@ Result<StudyResult> run_event_loop_federation(
       spec.obs->metrics.max_gauge(
           "net.loop" + std::to_string(i) + ".peak_queued_bytes",
           static_cast<double>(loop_peaks[i]));
+    }
+
+    // Zero-copy path accounting: pool behavior plus per-hub wire stats.
+    // copies_per_frame divides every payload copy the compatibility shims
+    // performed by the frames actually queued — 0.0 means the pooled path
+    // carried every data frame without an intermediate copy.
+    std::uint64_t frames_sent = 0;
+    std::uint64_t writev_batches = 0;
+    std::uint64_t dial_dropped = 0;
+    const auto harvest_wire = [&](const net::Hub& hub) {
+      const net::Hub::WireStats& ws = hub.wire_stats();
+      frames_sent += ws.frames_sent;
+      writev_batches += ws.writev_batches;
+      dial_dropped += ws.dial_dropped_frames;
+    };
+    harvest_wire(*leader_hub);
+    for (const auto& hub : member_hubs) harvest_wire(*hub);
+    const wire::BufferPool::Stats pool_stats = run_pool.stats();
+    spec.obs->metrics.add_counter("net.pool.hits", pool_stats.hits);
+    spec.obs->metrics.add_counter("net.pool.misses", pool_stats.misses);
+    spec.obs->metrics.max_gauge(
+        "net.pool.outstanding",
+        static_cast<double>(pool_stats.peak_outstanding));
+    spec.obs->metrics.add_counter("wire.writev_batches", writev_batches);
+    spec.obs->metrics.add_counter("net.dial.dropped_frames", dial_dropped);
+    if (frames_sent > 0) {
+      spec.obs->metrics.set_gauge("wire.copies_per_frame",
+                                  static_cast<double>(pool_stats.copies) /
+                                      static_cast<double>(frames_sent));
     }
   }
 

@@ -14,6 +14,28 @@ common::Error trailing() {
   return make_error(Errc::bad_message, "trailing bytes after message");
 }
 
+/// Encoded-size helpers mirroring wire::Writer's formats, so every
+/// encoded_size() is exact — serialization reserves once and never regrows.
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t vec_u32_size(const std::vector<std::uint32_t>& v) {
+  return varint_size(v.size()) + 4 * v.size();
+}
+
+std::size_t vec_f64_size(const std::vector<double>& v) {
+  return varint_size(v.size()) + 8 * v.size();
+}
+
+/// 4 f64 fields + u32 tile width + u8 prune flag (see write_config).
+constexpr std::size_t kConfigBytes = 4 * 8 + 4 + 1;
+
 void write_config(wire::Writer& w, const StudyConfig& config) {
   w.f64(config.maf_cutoff);
   w.f64(config.ld_cutoff);
@@ -41,6 +63,10 @@ Result<StudyConfig> read_config(wire::Reader& r) {
   return config;
 }
 
+std::size_t matrix_size(const stats::LrMatrix& m) {
+  return 4 + 4 + 8 * m.values().size();
+}
+
 void write_matrix(wire::Writer& w, const stats::LrMatrix& m) {
   w.u32(static_cast<std::uint32_t>(m.rows()));
   w.u32(static_cast<std::uint32_t>(m.cols()));
@@ -64,10 +90,26 @@ Result<stats::LrMatrix> read_matrix(wire::Reader& r) {
   return m;
 }
 
+/// One exact-sized serialization: reserve encoded_size(), write, take.
+template <typename M>
+common::Bytes serialize_exact(const M& msg) {
+  wire::Writer w;
+  w.reserve(msg.encoded_size());
+  msg.serialize_into(w);
+  return std::move(w).take();
+}
+
 }  // namespace
 
-common::Bytes StudyAnnounce::serialize() const {
-  wire::Writer w;
+std::size_t StudyAnnounce::encoded_size() const {
+  std::size_t size = 8 + 4 + kConfigBytes + varint_size(combinations.size());
+  for (const auto& combination : combinations) {
+    size += vec_u32_size(combination);
+  }
+  return size;
+}
+
+void StudyAnnounce::serialize_into(wire::Writer& w) const {
   w.u64(study_id);
   w.u32(num_snps);
   write_config(w, config);
@@ -75,8 +117,9 @@ common::Bytes StudyAnnounce::serialize() const {
   for (const auto& combination : combinations) {
     w.vector_u32(combination);
   }
-  return std::move(w).take();
 }
+
+common::Bytes StudyAnnounce::serialize() const { return serialize_exact(*this); }
 
 Result<StudyAnnounce> StudyAnnounce::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -101,13 +144,17 @@ Result<StudyAnnounce> StudyAnnounce::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes SummaryStats::serialize() const {
-  wire::Writer w;
+std::size_t SummaryStats::encoded_size() const {
+  return vec_u32_size(case_counts) + 4 + 4;
+}
+
+void SummaryStats::serialize_into(wire::Writer& w) const {
   w.vector_u32(case_counts);
   w.u32(n_case);
   w.u32(tile_index);
-  return std::move(w).take();
 }
+
+common::Bytes SummaryStats::serialize() const { return serialize_exact(*this); }
 
 Result<SummaryStats> SummaryStats::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -125,11 +172,15 @@ Result<SummaryStats> SummaryStats::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes Phase1Result::serialize() const {
-  wire::Writer w;
-  w.vector_u32(retained);
-  return std::move(w).take();
+std::size_t Phase1Result::encoded_size() const {
+  return vec_u32_size(retained);
 }
+
+void Phase1Result::serialize_into(wire::Writer& w) const {
+  w.vector_u32(retained);
+}
+
+common::Bytes Phase1Result::serialize() const { return serialize_exact(*this); }
 
 Result<Phase1Result> Phase1Result::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -141,12 +192,16 @@ Result<Phase1Result> Phase1Result::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes MomentsRequest::serialize() const {
-  wire::Writer w;
+std::size_t MomentsRequest::encoded_size() const { return 3 * 4; }
+
+void MomentsRequest::serialize_into(wire::Writer& w) const {
   w.u32(request_id);
   w.u32(snp_a);
   w.u32(snp_b);
-  return std::move(w).take();
+}
+
+common::Bytes MomentsRequest::serialize() const {
+  return serialize_exact(*this);
 }
 
 Result<MomentsRequest> MomentsRequest::deserialize(common::BytesView data) {
@@ -161,8 +216,9 @@ Result<MomentsRequest> MomentsRequest::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes MomentsResponse::serialize() const {
-  wire::Writer w;
+std::size_t MomentsResponse::encoded_size() const { return 4 + 5 * 8 + 8; }
+
+void MomentsResponse::serialize_into(wire::Writer& w) const {
   w.u32(request_id);
   w.f64(moments.mu_x);
   w.f64(moments.mu_y);
@@ -170,7 +226,10 @@ common::Bytes MomentsResponse::serialize() const {
   w.f64(moments.mu_x2);
   w.f64(moments.mu_y2);
   w.u64(moments.n);
-  return std::move(w).take();
+}
+
+common::Bytes MomentsResponse::serialize() const {
+  return serialize_exact(*this);
 }
 
 Result<MomentsResponse> MomentsResponse::deserialize(common::BytesView data) {
@@ -208,8 +267,17 @@ std::vector<double> Phase2Result::combination_case_freq(
   return freq;
 }
 
-common::Bytes Phase2Result::serialize() const {
-  wire::Writer w;
+std::size_t Phase2Result::encoded_size() const {
+  std::size_t size = vec_u32_size(retained) + vec_f64_size(reference_freq) +
+                     varint_size(case_counts_per_gdo.size());
+  for (const auto& counts : case_counts_per_gdo) {
+    size += vec_u32_size(counts);
+  }
+  size += vec_u32_size(n_case_per_gdo) + vec_u32_size(dead_gdos) + 4 + 4;
+  return size;
+}
+
+void Phase2Result::serialize_into(wire::Writer& w) const {
   w.vector_u32(retained);
   w.vector_f64(reference_freq);
   w.varint(case_counts_per_gdo.size());
@@ -220,8 +288,9 @@ common::Bytes Phase2Result::serialize() const {
   w.vector_u32(dead_gdos);
   w.u32(tile_index);
   w.u32(num_tiles);
-  return std::move(w).take();
 }
+
+common::Bytes Phase2Result::serialize() const { return serialize_exact(*this); }
 
 Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -262,16 +331,24 @@ Result<Phase2Result> Phase2Result::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes LrMatrices::serialize() const {
-  wire::Writer w;
+std::size_t LrMatrices::encoded_size() const {
+  std::size_t size = varint_size(entries.size());
+  for (const Entry& entry : entries) {
+    size += 4 + matrix_size(entry.matrix);
+  }
+  return size + 4;
+}
+
+void LrMatrices::serialize_into(wire::Writer& w) const {
   w.varint(entries.size());
   for (const Entry& entry : entries) {
     w.u32(entry.combination_id);
     write_matrix(w, entry.matrix);
   }
   w.u32(tile_index);
-  return std::move(w).take();
 }
+
+common::Bytes LrMatrices::serialize() const { return serialize_exact(*this); }
 
 Result<LrMatrices> LrMatrices::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -295,12 +372,16 @@ Result<LrMatrices> LrMatrices::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes Phase3Result::serialize() const {
-  wire::Writer w;
+std::size_t Phase3Result::encoded_size() const {
+  return vec_u32_size(safe) + 8;
+}
+
+void Phase3Result::serialize_into(wire::Writer& w) const {
   w.vector_u32(safe);
   w.f64(final_power);
-  return std::move(w).take();
 }
+
+common::Bytes Phase3Result::serialize() const { return serialize_exact(*this); }
 
 Result<Phase3Result> Phase3Result::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -315,12 +396,16 @@ Result<Phase3Result> Phase3Result::deserialize(common::BytesView data) {
   return msg;
 }
 
-common::Bytes AbortNotice::serialize() const {
-  wire::Writer w;
+std::size_t AbortNotice::encoded_size() const {
+  return 4 + varint_size(reason.size()) + reason.size();
+}
+
+void AbortNotice::serialize_into(wire::Writer& w) const {
   w.u32(failed_gdo);
   w.string(reason);
-  return std::move(w).take();
 }
+
+common::Bytes AbortNotice::serialize() const { return serialize_exact(*this); }
 
 Result<AbortNotice> AbortNotice::deserialize(common::BytesView data) {
   wire::Reader r(data);
@@ -343,7 +428,7 @@ common::Bytes envelope(MsgType type, common::BytesView body) {
   return out;
 }
 
-Result<std::pair<MsgType, common::Bytes>> open_envelope(
+Result<std::pair<MsgType, common::BytesView>> open_envelope(
     common::BytesView data) {
   if (data.empty()) {
     return make_error(Errc::bad_message, "empty envelope");
@@ -353,8 +438,7 @@ Result<std::pair<MsgType, common::Bytes>> open_envelope(
       tag > static_cast<std::uint8_t>(MsgType::abort_notice)) {
     return make_error(Errc::bad_message, "unknown message type");
   }
-  return std::make_pair(static_cast<MsgType>(tag),
-                        common::Bytes(data.begin() + 1, data.end()));
+  return std::make_pair(static_cast<MsgType>(tag), data.subspan(1));
 }
 
 }  // namespace gendpr::core

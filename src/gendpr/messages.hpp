@@ -16,6 +16,7 @@
 #include "gendpr/config.hpp"
 #include "stats/ld.hpp"
 #include "stats/lr_test.hpp"
+#include "wire/serialize.hpp"
 
 namespace gendpr::core {
 
@@ -41,6 +42,8 @@ struct StudyAnnounce {
   StudyConfig config;
   std::vector<std::vector<std::uint32_t>> combinations;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<StudyAnnounce> deserialize(common::BytesView data);
 };
@@ -57,6 +60,8 @@ struct SummaryStats {
   /// Which tile of the announce-derived TilePlan `case_counts` covers.
   std::uint32_t tile_index = 0;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<SummaryStats> deserialize(common::BytesView data);
 };
@@ -65,6 +70,8 @@ struct SummaryStats {
 struct Phase1Result {
   std::vector<std::uint32_t> retained;  // L'
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<Phase1Result> deserialize(common::BytesView data);
 };
@@ -77,6 +84,8 @@ struct MomentsRequest {
   std::uint32_t snp_a = 0;
   std::uint32_t snp_b = 0;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<MomentsRequest> deserialize(common::BytesView data);
 };
@@ -86,6 +95,8 @@ struct MomentsResponse {
   std::uint32_t request_id = 0;
   stats::LdMoments moments;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<MomentsResponse> deserialize(common::BytesView data);
 };
@@ -129,6 +140,8 @@ struct Phase2Result {
   std::vector<double> combination_case_freq(
       const std::vector<std::uint32_t>& members) const;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<Phase2Result> deserialize(common::BytesView data);
 };
@@ -148,6 +161,8 @@ struct LrMatrices {
   std::vector<Entry> entries;
   std::uint32_t tile_index = 0;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<LrMatrices> deserialize(common::BytesView data);
 };
@@ -158,6 +173,8 @@ struct Phase3Result {
   std::vector<std::uint32_t> safe;  // L_safe
   double final_power = 0.0;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<Phase3Result> deserialize(common::BytesView data);
 };
@@ -171,15 +188,49 @@ struct AbortNotice {
   std::uint32_t failed_gdo = kNoFailedGdo;
   std::string reason;
 
+  std::size_t encoded_size() const;
+  void serialize_into(wire::Writer& w) const;
   common::Bytes serialize() const;
   static common::Result<AbortNotice> deserialize(common::BytesView data);
+};
+
+/// Every message exposes the same three-method surface: encoded_size()
+/// returns the exact byte count serialize_into() will append, so the send
+/// path can reserve once (or serialize straight into a pooled wire buffer)
+/// and never regrow; serialize() is the owning convenience over the pair.
+
+/// Type-erased reference to any protocol message (anything with
+/// encoded_size()/serialize_into()). Lets the session send paths accept
+/// every message type through one non-template signature while keeping the
+/// message structs plain aggregates with no common base.
+class MessageRef {
+ public:
+  template <typename M>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  MessageRef(const M& msg) noexcept
+      : obj_(&msg),
+        size_([](const void* p) {
+          return static_cast<const M*>(p)->encoded_size();
+        }),
+        write_([](const void* p, wire::Writer& w) {
+          static_cast<const M*>(p)->serialize_into(w);
+        }) {}
+
+  std::size_t encoded_size() const { return size_(obj_); }
+  void serialize_into(wire::Writer& w) const { write_(obj_, w); }
+
+ private:
+  const void* obj_;
+  std::size_t (*size_)(const void*);
+  void (*write_)(const void*, wire::Writer&);
 };
 
 /// Frames a message with its type tag.
 common::Bytes envelope(MsgType type, common::BytesView body);
 
-/// Splits an envelope into its type and body view.
-common::Result<std::pair<MsgType, common::Bytes>> open_envelope(
+/// Splits an envelope into its type and body view. The body aliases `data`;
+/// it stays valid exactly as long as the caller's buffer does.
+common::Result<std::pair<MsgType, common::BytesView>> open_envelope(
     common::BytesView data);
 
 }  // namespace gendpr::core

@@ -33,9 +33,12 @@ void pump_blocking(ProtocolSession& session, net::Transport& network,
       case SessionWants::send: {
         std::vector<SendFailure> failures;
         for (OutFrame& frame : session.take_output()) {
-          const Status sent = network.send(node_id_of(self_gdo),
-                                           node_id_of(frame.to_gdo),
-                                           std::move(frame.payload));
+          // The in-process transport moves owning payload bytes between
+          // mailboxes; peel the pooled buffer's header headroom off (one
+          // memmove — the price of the unframed legacy path).
+          const Status sent =
+              network.send(node_id_of(self_gdo), node_id_of(frame.to_gdo),
+                           std::move(frame.payload).take_payload());
           if (!sent.ok()) {
             failures.push_back(SendFailure{frame.to_gdo, sent.error()});
           }

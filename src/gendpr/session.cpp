@@ -24,6 +24,32 @@ bool is_peer_loss(const common::Error& error) {
   return error.code == Errc::unknown_peer || error.code == Errc::io_error;
 }
 
+/// Serializes `msg` with its envelope type byte straight into a pooled
+/// record buffer (at its final wire position, after the frame/seq headroom)
+/// and seals it in place: one serialization, zero payload copies.
+common::Status seal_enveloped(tee::SecureChannel& channel,
+                              wire::BufferPool& pool, MsgType type,
+                              MessageRef msg, wire::WireBuffer& out) {
+  out = wire::WireBuffer::for_record(pool, 1 + msg.encoded_size());
+  wire::Writer w(std::move(out).release_storage());
+  w.u8(static_cast<std::uint8_t>(type));
+  msg.serialize_into(w);
+  out.adopt_storage(std::move(w).take());
+  return channel.seal_in_place(out);
+}
+
+/// Serializes `msg` once for fan-out; every recipient then costs only a
+/// seal_from (AEAD pass into its own pooled buffer).
+StagedMessage stage_envelope(MsgType type, MessageRef msg) {
+  StagedMessage staging;
+  wire::Writer w;
+  w.reserve(1 + msg.encoded_size());
+  w.u8(static_cast<std::uint8_t>(type));
+  msg.serialize_into(w);
+  staging.bytes = std::move(w).take();
+  return staging;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -66,8 +92,34 @@ void ProtocolSession::on_frame(std::uint32_t from_gdo, common::Bytes payload,
   now_ = now;
   input_queue_.push_back(InFrame{from_gdo, std::move(payload)});
   if (wants_ != SessionWants::recv) return;  // buffered like a mailbox
-  Event event{Event::Kind::frame, input_queue_.front().from_gdo,
-              std::move(input_queue_.front().payload)};
+  deliver_queued_frame();
+}
+
+void ProtocolSession::on_frame(std::uint32_t from_gdo,
+                               common::BytesView payload, TimePoint now) {
+  now_ = now;
+  if (wants_ == SessionWants::recv && input_queue_.empty()) {
+    // Direct handoff: the protocol body consumes the view (decrypts or
+    // parses it) before this call returns, so no owning copy is needed.
+    Event event;
+    event.kind = Event::Kind::frame;
+    event.from_gdo = from_gdo;
+    event.payload = payload;
+    deliver_event(std::move(event));
+    return;
+  }
+  input_queue_.push_back(
+      InFrame{from_gdo, common::Bytes(payload.begin(), payload.end())});
+  if (wants_ != SessionWants::recv) return;
+  deliver_queued_frame();
+}
+
+void ProtocolSession::deliver_queued_frame() {
+  Event event;
+  event.kind = Event::Kind::frame;
+  event.from_gdo = input_queue_.front().from_gdo;
+  event.owned = std::move(input_queue_.front().payload);
+  event.payload = common::BytesView(event.owned.data(), event.owned.size());
   input_queue_.pop_front();
   deliver_event(std::move(event));
 }
@@ -76,14 +128,14 @@ void ProtocolSession::on_tick(TimePoint now) {
   now_ = now;
   if (wants_ != SessionWants::recv) return;
   if (!wait_deadline_.has_value() || now < *wait_deadline_) return;
-  deliver_event(Event{Event::Kind::timeout, 0, {}});
+  deliver_event(Event{Event::Kind::timeout, 0, {}, {}});
 }
 
 void ProtocolSession::on_peer_lost(std::uint32_t gdo_index, TimePoint now) {
   now_ = now;
   lost_peers_.insert(gdo_index);
   if (wants_ == SessionWants::recv) {
-    deliver_event(Event{Event::Kind::wake, 0, {}});
+    deliver_event(Event{Event::Kind::wake, 0, {}, {}});
   } else {
     lost_wake_pending_ = true;
   }
@@ -93,7 +145,7 @@ void ProtocolSession::on_transport_closed(TimePoint now) {
   now_ = now;
   closed_ = true;
   if (wants_ == SessionWants::recv) {
-    deliver_event(Event{Event::Kind::closed, 0, {}});
+    deliver_event(Event{Event::Kind::closed, 0, {}, {}});
   }
 }
 
@@ -133,8 +185,16 @@ std::vector<OutFrame> ProtocolSession::step(std::vector<InFrame> frames,
   return emitted;
 }
 
-void ProtocolSession::queue_frame(std::uint32_t to_gdo, common::Bytes payload) {
+void ProtocolSession::queue_frame(std::uint32_t to_gdo,
+                                  wire::WireBuffer payload) {
   outbox_.push_back(OutFrame{to_gdo, std::move(payload)});
+}
+
+void ProtocolSession::queue_frame(std::uint32_t to_gdo, common::Bytes payload) {
+  queue_frame(to_gdo,
+              wire::WireBuffer::from_payload(
+                  wire_pool(),
+                  common::BytesView(payload.data(), payload.size())));
 }
 
 std::set<std::uint32_t> ProtocolSession::take_lost_peers() {
@@ -151,18 +211,22 @@ void ProtocolSession::finish(common::Status status) noexcept {
 
 bool ProtocolSession::input_ready() noexcept {
   if (!input_queue_.empty()) {
-    pending_event_ = Event{Event::Kind::frame, input_queue_.front().from_gdo,
-                           std::move(input_queue_.front().payload)};
+    Event event;
+    event.kind = Event::Kind::frame;
+    event.from_gdo = input_queue_.front().from_gdo;
+    event.owned = std::move(input_queue_.front().payload);
+    event.payload = common::BytesView(event.owned.data(), event.owned.size());
     input_queue_.pop_front();
+    pending_event_ = std::move(event);
     return true;
   }
   if (lost_wake_pending_) {
     lost_wake_pending_ = false;
-    pending_event_ = Event{Event::Kind::wake, 0, {}};
+    pending_event_ = Event{Event::Kind::wake, 0, {}, {}};
     return true;
   }
   if (closed_) {
-    pending_event_ = Event{Event::Kind::closed, 0, {}};
+    pending_event_ = Event{Event::Kind::closed, 0, {}, {}};
     return true;
   }
   return false;
@@ -222,11 +286,15 @@ common::Error MemberSession::wait_error(bool timed_out,
                     std::string("mailbox closed ") + where);
 }
 
-common::Task<Status> MemberSession::send_reply(MsgType type,
-                                               common::BytesView body) {
-  auto record = channel_->seal(envelope(type, body));
-  if (!record.ok()) co_return record.error();
-  queue_frame(leader_gdo_, std::move(record).take());
+common::Task<Status> MemberSession::send_reply(MsgType type, MessageRef msg) {
+  wire::WireBuffer record;
+  if (Status s = seal_enveloped(*channel_, wire_pool(), type, msg, record);
+      !s.ok()) {
+    co_return s;
+  }
+  obs::add_counter(obs_, "wire.serializations");
+  obs::add_counter(obs_, "wire.records_sent");
+  queue_frame(leader_gdo_, std::move(record));
   const std::vector<SendFailure> failures = co_await flush_sends();
   if (!failures.empty()) co_return failures.front().error;
   co_return Status::success();
@@ -271,7 +339,7 @@ ProtocolSession::Main MemberSession::run_protocol() {
     auto opened = open_envelope(plaintext_scratch);
     if (!opened.ok()) co_return opened.error();
     const MsgType type = opened.value().first;
-    const common::Bytes& body = opened.value().second;
+    const common::BytesView body = opened.value().second;
     obs::add_counter(obs_,
                      "member." + std::to_string(gdo_index_) + ".requests");
 
@@ -293,8 +361,7 @@ ProtocolSession::Main MemberSession::run_protocol() {
           const SummaryStats stats =
               enclave_.make_summary_tile(plan.begin(k), plan.end(k), k);
           compute_ms_ += compute_watch.elapsed_ms();
-          if (Status s = co_await send_reply(MsgType::summary_stats,
-                                             stats.serialize());
+          if (Status s = co_await send_reply(MsgType::summary_stats, stats);
               !s.ok()) {
             co_return s;
           }
@@ -317,7 +384,7 @@ ProtocolSession::Main MemberSession::run_protocol() {
         compute_ms_ += compute_watch.elapsed_ms();
         if (!response.ok()) co_return response.error();
         if (Status s = co_await send_reply(MsgType::moments_response,
-                                           response.value().serialize());
+                                           response.value());
             !s.ok()) {
           co_return s;
         }
@@ -349,7 +416,7 @@ ProtocolSession::Main MemberSession::run_protocol() {
         obs::max_gauge(obs_, "epc.member.peak_bytes",
                        static_cast<double>(enclave_.platform().epc().peak()));
         if (Status s = co_await send_reply(MsgType::lr_matrices,
-                                           matrices.value().serialize());
+                                           matrices.value());
             !s.ok()) {
           co_return s;
         }
@@ -495,15 +562,20 @@ common::Task<Status> LeaderSession::establish_channels() {
 }
 
 common::Task<Status> LeaderSession::send_record(std::uint32_t gdo_index,
-                                                MsgType type,
-                                                common::BytesView body) {
+                                                MsgType type, MessageRef msg) {
   if (channels_[gdo_index] == nullptr) {
     co_return make_error(Errc::unknown_peer,
                          "no channel to gdo " + std::to_string(gdo_index));
   }
-  auto record = channels_[gdo_index]->seal(envelope(type, body));
-  if (!record.ok()) co_return record.error();
-  queue_frame(gdo_index, std::move(record).take());
+  wire::WireBuffer record;
+  if (Status s = seal_enveloped(*channels_[gdo_index], wire_pool(), type, msg,
+                                record);
+      !s.ok()) {
+    co_return s;
+  }
+  obs::add_counter(obs_, "wire.serializations");
+  obs::add_counter(obs_, "wire.records_sent");
+  queue_frame(gdo_index, std::move(record));
   const std::vector<SendFailure> failures = co_await flush_sends();
   for (const SendFailure& failure : failures) {
     if (failure.to_gdo == gdo_index) co_return Status(failure.error);
@@ -511,11 +583,44 @@ common::Task<Status> LeaderSession::send_record(std::uint32_t gdo_index,
   co_return Status::success();
 }
 
-common::Task<Status> LeaderSession::broadcast(MsgType type,
-                                              common::BytesView body) {
+common::Task<Status> LeaderSession::send_staged(std::uint32_t gdo_index,
+                                                StagedMessage& staging) {
+  if (channels_[gdo_index] == nullptr) {
+    co_return make_error(Errc::unknown_peer,
+                         "no channel to gdo " + std::to_string(gdo_index));
+  }
+  wire::WireBuffer record;
+  if (Status s = channels_[gdo_index]->seal_from(
+          wire_pool(),
+          common::BytesView(staging.bytes.data(), staging.bytes.size()),
+          record);
+      !s.ok()) {
+    co_return s;
+  }
+  // The first recipient pays for the (single) serialization; every further
+  // one is a pure fan-out reuse. Counted lazily at seal time so the
+  // conservation law serializations + fanout_reuses == records_sent holds
+  // even for staged messages that end up with no recipients.
+  if (staging.sealed_once) {
+    obs::add_counter(obs_, "wire.fanout_reuses");
+  } else {
+    staging.sealed_once = true;
+    obs::add_counter(obs_, "wire.serializations");
+  }
+  obs::add_counter(obs_, "wire.records_sent");
+  queue_frame(gdo_index, std::move(record));
+  const std::vector<SendFailure> failures = co_await flush_sends();
+  for (const SendFailure& failure : failures) {
+    if (failure.to_gdo == gdo_index) co_return Status(failure.error);
+  }
+  co_return Status::success();
+}
+
+common::Task<Status> LeaderSession::broadcast(MsgType type, MessageRef msg) {
   sync_dead_peers();
+  StagedMessage staging = stage_envelope(type, msg);
   for (std::uint32_t g : live_members()) {
-    Status s = co_await send_record(g, type, body);
+    Status s = co_await send_staged(g, staging);
     if (s.ok()) continue;
     if (!is_peer_loss(s.error())) co_return s;
     common::log_warn("leader", "send to gdo ", g,
@@ -533,9 +638,9 @@ common::Task<void> LeaderSession::broadcast_abort(common::Error error) {
   const auto& dead = coordinator_.dead_gdos();
   if (!dead.empty()) notice.failed_gdo = *dead.begin();
   notice.reason = error.to_string();
-  const common::Bytes body = notice.serialize();
+  StagedMessage staging = stage_envelope(MsgType::abort_notice, notice);
   for (std::uint32_t g : live_members()) {
-    (void)co_await send_record(g, MsgType::abort_notice, body);  // best effort
+    (void)co_await send_staged(g, staging);  // best effort
   }
 }
 
@@ -604,7 +709,7 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
                               study_span_);
   Stopwatch aggregation_watch;
   if (Status s = co_await broadcast(MsgType::study_announce,
-                                    coordinator_.announce().serialize());
+                                    coordinator_.announce());
       !s.ok()) {
     co_return s.error();
   }
@@ -665,8 +770,7 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
   {
     const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
                                          "step.broadcast_phase1", study_span_);
-    if (Status s = co_await broadcast(MsgType::phase1_result,
-                                      phase1.value().serialize());
+    if (Status s = co_await broadcast(MsgType::phase1_result, phase1.value());
         !s.ok()) {
       co_return s.error();
     }
@@ -681,7 +785,9 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
       -> common::Task<std::vector<std::optional<stats::LdMoments>>> {
     const Stopwatch fetch_watch;
     std::vector<std::optional<stats::LdMoments>> per_gdo(num_gdos_);
-    const common::Bytes body = request.serialize();
+    // One serialization for the whole multicast; each target below costs
+    // only its own seal (send_staged).
+    StagedMessage staging = stage_envelope(MsgType::moments_request, request);
     sync_dead_peers();
     // The coordinator names the recipients (all live members on a legacy
     // first touch, just the combination at hand under pruning); members that
@@ -690,7 +796,7 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
     std::set<std::uint32_t> fetch_pending;
     for (std::uint32_t g : targets) {
       if (live.count(g) == 0) continue;
-      const Status s = co_await send_record(g, MsgType::moments_request, body);
+      const Status s = co_await send_staged(g, staging);
       if (!s.ok()) {
         if (!is_peer_loss(s.error())) {
           fetch_error_ = s.error();
@@ -748,12 +854,12 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
   // derivations right after the broadcast overlap the members' work.
   std::uint64_t phase2_body_bytes = 0;
   for (const Phase2Result& tile : coordinator_.phase2_tiles()) {
-    const common::Bytes body = tile.serialize();
-    phase2_body_bytes += body.size();
-    obs::add_counter(obs_, "leader.phase2_body_bytes", body.size());
+    const std::size_t body_size = tile.encoded_size();
+    phase2_body_bytes += body_size;
+    obs::add_counter(obs_, "leader.phase2_body_bytes", body_size);
     obs::add_counter(obs_, "leader.phase2_broadcast_bytes",
-                     body.size() * live_members().size());
-    if (Status s = co_await broadcast(MsgType::phase2_result, body); !s.ok()) {
+                     body_size * live_members().size());
+    if (Status s = co_await broadcast(MsgType::phase2_result, tile); !s.ok()) {
       co_return s.error();
     }
   }
@@ -807,8 +913,7 @@ common::Task<Result<StudyResult>> LeaderSession::run_study_impl() {
   {
     const obs::ScopedSpan broadcast_span(obs::recorder_of(obs_),
                                          "step.broadcast_phase3", study_span_);
-    if (Status s = co_await broadcast(MsgType::phase3_result,
-                                      phase3.value().serialize());
+    if (Status s = co_await broadcast(MsgType::phase3_result, phase3.value());
         !s.ok()) {
       co_return s.error();
     }

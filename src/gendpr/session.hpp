@@ -37,6 +37,7 @@
 #include "gendpr/trusted.hpp"
 #include "obs/observability.hpp"
 #include "tee/enclave.hpp"
+#include "wire/buffer_pool.hpp"
 
 namespace gendpr::core {
 
@@ -50,10 +51,21 @@ enum class SessionWants {
 };
 
 /// A frame the session wants delivered to `to_gdo`. The payload is the
-/// sealed record (or handshake message) exactly as it must cross the wire.
+/// sealed record (or handshake message) exactly as it must cross the wire,
+/// held in a pooled buffer with frame-header headroom so the transport can
+/// stamp the header and queue the bytes without copying.
 struct OutFrame {
   std::uint32_t to_gdo = 0;
-  common::Bytes payload;
+  wire::WireBuffer payload;
+};
+
+/// A message serialized (and enveloped) once for fan-out: broadcast and
+/// multicast seal the same staged bytes per peer, so the serialization cost
+/// is paid per distinct message, never per recipient.
+struct StagedMessage {
+  common::Bytes bytes;
+  /// Set by the first per-peer seal; later seals count as fan-out reuses.
+  bool sealed_once = false;
 };
 
 /// A frame received from `from_gdo` (driver-translated from transport ids).
@@ -99,6 +111,17 @@ class ProtocolSession {
   /// exactly like a transport mailbox would buffer them.
   void on_frame(std::uint32_t from_gdo, common::Bytes payload, TimePoint now);
 
+  /// Zero-copy delivery: when the session is blocked on a receive the view
+  /// is handed to the protocol body directly (it aliases the caller's
+  /// buffer and is consumed before this call returns); otherwise the bytes
+  /// are copied into the input queue exactly like the owning overload.
+  void on_frame(std::uint32_t from_gdo, common::BytesView payload,
+                TimePoint now);
+
+  /// Pool backing this session's outgoing frames (nullptr = the process-wide
+  /// wire::default_pool()). Call before start().
+  void set_wire_pool(wire::BufferPool* pool) noexcept { wire_pool_ = pool; }
+
   /// Reports the passage of time. Resumes a recv wait with a timeout event
   /// iff `now` has reached next_deadline(); earlier ticks are ignored, so
   /// spurious wakeups are harmless.
@@ -142,12 +165,18 @@ class ProtocolSession {
                              TimePoint now = TimePoint{});
 
  protected:
-  /// One resumption cause for a suspended receive point.
+  /// One resumption cause for a suspended receive point. Frame payloads are
+  /// views: a frame that passed through the input queue views its own
+  /// `owned` backing (moved along with the event), while a frame delivered
+  /// straight from the transport aliases the receive buffer and is valid
+  /// only until the coroutine next suspends — the protocol bodies decrypt
+  /// or parse every payload before their next co_await.
   struct Event {
     enum class Kind { frame, timeout, wake, closed };
     Kind kind = Kind::wake;
     std::uint32_t from_gdo = 0;
-    common::Bytes payload;
+    common::BytesView payload;
+    common::Bytes owned;
   };
 
   /// Root coroutine of a protocol body. Lazily started; its co_returned
@@ -234,7 +263,15 @@ class ProtocolSession {
   }
 
   /// Queues one frame for the next flush_sends().
+  void queue_frame(std::uint32_t to_gdo, wire::WireBuffer payload);
+  /// Convenience for unpooled payloads (handshake messages): copies the
+  /// bytes into a pooled buffer. Not used on the steady-state record path.
   void queue_frame(std::uint32_t to_gdo, common::Bytes payload);
+
+  /// Pool to serialize outgoing frames into (set_wire_pool or the default).
+  wire::BufferPool& wire_pool() const noexcept {
+    return wire_pool_ != nullptr ? *wire_pool_ : wire::default_pool();
+  }
 
   /// Drains the transport-reported peer losses accumulated since the last
   /// call (the session-side analogue of the node's hook_dead_ set).
@@ -260,6 +297,7 @@ class ProtocolSession {
   void suspend_for_input(std::coroutine_handle<> handle) noexcept;
   void suspend_for_sends(std::coroutine_handle<> handle) noexcept;
   void deliver_event(Event event);
+  void deliver_queued_frame();
 
   Main main_;
   SessionWants wants_ = SessionWants::idle;
@@ -275,6 +313,7 @@ class ProtocolSession {
   std::set<std::uint32_t> lost_peers_;
   bool lost_wake_pending_ = false;
   bool closed_ = false;
+  wire::BufferPool* wire_pool_ = nullptr;
 };
 
 /// Member-side protocol session: handshakes with the leader, then answers
@@ -301,8 +340,7 @@ class MemberSession : public ProtocolSession {
   Main run_protocol() override;
 
  private:
-  common::Task<common::Status> send_reply(MsgType type,
-                                          common::BytesView body);
+  common::Task<common::Status> send_reply(MsgType type, MessageRef msg);
   common::Error wait_error(bool timed_out, const char* where) const;
 
   std::uint32_t gdo_index_;
@@ -360,10 +398,15 @@ class LeaderSession : public ProtocolSession {
 
   common::Task<common::Result<StudyResult>> run_study_impl();
   common::Task<common::Status> establish_channels();
+  /// Serializes + envelopes `msg` straight into a pooled record buffer and
+  /// seals it in place: the single-recipient send path.
   common::Task<common::Status> send_record(std::uint32_t gdo_index,
-                                           MsgType type,
-                                           common::BytesView body);
-  common::Task<common::Status> broadcast(MsgType type, common::BytesView body);
+                                           MsgType type, MessageRef msg);
+  /// Seals an already-staged envelope for one more recipient (per-peer AEAD
+  /// pass only; the plaintext was serialized once by stage_envelope).
+  common::Task<common::Status> send_staged(std::uint32_t gdo_index,
+                                           StagedMessage& staging);
+  common::Task<common::Status> broadcast(MsgType type, MessageRef msg);
   common::Task<void> broadcast_abort(common::Error error);
   common::Task<common::Result<GatherStep>> next_record(
       const char* phase, std::set<std::uint32_t>& pending);

@@ -10,9 +10,12 @@ using Clock = ProtocolSession::Clock;
 EpollSessionDriver::EpollSessionDriver(net::EventLoop& loop, net::Hub& hub,
                                        ProtocolSession& session)
     : loop_(&loop), hub_(&hub), session_(&session) {
-  hub_->set_frame_handler([this](net::NodeId from, common::Bytes payload) {
+  hub_->set_frame_handler([this](net::NodeId from, common::BytesView payload) {
     if (from == net::kNoNode) return;
-    session_->on_frame(from - 1, std::move(payload), Clock::now());
+    // Zero-copy delivery: the view aliases the hub's receive buffer; the
+    // session either consumes it before returning or copies it into its
+    // input queue.
+    session_->on_frame(from - 1, payload, Clock::now());
     pump();
   });
   hub_->set_peer_lost_handler([this](net::NodeId peer) {
@@ -86,8 +89,8 @@ void EpollSessionDriver::pump() {
       case SessionWants::send: {
         std::vector<SendFailure> failures;
         for (OutFrame& frame : session_->take_output()) {
-          const common::Status sent = hub_->send(node_id_of(frame.to_gdo),
-                                                 std::move(frame.payload));
+          const common::Status sent = hub_->send_frame(
+              node_id_of(frame.to_gdo), std::move(frame.payload));
           if (!sent.ok()) {
             failures.push_back(SendFailure{frame.to_gdo, sent.error()});
           }

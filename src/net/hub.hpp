@@ -27,12 +27,17 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "net/network.hpp"
+#include "wire/buffer_pool.hpp"
 
 namespace gendpr::net {
 
 class Hub {
  public:
-  using FrameHandler = std::function<void(NodeId from, common::Bytes payload)>;
+  /// Inbound payloads are views into the hub's pooled receive buffer, valid
+  /// only for the duration of the call — sessions decrypt in place (open_to)
+  /// or copy before returning.
+  using FrameHandler =
+      std::function<void(NodeId from, common::BytesView payload)>;
   using PeerLostHandler = std::function<void(NodeId peer)>;
   /// paused=true: the connection to `peer` crossed the high watermark and
   /// the producer should stop queueing. paused=false: drained below the low
@@ -60,6 +65,13 @@ class Hub {
     std::uint64_t pauses = 0;
     std::uint64_t resumes = 0;
     std::uint64_t peak_queued_bytes = 0;
+  };
+
+  /// Zero-copy frame-path telemetry.
+  struct WireStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t writev_batches = 0;  // gathered-write syscalls (epoll hub)
+    std::uint64_t dial_dropped_frames = 0;  // queued on dials that failed
   };
 
   virtual ~Hub() = default;
@@ -94,7 +106,16 @@ class Hub {
   std::uint64_t study_id() const noexcept { return study_id_; }
 
   const BackpressureStats& backpressure() const noexcept { return bp_stats_; }
+  const WireStats& wire_stats() const noexcept { return wire_stats_; }
   TrafficMeter& meter() noexcept { return meter_; }
+
+  /// Buffer pool backing this hub's frames. Defaults to the process-wide
+  /// pool; a federation run installs one pool shared with its sessions so
+  /// send buffers cycle session → hub → pool without crossing pools.
+  void set_buffer_pool(wire::BufferPool* pool) noexcept { pool_ = pool; }
+  wire::BufferPool& pool() noexcept {
+    return pool_ != nullptr ? *pool_ : wire::default_pool();
+  }
 
   /// Starts a nonblocking dial to a peer hub. Frames sent to `peer` before
   /// the dial completes are buffered and flushed (after the hello) once it
@@ -105,10 +126,21 @@ class Hub {
     connect_peer(peer, host, port, DialOptions{});
   }
 
-  /// Enqueues one frame for `peer`. Success means accepted for delivery
-  /// (written as the kernel allows), not yet on the wire; unknown_peer
-  /// means there is no live or in-flight connection to the peer.
-  virtual common::Status send(NodeId to, common::Bytes payload) = 0;
+  /// Enqueues one pooled frame for `peer`. The buffer arrives with its
+  /// payload in final wire position; the hub stamps the frame header
+  /// (finish_frame) and queues the buffer as-is — no copy between the
+  /// session and the kernel. Success means accepted for delivery (written as
+  /// the kernel allows), not yet on the wire; unknown_peer means there is no
+  /// live or in-flight connection to the peer.
+  virtual common::Status send_frame(NodeId to, wire::WireBuffer buf) = 0;
+
+  /// Compatibility convenience over send_frame for callers holding an
+  /// owning payload (tests, legacy paths): copies once into a pooled buffer.
+  common::Status send(NodeId to, common::Bytes payload) {
+    return send_frame(to, wire::WireBuffer::from_payload(
+                              pool(), common::BytesView(payload.data(),
+                                                        payload.size())));
+  }
 
   /// True while an established connection to `peer` is registered.
   virtual bool is_connected(NodeId peer) const = 0;
@@ -177,6 +209,8 @@ class Hub {
   std::uint64_t study_id_ = 0;
   Watermarks watermarks_;
   BackpressureStats bp_stats_;
+  WireStats wire_stats_;
+  wire::BufferPool* pool_ = nullptr;
   TrafficMeter meter_;
   FrameHandler frame_handler_;
   PeerLostHandler peer_lost_handler_;

@@ -246,9 +246,12 @@ void TcpHub::reader_loop(NodeId peer,
         break;
       }
       if (!frame.value().has_value()) break;
-      wire::FrameDecoder::Frame f = std::move(*frame.value());
+      const wire::FrameDecoder::Frame f = *frame.value();
       meter_.record(f.from, self_, f.payload.size());
-      mailbox_->push(Envelope{f.from, self_, std::move(f.payload)});
+      // The mailbox outlives the decoder's borrow of the read buffer, so
+      // the threaded transport takes its owning copy here.
+      mailbox_->push(Envelope{
+          f.from, self_, common::Bytes(f.payload.begin(), f.payload.end())});
     }
   }
   drop_connection(peer, connection);

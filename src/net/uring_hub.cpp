@@ -32,12 +32,20 @@ namespace {
 
 constexpr unsigned kRingEntries = 256;
 constexpr std::size_t kRecvBufBytes = 64 * 1024;
+/// Fixed-buffer receive slots registered with the kernel (1 MiB slab).
+constexpr int kFixedRecvSlots = 16;
 /// user_data of ASYNC_CANCEL ops: never a valid (aligned) Op pointer.
 constexpr std::uint64_t kCancelToken = 1;
 
 int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
   return static_cast<int>(
       ::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
 }
 
 int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
@@ -67,6 +75,10 @@ struct UringHub::Op {
   std::shared_ptr<Conn> conn;  // null for accept
   sockaddr_in addr{};          // connect target / accept peer storage
   socklen_t addr_len = sizeof(sockaddr_in);
+  /// Registered slot a READ_FIXED receive targets; -1 = plain RECV into the
+  /// connection's fallback buffer. The slot stays claimed until this op's
+  /// CQE is reaped, so the kernel never writes into a recycled slot.
+  int buf_slot = -1;
 };
 
 /// One TCP connection (inbound, adopted, or dialed). All state is
@@ -82,8 +94,8 @@ struct UringHub::Conn {
   bool dead = false;            // dropped; ignore every later completion
   bool paused = false;          // write queue above the high watermark
   wire::FrameDecoder decoder;
-  std::vector<std::uint8_t> recv_buf;     // target of the in-flight RECV
-  std::deque<common::Bytes> write_queue;  // encoded frames
+  std::vector<std::uint8_t> recv_buf;  // fallback RECV target (no fixed slot)
+  std::deque<wire::WireBuffer> write_queue;  // pooled, header-stamped frames
   std::size_t write_offset = 0;  // bytes of the front frame already written
   std::size_t queued_bytes = 0;  // unsent bytes across the whole queue
   Op* recv_op = nullptr;         // in-flight ops, for targeted cancel
@@ -163,7 +175,36 @@ common::Status UringHub::init_ring() {
   cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
   cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
   cqes_ = cq_base + params.cq_off.cqes;
+  register_fixed_buffers();
   return Status::success();
+}
+
+void UringHub::register_fixed_buffers() {
+#if defined(__NR_io_uring_register)
+  // One slab, carved into per-receive slots and registered as one iovec per
+  // slot — the kernel pins the pages once here instead of per operation.
+  fixed_slab_.assign(
+      static_cast<std::size_t>(kFixedRecvSlots) * kRecvBufBytes, 0);
+  std::vector<iovec> iovs(static_cast<std::size_t>(kFixedRecvSlots));
+  for (int slot = 0; slot < kFixedRecvSlots; ++slot) {
+    iovs[static_cast<std::size_t>(slot)].iov_base =
+        fixed_slab_.data() + static_cast<std::size_t>(slot) * kRecvBufBytes;
+    iovs[static_cast<std::size_t>(slot)].iov_len = kRecvBufBytes;
+  }
+  const int rc = sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS,
+                                       iovs.data(),
+                                       static_cast<unsigned>(iovs.size()));
+  if (rc == 0) {
+    use_fixed_ = true;
+    free_slots_.reserve(static_cast<std::size_t>(kFixedRecvSlots));
+    for (int slot = kFixedRecvSlots - 1; slot >= 0; --slot) {
+      free_slots_.push_back(slot);
+    }
+  } else {
+    fixed_slab_.clear();
+    fixed_slab_.shrink_to_fit();
+  }
+#endif
 }
 
 void UringHub::destroy_ring() {
@@ -289,13 +330,28 @@ bool UringHub::submit_op(std::unique_ptr<Op> op) {
       sqe->accept_flags = SOCK_CLOEXEC;
       break;
     case Op::Kind::recv:
-      sqe->opcode = IORING_OP_RECV;
-      sqe->fd = op->conn->fd;
-      sqe->addr = reinterpret_cast<std::uintptr_t>(op->conn->recv_buf.data());
-      sqe->len = static_cast<std::uint32_t>(op->conn->recv_buf.size());
+      if (op->buf_slot >= 0) {
+        // Registered-buffer receive: RECV has no fixed variant, but on a
+        // socket READ_FIXED at offset 0 is the same read — minus the per-op
+        // page pin, because the slot was registered at ring setup.
+        sqe->opcode = IORING_OP_READ_FIXED;
+        sqe->fd = op->conn->fd;
+        sqe->addr = reinterpret_cast<std::uintptr_t>(
+            fixed_slab_.data() +
+            static_cast<std::size_t>(op->buf_slot) * kRecvBufBytes);
+        sqe->len = static_cast<std::uint32_t>(kRecvBufBytes);
+        sqe->off = 0;
+        sqe->buf_index = static_cast<std::uint16_t>(op->buf_slot);
+      } else {
+        sqe->opcode = IORING_OP_RECV;
+        sqe->fd = op->conn->fd;
+        sqe->addr =
+            reinterpret_cast<std::uintptr_t>(op->conn->recv_buf.data());
+        sqe->len = static_cast<std::uint32_t>(op->conn->recv_buf.size());
+      }
       break;
     case Op::Kind::send: {
-      const common::Bytes& front = op->conn->write_queue.front();
+      const common::BytesView front = op->conn->write_queue.front().frame();
       sqe->opcode = IORING_OP_SEND;
       sqe->fd = op->conn->fd;
       sqe->addr = reinterpret_cast<std::uintptr_t>(front.data() +
@@ -359,8 +415,17 @@ bool UringHub::submit_recv(const std::shared_ptr<Conn>& conn) {
   auto op = std::make_unique<Op>();
   op->kind = Op::Kind::recv;
   op->conn = conn;
+  int slot = -1;
+  if (use_fixed_ && !free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  op->buf_slot = slot;
   Op* raw = op.get();
-  if (!submit_op(std::move(op))) return false;
+  if (!submit_op(std::move(op))) {
+    if (slot >= 0) free_slots_.push_back(slot);
+    return false;
+  }
   conn->recv_op = raw;
   return true;
 }
@@ -426,10 +491,19 @@ void UringHub::handle_cqe(std::int32_t res, std::uint64_t user_data) {
     case Op::Kind::accept:
       on_accept_done(res, op.get());
       break;
-    case Op::Kind::recv:
+    case Op::Kind::recv: {
       if (op->conn->recv_op == op.get()) op->conn->recv_op = nullptr;
-      on_recv_done(res, op->conn);
+      const int slot = op->buf_slot;
+      const std::uint8_t* data =
+          slot >= 0 ? fixed_slab_.data() +
+                          static_cast<std::size_t>(slot) * kRecvBufBytes
+                    : op->conn->recv_buf.data();
+      on_recv_done(res, op->conn, data, slot >= 0);
+      // The frames were delivered (or stashed) before this point, so the
+      // slot is free for the next receive.
+      if (slot >= 0) free_slots_.push_back(slot);
       break;
+    }
     case Op::Kind::send:
       if (op->conn->send_op == op.get()) op->conn->send_op = nullptr;
       on_send_done(res, op->conn);
@@ -463,14 +537,21 @@ void UringHub::on_accept_done(std::int32_t res, Op* op) {
 }
 
 void UringHub::on_recv_done(std::int32_t res,
-                            const std::shared_ptr<Conn>& conn) {
+                            const std::shared_ptr<Conn>& conn,
+                            const std::uint8_t* data, bool was_fixed) {
   if (conn->dead || shutting_down_) return;
+  if (was_fixed && (res == -EINVAL || res == -EOPNOTSUPP)) {
+    // Kernel accepted the registration but rejects READ_FIXED on sockets:
+    // flip the whole hub to plain RECV and re-arm this connection.
+    use_fixed_ = false;
+    if (!submit_recv(conn)) drop_conn(conn);
+    return;
+  }
   if (res <= 0) {
     drop_conn(conn);
     return;
   }
-  conn->decoder.feed(
-      common::BytesView(conn->recv_buf.data(), static_cast<std::size_t>(res)));
+  conn->decoder.feed(common::BytesView(data, static_cast<std::size_t>(res)));
   deliver_frames(conn);
   if (!conn->dead && !submit_recv(conn)) drop_conn(conn);
 }
@@ -484,7 +565,7 @@ void UringHub::deliver_frames(const std::shared_ptr<Conn>& conn) {
       return;
     }
     if (!frame.value().has_value()) break;
-    wire::FrameDecoder::Frame f = std::move(*frame.value());
+    const wire::FrameDecoder::Frame f = *frame.value();
     if (conn->awaiting_hello) {
       // Same contract as EpollHub::read_frames: the first frame must be a
       // hello naming the peer, for the one study this hub serves.
@@ -499,7 +580,7 @@ void UringHub::deliver_frames(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     meter_.record(f.from, self_, f.payload.size());
-    if (frame_handler_) frame_handler_(f.from, std::move(f.payload));
+    if (frame_handler_) frame_handler_(f.from, f.payload);
     if (conn->dead) return;  // handler tore the hub's state down
   }
 }
@@ -514,8 +595,8 @@ void UringHub::on_send_done(std::int32_t res,
   const auto written = static_cast<std::size_t>(res);
   conn->write_offset += written;
   conn->queued_bytes -= written;
-  if (conn->write_offset == conn->write_queue.front().size()) {
-    conn->write_queue.pop_front();
+  if (conn->write_offset == conn->write_queue.front().frame().size()) {
+    conn->write_queue.pop_front();  // pooled storage returns here
     conn->write_offset = 0;
   }
   maybe_submit_send(conn);
@@ -550,9 +631,10 @@ void UringHub::on_connect_done(std::int32_t res,
 }
 
 void UringHub::enqueue_frame(const std::shared_ptr<Conn>& conn,
-                             common::Bytes frame) {
-  conn->queued_bytes += frame.size();
-  conn->write_queue.push_back(std::move(frame));
+                             wire::WireBuffer buf) {
+  conn->queued_bytes += buf.frame().size();
+  conn->write_queue.push_back(std::move(buf));
+  wire_stats_.frames_sent += 1;
   note_enqueued(conn->peer, conn->queued_bytes, conn->paused);
 }
 
@@ -655,6 +737,9 @@ void UringHub::dial_attempt_failed(NodeId peer) {
   if (it == dials_.end()) return;
   Dial& dial = it->second;
   if (dial.attempts_left <= 0) {
+    // Frames queued against the dial die with it; the counter makes the
+    // loss visible in run reports instead of silent.
+    wire_stats_.dial_dropped_frames += dial.pending.size();
     dials_.erase(it);
     report_peer_lost(peer);
     return;
@@ -671,11 +756,13 @@ void UringHub::finish_dial(NodeId peer, const std::shared_ptr<Conn>& conn) {
   auto it = dials_.find(peer);
   // Hello first, then everything queued while the dial was in flight,
   // preserving send order.
-  enqueue_frame(conn, wire::encode_hello(self_, study_id_));
+  enqueue_frame(conn,
+                wire::WireBuffer::from_frame(
+                    pool(), wire::encode_hello(self_, study_id_)));
   if (it != dials_.end()) {
-    for (common::Bytes& frame : it->second.pending) {
-      meter_.record(self_, peer, frame.size() - wire::kFrameHeaderBytes);
-      enqueue_frame(conn, std::move(frame));
+    for (wire::WireBuffer& buf : it->second.pending) {
+      meter_.record(self_, peer, buf.payload_size());
+      enqueue_frame(conn, std::move(buf));
     }
     dials_.erase(it);
   }
@@ -683,9 +770,12 @@ void UringHub::finish_dial(NodeId peer, const std::shared_ptr<Conn>& conn) {
   maybe_submit_send(conn);
 }
 
-Status UringHub::send(NodeId to, common::Bytes payload) {
+Status UringHub::send_frame(NodeId to, wire::WireBuffer buf) {
+  buf.finish_frame(self_);
   if (auto dial = dials_.find(to); dial != dials_.end()) {
-    dial->second.pending.push_back(wire::encode_frame(self_, payload));
+    // Still pooled: the buffer waits in its wire shape until the dial
+    // resolves, with no eager re-encode and no extra copy.
+    dial->second.pending.push_back(std::move(buf));
     return Status::success();
   }
   auto it = peers_.find(to);
@@ -696,8 +786,8 @@ Status UringHub::send(NodeId to, common::Bytes payload) {
                           std::to_string(to) + (lost ? " was lost" : ""));
   }
   const std::shared_ptr<Conn> conn = it->second;
-  meter_.record(self_, to, payload.size());
-  enqueue_frame(conn, wire::encode_frame(self_, payload));
+  meter_.record(self_, to, buf.payload_size());
+  enqueue_frame(conn, std::move(buf));
   maybe_submit_send(conn);
   if (conn->dead) {
     return make_error(Errc::unknown_peer,
@@ -746,7 +836,7 @@ void UringHub::connect_peer(NodeId peer, const std::string&, std::uint16_t,
                             DialOptions) {
   if (peer_lost_handler_) peer_lost_handler_(peer);
 }
-common::Status UringHub::send(NodeId, common::Bytes) {
+common::Status UringHub::send_frame(NodeId, wire::WireBuffer) {
   return make_error(Errc::io_error, "io_uring unsupported on this platform");
 }
 bool UringHub::is_connected(NodeId) const { return false; }

@@ -29,6 +29,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "net/event_loop.hpp"
 #include "net/hub.hpp"
@@ -65,7 +66,7 @@ class UringHub : public Hub {
                     DialOptions options) override;
   using Hub::connect_peer;
 
-  common::Status send(NodeId to, common::Bytes payload) override;
+  common::Status send_frame(NodeId to, wire::WireBuffer buf) override;
 
   bool is_connected(NodeId peer) const override;
 
@@ -89,7 +90,9 @@ class UringHub : public Hub {
     std::uint16_t port = 0;
     int attempts_left = 0;
     std::chrono::milliseconds backoff{0};
-    std::deque<common::Bytes> pending;  // encoded frames awaiting the hello
+    /// Pooled frames queued before the connection exists; flushed after the
+    /// hello, or dropped (and counted) when the dial permanently fails.
+    std::deque<wire::WireBuffer> pending;
     std::optional<EventLoop::TimerId> retry_timer;
   };
 
@@ -97,6 +100,9 @@ class UringHub : public Hub {
 
   common::Status init_ring();
   common::Status init_listener(std::uint16_t port);
+  /// Attempts IORING_REGISTER_BUFFERS for the receive slab; on refusal the
+  /// hub silently stays on plain RECV.
+  void register_fixed_buffers();
   void destroy_ring();
 
   /// Prepares + submits one SQE; returns false if the kernel refused it.
@@ -110,12 +116,16 @@ class UringHub : public Hub {
   void reap();
   void handle_cqe(std::int32_t res, std::uint64_t user_data);
   void on_accept_done(std::int32_t res, Op* op);
-  void on_recv_done(std::int32_t res, const std::shared_ptr<Conn>& conn);
+  /// `data` is the receive buffer the completed op targeted (a registered
+  /// fixed slot or the connection's fallback buffer); `was_fixed` drives the
+  /// runtime READ_FIXED → RECV fallback on kernels that reject it.
+  void on_recv_done(std::int32_t res, const std::shared_ptr<Conn>& conn,
+                    const std::uint8_t* data, bool was_fixed);
   void on_send_done(std::int32_t res, const std::shared_ptr<Conn>& conn);
   void on_connect_done(std::int32_t res, const std::shared_ptr<Conn>& conn);
 
   void deliver_frames(const std::shared_ptr<Conn>& conn);
-  void enqueue_frame(const std::shared_ptr<Conn>& conn, common::Bytes frame);
+  void enqueue_frame(const std::shared_ptr<Conn>& conn, wire::WireBuffer buf);
   /// Tears the connection down; established peers are reported lost. The fd
   /// is shutdown + closed immediately; in-flight ops are cancelled and keep
   /// the Conn (and its buffers) alive until their completions are reaped.
@@ -150,6 +160,15 @@ class UringHub : public Hub {
   unsigned* cq_tail_ = nullptr;
   unsigned cq_mask_ = 0;
   void* cqes_ = nullptr;  // io_uring_cqe array (typed in the .cpp)
+
+  // Registered fixed-buffer receive slab (IORING_REGISTER_BUFFERS): one
+  // contiguous allocation carved into per-receive slots, registered once at
+  // ring setup so READ_FIXED receives skip the kernel's per-op pin/unpin.
+  // Probed at registration and again at first completion; on any refusal
+  // the hub falls back to plain RECV into per-connection buffers.
+  bool use_fixed_ = false;
+  std::vector<std::uint8_t> fixed_slab_;
+  std::vector<int> free_slots_;
 
   Op* accept_op_ = nullptr;
   std::set<std::shared_ptr<Conn>> conns_;         // every live connection

@@ -1,5 +1,6 @@
 #include "wire/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace gendpr::wire {
@@ -58,36 +59,80 @@ std::optional<std::uint64_t> FrameDecoder::Frame::hello_study()
 }
 
 void FrameDecoder::feed(common::BytesView data) {
-  // Compact before growing: once everything parsed so far is consumed the
-  // buffer restarts at zero, so steady-state streaming never accumulates.
-  if (consumed_ == buffer_.size()) {
-    buffer_.clear();
-    consumed_ = 0;
-  } else if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
-    consumed_ = 0;
+  // Callers normally drain to nullopt before feeding again, but never lose
+  // stream bytes if they don't: stash whatever is left of the old chunk.
+  if (!chunk_.empty()) {
+    stash_.insert(stash_.end(), chunk_.begin(), chunk_.end());
   }
-  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  chunk_ = data;
 }
 
 common::Result<std::optional<FrameDecoder::Frame>> FrameDecoder::next() {
-  if (buffered() < kFrameHeaderBytes) return std::optional<Frame>{};
-  const std::uint8_t* base = buffer_.data() + consumed_;
-  const std::uint32_t frame_len = load_u32(base);
+  if (!stash_.empty()) {
+    // Slow path: a frame straddles chunk boundaries. Top the stash up from
+    // the current chunk — first to a full header, then to the full frame.
+    if (stash_.size() < kFrameHeaderBytes) {
+      const std::size_t take =
+          std::min(kFrameHeaderBytes - stash_.size(), chunk_.size());
+      stash_.insert(stash_.end(), chunk_.begin(), chunk_.begin() + take);
+      chunk_ = chunk_.subspan(take);
+      if (stash_.size() < kFrameHeaderBytes) return std::optional<Frame>{};
+    }
+    const std::uint32_t frame_len = load_u32(stash_.data());
+    if (frame_len < 4 || frame_len - 4 > kMaxFramePayload) {
+      return common::make_error(common::Errc::bad_message,
+                                "malformed frame header");
+    }
+    const std::size_t payload_size = frame_len - 4;
+    const std::size_t total = kFrameHeaderBytes + payload_size;
+    if (stash_.size() < total) {
+      const std::size_t take = std::min(total - stash_.size(), chunk_.size());
+      stash_.insert(stash_.end(), chunk_.begin(), chunk_.begin() + take);
+      chunk_ = chunk_.subspan(take);
+      if (stash_.size() < total) return std::optional<Frame>{};
+    }
+    // Frame complete. feed() can stash more than one frame's worth, so keep
+    // any excess for the next call.
+    if (stash_.size() == total) {
+      stash_frame_ = std::move(stash_);
+      stash_.clear();
+    } else {
+      stash_frame_.assign(stash_.begin(),
+                          stash_.begin() + static_cast<std::ptrdiff_t>(total));
+      stash_.erase(stash_.begin(),
+                   stash_.begin() + static_cast<std::ptrdiff_t>(total));
+    }
+    Frame frame;
+    frame.from = load_u32(stash_frame_.data() + 4);
+    frame.payload = common::BytesView(stash_frame_.data() + kFrameHeaderBytes,
+                                      payload_size);
+    return std::optional<Frame>{std::move(frame)};
+  }
+
+  // Fast path: parse directly out of the borrowed chunk, zero-copy.
+  if (chunk_.size() < kFrameHeaderBytes) {
+    if (!chunk_.empty()) {
+      stash_.assign(chunk_.begin(), chunk_.end());
+      chunk_ = {};
+    }
+    return std::optional<Frame>{};
+  }
+  const std::uint32_t frame_len = load_u32(chunk_.data());
   if (frame_len < 4 || frame_len - 4 > kMaxFramePayload) {
     return common::make_error(common::Errc::bad_message,
                               "malformed frame header");
   }
   const std::size_t payload_size = frame_len - 4;
-  if (buffered() < kFrameHeaderBytes + payload_size) {
+  const std::size_t total = kFrameHeaderBytes + payload_size;
+  if (chunk_.size() < total) {
+    stash_.assign(chunk_.begin(), chunk_.end());
+    chunk_ = {};
     return std::optional<Frame>{};
   }
   Frame frame;
-  frame.from = load_u32(base + 4);
-  frame.payload.assign(base + kFrameHeaderBytes,
-                       base + kFrameHeaderBytes + payload_size);
-  consumed_ += kFrameHeaderBytes + payload_size;
+  frame.from = load_u32(chunk_.data() + 4);
+  frame.payload = chunk_.subspan(kFrameHeaderBytes, payload_size);
+  chunk_ = chunk_.subspan(total);
   return std::optional<Frame>{std::move(frame)};
 }
 

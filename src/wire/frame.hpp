@@ -8,6 +8,14 @@
 // concurrent studies over one port. TcpHub's blocking reader threads and
 // the epoll/io_uring hubs' incremental reads all parse this layout through
 // FrameDecoder, so every transport stays wire-compatible by construction.
+//
+// The decoder is zero-copy on the common path: feed() borrows the caller's
+// receive buffer, and frames that land wholly inside one chunk come back as
+// BytesView spans into it. Only frames that straddle a chunk boundary are
+// stitched together in an internal stash. The borrow discipline is strict:
+// after feed(), drain next() until it yields nullopt (which guarantees no
+// unconsumed view into the chunk remains) before reusing the receive
+// buffer, and consume each Frame::payload before the next next()/feed().
 #pragma once
 
 #include <array>
@@ -43,12 +51,16 @@ inline constexpr std::size_t kHelloStudyBytes = 8;
 common::Bytes encode_hello(std::uint32_t from, std::uint64_t study_id);
 
 /// Incremental frame parser over an arbitrary chunking of the byte stream.
-/// feed() appends raw bytes; next() yields completed frames in order.
+/// feed() borrows raw bytes; next() yields completed frames in order as
+/// views into either the fed chunk or the decoder's internal stash.
 class FrameDecoder {
  public:
   struct Frame {
     std::uint32_t from = 0;
-    common::Bytes payload;
+    /// View into the fed chunk (fast path) or the decoder's stash (frame
+    /// straddled a chunk boundary). Valid until the next call to next() or
+    /// feed() — decrypt or copy before then.
+    common::BytesView payload;
     /// True for the connection-opening hello (empty payload or an 8-byte
     /// study id). Only meaningful for the FIRST frame of a connection;
     /// established-connection frames are never re-interpreted as hellos.
@@ -60,20 +72,31 @@ class FrameDecoder {
     std::optional<std::uint64_t> hello_study() const noexcept;
   };
 
+  /// Borrows `data` until next() returns nullopt. Any bytes of a previously
+  /// fed chunk that next() has not consumed are copied into the stash first,
+  /// so feeding early never loses stream bytes.
   void feed(common::BytesView data);
 
   /// Next completed frame: a Frame when one is fully buffered, nullopt when
   /// more bytes are needed, or Errc::bad_message on a malformed header
   /// (len < 4 or payload over kMaxFramePayload) — the stream is then
-  /// unrecoverable and the connection must be dropped.
+  /// unrecoverable and the connection must be dropped. A nullopt return
+  /// guarantees the fed chunk is fully consumed (no view into it survives),
+  /// so the caller may reuse its receive buffer.
   common::Result<std::optional<Frame>> next();
 
   /// Bytes buffered but not yet consumed by next().
-  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+  std::size_t buffered() const noexcept { return stash_.size() + chunk_.size(); }
 
  private:
-  common::Bytes buffer_;
-  std::size_t consumed_ = 0;
+  /// Unconsumed remainder of the chunk passed to the last feed().
+  common::BytesView chunk_;
+  /// Partial frame carried across chunk boundaries (header + payload
+  /// prefix), topped up from chunk_ by next().
+  common::Bytes stash_;
+  /// Backing storage for the most recently returned straddling frame; keeps
+  /// its payload view alive until the next next()/feed().
+  common::Bytes stash_frame_;
 };
 
 }  // namespace gendpr::wire

@@ -19,6 +19,19 @@ namespace gendpr::wire {
 /// Appends typed values to an internal buffer.
 class Writer {
  public:
+  Writer() = default;
+  /// Adopts existing storage and appends at its end — the in-place
+  /// serialization hook for pooled WireBuffers, which hand over storage that
+  /// already holds frame/record headroom.
+  explicit Writer(common::Bytes storage) noexcept
+      : buffer_(std::move(storage)) {}
+
+  /// Pre-sizes the buffer for `additional` more bytes; pairs with the
+  /// messages' encoded_size() so serialization allocates at most once.
+  void reserve(std::size_t additional) {
+    buffer_.reserve(buffer_.size() + additional);
+  }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

@@ -109,8 +109,8 @@ int main(int argc, char** argv) {
   std::deque<Delivery> in_flight;
   const auto collect = [&](std::uint32_t from, std::vector<OutFrame> frames) {
     for (OutFrame& frame : frames) {
-      in_flight.push_back(Delivery{from, frame.to_gdo,
-                                   std::move(frame.payload)});
+      in_flight.push_back(Delivery{
+          from, frame.to_gdo, std::move(frame.payload).take_payload()});
     }
   };
   for (std::uint32_t g = 0; g < sessions.size(); ++g) {

@@ -172,6 +172,45 @@ TEST(EpollFederationTest, ObservabilityAndTimingsSurviveTheEpollPath) {
   EXPECT_TRUE(member_counter);
 }
 
+TEST(EpollFederationTest, BroadcastSerializesEachMessageExactlyOnce) {
+  // Serialize-once conservation over a G=8 star: every sealed record is
+  // either a message's first seal (wire.serializations) or a fan-out reuse
+  // of an already-staged body (wire.fanout_reuses). A regression that
+  // re-serializes per recipient breaks the equality; one that re-stages per
+  // broadcast breaks the reuse lower bound.
+  const genome::Cohort cohort = test_cohort(400, 300, 60, 321);
+
+  obs::Observability observability;
+  FederationSpec spec;
+  spec.num_gdos = 8;
+  spec.seed = 17;
+  spec.parallel_combinations = false;
+  spec.transport = FederationSpec::TransportMode::epoll;
+  spec.obs = &observability;
+  const auto result = run_federated_study(cohort, spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  const double serializations =
+      observability.metrics.counter("wire.serializations");
+  const double reuses = observability.metrics.counter("wire.fanout_reuses");
+  const double records = observability.metrics.counter("wire.records_sent");
+  EXPECT_GT(serializations, 0.0);
+  EXPECT_GT(records, 0.0);
+  // Conservation: first seals plus reuses account for every sealed record.
+  EXPECT_EQ(serializations + reuses, records);
+  // Serialize-once means strictly fewer serializations than records: the
+  // announce, phase-1, phase-2 tile, and phase-3 broadcasts each reach the
+  // 7 members off ONE staging (6 reuses apiece beyond the first seal).
+  EXPECT_LT(serializations, records);
+  EXPECT_GE(reuses, 3.0 * (8 - 2));
+
+  // The run pool fed the hubs and sessions, and its stats were exported.
+  EXPECT_GT(observability.metrics.counter("net.pool.hits") +
+                observability.metrics.counter("net.pool.misses"),
+            0.0);
+  EXPECT_GT(observability.metrics.counter("wire.writev_batches"), 0.0);
+}
+
 TEST(EpollFederationTest, SilentMemberTimesOutOverEpoll) {
   // Leader expects 3 GDOs; only GDO 1 ever dials. The leader's session
   // deadline fires through the driver's loop timer, the study aborts with a

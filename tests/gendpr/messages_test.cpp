@@ -176,7 +176,9 @@ TEST(MessagesTest, EnvelopeRoundTrip) {
   const auto opened = open_envelope(framed);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(opened.value().first, MsgType::phase1_result);
-  EXPECT_EQ(opened.value().second, body);
+  const common::Bytes opened_body(opened.value().second.begin(),
+                                  opened.value().second.end());
+  EXPECT_EQ(opened_body, body);
 }
 
 TEST(MessagesTest, EmptyEnvelopeRejected) {

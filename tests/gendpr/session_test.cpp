@@ -35,8 +35,8 @@ std::vector<TranscriptEntry> pump_federation(
   std::deque<TranscriptEntry> in_flight;
   const auto collect = [&](std::uint32_t from, std::vector<OutFrame> frames) {
     for (OutFrame& frame : frames) {
-      in_flight.push_back(
-          TranscriptEntry{from, frame.to_gdo, std::move(frame.payload)});
+      in_flight.push_back(TranscriptEntry{
+          from, frame.to_gdo, std::move(frame.payload).take_payload()});
     }
   };
   for (std::uint32_t g = 0; g < sessions.size(); ++g) {
@@ -183,8 +183,9 @@ TEST(SessionTest, TruncatedHandshakeFails) {
   auto member = fixture.make_member(1);
   std::vector<OutFrame> handshake = member->step({});
   ASSERT_EQ(handshake.size(), 1u);
-  handshake[0].payload.resize(handshake[0].payload.size() / 2);
-  leader->step({InFrame{1, std::move(handshake[0].payload)}});
+  common::Bytes truncated = std::move(handshake[0].payload).take_payload();
+  truncated.resize(truncated.size() / 2);
+  leader->step({InFrame{1, std::move(truncated)}});
   ASSERT_EQ(leader->wants(), SessionWants::failed);
   EXPECT_FALSE(leader->status().ok());
 }
@@ -201,7 +202,7 @@ TEST(SessionTest, WrongAuthorityHandshakeIsRejected) {
                       fixture.cohort.cases.slice_rows(0, 40));
   std::vector<OutFrame> handshake = rogue.step({});
   ASSERT_EQ(handshake.size(), 1u);
-  leader->step({InFrame{1, std::move(handshake[0].payload)}});
+  leader->step({InFrame{1, std::move(handshake[0].payload).take_payload()}});
   ASSERT_EQ(leader->wants(), SessionWants::failed);
   EXPECT_EQ(leader->status().error().code, common::Errc::attestation_rejected);
 }
@@ -218,12 +219,12 @@ TEST(SessionTest, TamperedRecordFailsDecryption) {
   ASSERT_EQ(hs1.size(), 1u);
   ASSERT_EQ(hs2.size(), 1u);
   std::vector<OutFrame> replies =
-      leader->step({InFrame{1, std::move(hs1[0].payload)},
-                    InFrame{2, std::move(hs2[0].payload)}});
+      leader->step({InFrame{1, std::move(hs1[0].payload).take_payload()},
+                    InFrame{2, std::move(hs2[0].payload).take_payload()}});
   common::Bytes to_member1;
   for (OutFrame& frame : replies) {
     if (frame.to_gdo == 1 && to_member1.empty()) {
-      to_member1 = std::move(frame.payload);
+      to_member1 = std::move(frame.payload).take_payload();
     }
   }
   ASSERT_FALSE(to_member1.empty());
@@ -243,8 +244,8 @@ TEST(SessionTest, ReplayedRecordIsRejected) {
   std::vector<OutFrame> hs1 = member1->step({});
   std::vector<OutFrame> hs2 = member2->step({});
   std::vector<OutFrame> replies =
-      leader->step({InFrame{1, std::move(hs1[0].payload)},
-                    InFrame{2, std::move(hs2[0].payload)}});
+      leader->step({InFrame{1, std::move(hs1[0].payload).take_payload()},
+                    InFrame{2, std::move(hs2[0].payload).take_payload()}});
   // First frame to member 1 is its handshake reply; the next (the sealed
   // study announce) is the replay victim.
   common::Bytes reply1;
@@ -252,9 +253,9 @@ TEST(SessionTest, ReplayedRecordIsRejected) {
   for (OutFrame& frame : replies) {
     if (frame.to_gdo != 1) continue;
     if (reply1.empty()) {
-      reply1 = std::move(frame.payload);
+      reply1 = std::move(frame.payload).take_payload();
     } else if (announce1.empty()) {
-      announce1 = std::move(frame.payload);
+      announce1 = std::move(frame.payload).take_payload();
     }
   }
   ASSERT_FALSE(reply1.empty());
@@ -284,7 +285,7 @@ TEST(SessionTest, UnexpectedMessageTypeFails) {
           .ok());
   auto channel = fake_leader.channel_to(trusted_module_measurement(),
                                         /*initiator=*/false);
-  ASSERT_TRUE(channel->complete(handshake[0].payload).ok());
+  ASSERT_TRUE(channel->complete(handshake[0].payload.payload()).ok());
   member->step({InFrame{0, channel->handshake_message()}});
   ASSERT_EQ(member->wants(), SessionWants::recv);
 
@@ -369,9 +370,11 @@ TEST(SessionTest, SilentMemberTimesOutAndSurvivorGetsAbortNotice) {
   std::vector<OutFrame> hs1 = member1->step({}, start);
   ASSERT_EQ(hs1.size(), 1u);
   std::vector<OutFrame> replies =
-      leader->step({InFrame{1, std::move(hs1[0].payload)}}, start);
+      leader->step({InFrame{1, std::move(hs1[0].payload).take_payload()}},
+                   start);
   ASSERT_EQ(replies.size(), 1u);
-  member1->step({InFrame{0, std::move(replies[0].payload)}}, start);
+  member1->step({InFrame{0, std::move(replies[0].payload).take_payload()}},
+                start);
   ASSERT_EQ(member1->wants(), SessionWants::recv);
 
   // GDO 2 never handshakes; the leader's deadline passes, the lone
@@ -384,7 +387,7 @@ TEST(SessionTest, SilentMemberTimesOutAndSurvivorGetsAbortNotice) {
   ASSERT_EQ(aborts.size(), 1u);
   EXPECT_EQ(aborts[0].to_gdo, 1u);
 
-  member1->step({InFrame{0, std::move(aborts[0].payload)}});
+  member1->step({InFrame{0, std::move(aborts[0].payload).take_payload()}});
   ASSERT_EQ(member1->wants(), SessionWants::failed);
   EXPECT_EQ(member1->status().error().code, common::Errc::aborted);
   EXPECT_NE(member1->status().error().message.find("study aborted by leader"),
@@ -420,8 +423,8 @@ TEST(SessionTest, FramesArrivingMidComputeAreBuffered) {
   auto member2 = fixture.make_member(2);
   std::vector<OutFrame> hs1 = member1->step({});
   std::vector<OutFrame> hs2 = member2->step({});
-  leader->on_frame(1, std::move(hs1[0].payload), Clock::now());
-  leader->on_frame(2, std::move(hs2[0].payload), Clock::now());
+  leader->on_frame(1, std::move(hs1[0].payload).take_payload(), Clock::now());
+  leader->on_frame(2, std::move(hs2[0].payload).take_payload(), Clock::now());
   const std::vector<OutFrame> replies = leader->step({});
   ASSERT_EQ(leader->wants(), SessionWants::recv);
   // Handshake replies for both members plus the first sealed requests.

@@ -31,11 +31,11 @@ TEST(EpollHubTest, DialHelloAndFramesBothWays) {
 
   std::map<NodeId, std::vector<common::Bytes>> a_received;
   std::map<NodeId, std::vector<common::Bytes>> b_received;
-  a.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    a_received[from].push_back(std::move(payload));
+  a.value()->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    a_received[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
-  b.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    b_received[from].push_back(std::move(payload));
+  b.value()->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    b_received[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
 
   // Frames queued before the dial completes must arrive after the hello, in
@@ -80,7 +80,7 @@ TEST(EpollHubTest, PeerHubDestructionReportsLoss) {
   a.value()->set_peer_lost_handler([&](NodeId peer) { lost.push_back(peer); });
   b.value()->connect_peer(1, "127.0.0.1", a.value()->port());
   ASSERT_TRUE(b.value()->send(1, bytes_of({1})).ok());
-  a.value()->set_frame_handler([](NodeId, common::Bytes) {});
+  a.value()->set_frame_handler([](NodeId, common::BytesView) {});
   loop.run_until([&] { return a.value()->is_connected(2); });
 
   b.value().reset();  // the peer "machine" goes away

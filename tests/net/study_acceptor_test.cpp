@@ -43,11 +43,11 @@ TEST(StudyAcceptorTest, RoutesConcurrentStudiesOverOnePort) {
 
   std::map<NodeId, std::vector<common::Bytes>> at_study7;
   std::map<NodeId, std::vector<common::Bytes>> at_study9;
-  study7_hub->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    at_study7[from].push_back(std::move(payload));
+  study7_hub->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    at_study7[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
-  study9_hub->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    at_study9[from].push_back(std::move(payload));
+  study9_hub->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    at_study9[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
 
   // Both dialers target the SAME port; only their hellos differ. Frames
@@ -79,7 +79,7 @@ TEST(StudyAcceptorTest, RoutesConcurrentStudiesOverOnePort) {
   // peers over the same socket.
   std::vector<common::Bytes> back_at_7;
   dialer7.value()->set_frame_handler(
-      [&](NodeId, common::Bytes payload) { back_at_7.push_back(payload); });
+      [&](NodeId, common::BytesView payload) { back_at_7.push_back(common::Bytes(payload.begin(), payload.end())); });
   ASSERT_TRUE(study7_hub->send(2, bytes_of({77})).ok());
   loop.run_until([&] { return !back_at_7.empty(); });
   EXPECT_EQ(back_at_7[0], bytes_of({77}));
@@ -103,7 +103,7 @@ TEST(StudyAcceptorTest, AdoptsIntoAUringHub) {
 
   std::vector<common::Bytes> received;
   receiver.value()->set_frame_handler(
-      [&](NodeId, common::Bytes payload) { received.push_back(payload); });
+      [&](NodeId, common::BytesView payload) { received.push_back(common::Bytes(payload.begin(), payload.end())); });
   auto dialer = EpollHub::create(loop, 2, 0);
   ASSERT_TRUE(dialer.ok());
   dialer.value()->set_study_id(5);

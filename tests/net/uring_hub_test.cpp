@@ -42,11 +42,11 @@ TEST(UringHubTest, DialHelloAndFramesBothWays) {
 
   std::map<NodeId, std::vector<common::Bytes>> a_received;
   std::map<NodeId, std::vector<common::Bytes>> b_received;
-  a.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    a_received[from].push_back(std::move(payload));
+  a.value()->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    a_received[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
-  b.value()->set_frame_handler([&](NodeId from, common::Bytes payload) {
-    b_received[from].push_back(std::move(payload));
+  b.value()->set_frame_handler([&](NodeId from, common::BytesView payload) {
+    b_received[from].push_back(common::Bytes(payload.begin(), payload.end()));
   });
 
   // Frames queued before the dial completes must arrive after the hello, in
@@ -84,9 +84,9 @@ TEST(UringHubTest, InteroperatesWithAnEpollHub) {
   std::vector<common::Bytes> at_uring;
   std::vector<common::Bytes> at_epoll;
   uring.value()->set_frame_handler(
-      [&](NodeId, common::Bytes payload) { at_uring.push_back(payload); });
+      [&](NodeId, common::BytesView payload) { at_uring.push_back(common::Bytes(payload.begin(), payload.end())); });
   epoll.value()->set_frame_handler(
-      [&](NodeId, common::Bytes payload) { at_epoll.push_back(payload); });
+      [&](NodeId, common::BytesView payload) { at_epoll.push_back(common::Bytes(payload.begin(), payload.end())); });
 
   // Same wire format in both directions: an epoll dialer into a uring
   // listener, answered over the same connection.
@@ -121,7 +121,7 @@ TEST(UringHubTest, PeerHubDestructionReportsLoss) {
   a.value()->set_peer_lost_handler([&](NodeId peer) { lost.push_back(peer); });
   b.value()->connect_peer(1, "127.0.0.1", a.value()->port());
   ASSERT_TRUE(b.value()->send(1, bytes_of({1})).ok());
-  a.value()->set_frame_handler([](NodeId, common::Bytes) {});
+  a.value()->set_frame_handler([](NodeId, common::BytesView) {});
   loop.run_until([&] { return a.value()->is_connected(2); });
 
   b.value().reset();  // the peer "machine" goes away; its dtor drains the ring
@@ -172,7 +172,7 @@ TEST(UringHubTest, DestructionWithLiveConnectionsDrainsCleanly) {
   auto b = UringHub::create(loop, 2, 0);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  a.value()->set_frame_handler([](NodeId, common::Bytes) {});
+  a.value()->set_frame_handler([](NodeId, common::BytesView) {});
   b.value()->connect_peer(1, "127.0.0.1", a.value()->port());
   ASSERT_TRUE(b.value()->send(1, bytes_of({1, 2})).ok());
   loop.run_until([&] { return a.value()->is_connected(2); });

@@ -216,6 +216,7 @@ def check_run_report(doc):
     check_lr_counters(
         doc, study, tiles, pruning, degraded=bool(events["dead_gdos"])
     )
+    check_wire_counters(doc, study, tiles, degraded=bool(events["dead_gdos"]))
 
     trace = doc.get("trace")
     if trace is not None:
@@ -338,6 +339,51 @@ def check_lr_counters(doc, study, tiles, pruning, degraded):
     require(
         counters.get("lr.reference_basis_builds", 0) == lr_tiles,
         "reference panel basis must be built exactly once per LR tile",
+    )
+
+
+def check_wire_counters(doc, study, tiles, degraded):
+    """Serialize-once accounting over the pooled send path.
+
+    Every sealed protocol record is either a message's first seal
+    (``wire.serializations``) or a per-peer AEAD pass over an already-staged
+    body (``wire.fanout_reuses``), so the counters conserve exactly:
+        serializations + fanout_reuses == records_sent
+    On a clean run the leader's announce, phase-1, per-tile phase-2, and
+    phase-3 broadcasts each reach G-1 members off one staging, which pins a
+    fan-out floor of (3 + lr_tiles) * (G - 2) reuses. A regression that
+    re-serializes per recipient inflates ``wire.serializations`` and breaks
+    the equality; one that re-stages per broadcast starves the floor.
+    """
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return  # run was not observed; nothing to cross-check
+    counters = metrics.get("counters", {})
+    if "wire.records_sent" not in counters:
+        return  # report predates the pooled wire path
+    serializations = counters.get("wire.serializations", 0)
+    reuses = counters.get("wire.fanout_reuses", 0)
+    records = counters["wire.records_sent"]
+    require(records > 0, "wire.records_sent is zero on an observed run")
+    require(serializations > 0, "wire.serializations is zero")
+    require(
+        serializations + reuses == records,
+        f"wire counters break conservation: {serializations} first seals + "
+        f"{reuses} fan-out reuses != {records} records sent",
+    )
+    num_gdos = study["num_gdos"]
+    if degraded or num_gdos < 3:
+        return  # mid-study deaths truncate broadcasts; only conservation holds
+    floor = (3 + tiles["lr_count"]) * (num_gdos - 2)
+    require(
+        reuses >= floor,
+        f"wire.fanout_reuses {reuses} below the broadcast floor {floor} "
+        f"((3 + {tiles['lr_count']} tiles) * ({num_gdos} - 2))",
+    )
+    require(
+        serializations < records,
+        "every record was a fresh serialization: broadcasts are not reusing "
+        "their staged bodies",
     )
 
 
